@@ -1,0 +1,114 @@
+// E3 — Theorem 2.1, bullet 2: if timing failures stop at (the beginning
+// of) round r, every process decides at the latest by the end of round
+// r+1 — convergence is one round, no matter how long the failure burst
+// lasted.
+//
+// Workload: n=4 split inputs; a failure window of growing length L
+// stretches every access of HALF the processes to 7 Delta (stretching
+// everyone uniformly would just slow the whole system down in lockstep —
+// it is the relative skew between victims and healthy processes that
+// poisons rounds); when the window closes we snapshot r = max round and
+// let the run finish.  Series: rounds at stop, decision
+// round slack (decision round − r), decision time after the burst.
+// Expected shape: slack <= 1 for almost all runs and <= 2 always (the
+// snapshot lands mid-round, which can bleed one extra round versus the
+// theorem's anchoring — see tests/consensus_sim_test.cpp); post-burst
+// decision time stays a small constant multiple of Delta, independent
+// of L.
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "tfr/core/consensus_sim.hpp"
+#include "tfr/sim/timing.hpp"
+
+using namespace tfr;
+
+namespace {
+constexpr sim::Duration kDelta = 100;
+constexpr std::uint64_t kSeeds = 40;
+}  // namespace
+
+int main() {
+  Section section(std::cout, "E3",
+                  "convergence after a failure burst "
+                  "(Theorem 2.1: decide by round r+1)");
+
+  Table table;
+  table.header({"burst length / Delta", "rounds at stop (mean)",
+                "slack <= 1 (%)", "slack max",
+                "post-burst decide time / Delta (mean, min..max)"});
+
+  std::size_t worst_slack = 0;
+  double within_one_overall = 0;
+  std::size_t cells = 0;
+
+  for (const sim::Duration burst : {0, 10, 30, 100, 300}) {
+    Samples rounds_at_stop;
+    Samples post_time;
+    std::size_t within_one = 0;
+    std::size_t total = 0;
+    std::size_t slack_max = 0;
+
+    for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+      auto injector = std::make_unique<sim::FailureInjector>(
+          sim::make_uniform_timing(1, kDelta), kDelta);
+      const sim::Time failure_end = burst * kDelta;
+      if (burst > 0)
+        injector->add_window({.begin = 0,
+                              .end = failure_end,
+                              .victims = {0, 1},
+                              .stretched = 7 * kDelta});
+
+      sim::Simulation s(std::move(injector), {.seed = seed});
+      core::SimConsensus consensus(s.space(), kDelta);
+      const std::vector<int> inputs{0, 1, 0, 1};
+      for (std::size_t i = 0; i < inputs.size(); ++i) {
+        consensus.monitor().set_input(static_cast<sim::Pid>(i), inputs[i]);
+        s.spawn([&consensus, input = inputs[i]](sim::Env env) {
+          return consensus.participant(env, input);
+        });
+      }
+      // Snapshot once every stretched access has completed.
+      const sim::Time stop = failure_end + 7 * kDelta;
+      s.run(stop);
+      const std::size_t r = consensus.max_round();
+      s.run();
+      rounds_at_stop.add(static_cast<double>(r));
+      for (std::size_t i = 0; i < inputs.size(); ++i) {
+        const std::size_t dec =
+            consensus.decision_round(static_cast<sim::Pid>(i));
+        const std::size_t slack = dec > r ? dec - r : 0;
+        slack_max = std::max(slack_max, slack);
+        within_one += (slack <= 1);
+        ++total;
+      }
+      post_time.add(static_cast<double>(
+          std::max<sim::Time>(0, consensus.monitor().last_decision_time() -
+                                     failure_end)));
+    }
+
+    worst_slack = std::max(worst_slack, slack_max);
+    within_one_overall += 100.0 * static_cast<double>(within_one) /
+                          static_cast<double>(total);
+    ++cells;
+    table.row({Table::fmt(static_cast<long long>(burst)),
+               Table::fmt(rounds_at_stop.mean(), 1),
+               Table::fmt(100.0 * static_cast<double>(within_one) /
+                              static_cast<double>(total),
+                          1),
+               Table::fmt(static_cast<long long>(slack_max)),
+               bench::summarize(post_time, kDelta)});
+  }
+  table.print(std::cout);
+
+  bench::expect(worst_slack <= 2,
+                "decision round never exceeds snapshot round + 2 "
+                "(theorem bound + mid-round snapshot slack)");
+  bench::expect(within_one_overall / static_cast<double>(cells) >= 90.0,
+                "decision round within snapshot round + 1 for >= 90% of "
+                "processes");
+  return bench::finish();
+}

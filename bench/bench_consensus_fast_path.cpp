@@ -1,0 +1,71 @@
+// E2 — Theorem 2.1, bullet 4: in the absence of contention a process
+// decides after taking exactly 7 of its own steps, with no delay
+// statement, *regardless of timing failures*.
+//
+// Workload: one solo proposer under progressively worse timing (every
+// access up to 100x the assumed Δ).  Series: steps, delays, decision time.
+// Expected shape: steps == 7 and delays == 0 in every row; decision time
+// scales with the actual step cost, not with Δ.  A second table shows the
+// late-arrival fast path: a process joining after the decision needs a
+// single step.
+
+#include <iostream>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "tfr/core/consensus_sim.hpp"
+#include "tfr/sim/timing.hpp"
+
+using namespace tfr;
+
+namespace {
+constexpr sim::Duration kDelta = 100;
+}  // namespace
+
+int main() {
+  Section section(std::cout, "E2",
+                  "contention-free fast path: 7 steps, no delay, "
+                  "regardless of timing failures (Theorem 2.1)");
+
+  Table table("solo proposer");
+  table.header({"step cost / Delta", "steps", "delays", "decide time"});
+  bool always_7 = true;
+  bool never_delayed = true;
+  for (const sim::Duration factor : {1, 2, 10, 100}) {
+    const auto out = core::run_consensus({1}, kDelta,
+                                         sim::make_fixed_timing(kDelta * factor));
+    always_7 &= (out.steps[0] == 7);
+    never_delayed &= (out.delays[0] == 0);
+    table.row({Table::fmt(static_cast<long long>(factor)),
+               Table::fmt(static_cast<unsigned long long>(out.steps[0])),
+               Table::fmt(static_cast<unsigned long long>(out.delays[0])),
+               Table::fmt(static_cast<long long>(out.last_decision))});
+  }
+  table.print(std::cout);
+
+  bench::expect(always_7, "solo proposer always takes exactly 7 steps");
+  bench::expect(never_delayed, "solo proposer never executes delay()");
+
+  // Late arrival: one step to adopt an existing decision.
+  Table late("late arrival after the decision");
+  late.header({"arrival time / Delta", "steps by late process"});
+  bool late_one_step = true;
+  for (const sim::Time arrival : {20, 100, 1000}) {
+    sim::Simulation s(sim::make_fixed_timing(kDelta));
+    core::SimConsensus consensus(s.space(), kDelta);
+    consensus.monitor().set_input(0, 1);
+    consensus.monitor().set_input(1, 0);
+    s.spawn([&consensus](sim::Env env) { return consensus.participant(env, 1); });
+    s.spawn([&consensus](sim::Env env) { return consensus.participant(env, 0); },
+            arrival * kDelta);
+    s.run();
+    const auto steps = s.stats(1).accesses();
+    late_one_step &= (steps == 1);
+    late.row({Table::fmt(static_cast<long long>(arrival)),
+              Table::fmt(static_cast<unsigned long long>(steps))});
+  }
+  late.print(std::cout);
+  bench::expect(late_one_step, "a process arriving after the decision "
+                               "terminates after a single step");
+  return bench::finish();
+}

@@ -1,0 +1,85 @@
+// E1 — Theorem 2.1, bullet 1: in the absence of timing failures, every
+// process decides within 15·Δ, independent of the number of processes and
+// of the (legal) schedule.
+//
+// Workload: n participants with all-same / split inputs under the two
+// extreme legal schedules (lockstep at Δ; uniform jitter in [1, Δ]).
+// Series reported: decision time in Δ units (mean, min..max over seeds),
+// rounds used.  Expected shape: flat in n, bounded by 15, rounds <= 2.
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "tfr/core/consensus_sim.hpp"
+#include "tfr/sim/timing.hpp"
+
+using namespace tfr;
+
+namespace {
+
+using sim::Duration;
+
+constexpr Duration kDelta = 100;
+constexpr std::uint64_t kSeeds = 20;
+
+std::vector<int> make_inputs(std::size_t n, bool split) {
+  std::vector<int> inputs(n, 1);
+  if (split)
+    for (std::size_t i = 0; i < n; ++i) inputs[i] = static_cast<int>(i % 2);
+  return inputs;
+}
+
+std::unique_ptr<sim::TimingModel> make_schedule(int schedule) {
+  return schedule == 0 ? sim::make_fixed_timing(kDelta)
+                       : sim::make_uniform_timing(1, kDelta);
+}
+
+}  // namespace
+
+int main() {
+  Section section(std::cout, "E1",
+                  "consensus decision time without timing failures "
+                  "(Theorem 2.1: <= 15 Delta)");
+
+  double worst_over_everything = 0;
+  std::size_t worst_rounds = 0;
+
+  for (const bool split : {false, true}) {
+    Table table(std::string("inputs = ") + (split ? "split 0/1" : "all 1"));
+    table.header({"n", "schedule", "decide time / Delta (mean, min..max)",
+                  "rounds (max)"});
+    for (const std::size_t n : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+      for (const int schedule : {0, 1}) {
+        Samples times;
+        std::size_t rounds = 0;
+        for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+          const auto out = core::run_consensus(
+              make_inputs(n, split), kDelta, make_schedule(schedule), seed);
+          if (!out.all_decided) {
+            bench::expect(false, "all decided (n=" + std::to_string(n) + ")");
+            continue;
+          }
+          times.add(static_cast<double>(out.last_decision));
+          rounds = std::max(rounds, out.max_round + 1);
+        }
+        worst_over_everything =
+            std::max(worst_over_everything, times.max() / kDelta);
+        worst_rounds = std::max(worst_rounds, rounds);
+        table.row({Table::fmt(static_cast<long long>(n)),
+                   schedule == 0 ? "lockstep" : "jitter",
+                   bench::summarize(times, kDelta),
+                   Table::fmt(static_cast<long long>(rounds))});
+      }
+    }
+    table.print(std::cout);
+  }
+
+  bench::expect(worst_over_everything <= 15.0,
+                "worst decision time <= 15 Delta (measured " +
+                    Table::fmt(worst_over_everything) + " Delta)");
+  bench::expect(worst_rounds <= 2,
+                "at most two rounds used without failures");
+  return bench::finish();
+}

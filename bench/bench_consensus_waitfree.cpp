@@ -1,0 +1,83 @@
+// E4 — Theorem 2.4 (wait-freedom): every nonfaulty process decides no
+// matter how many other processes crash, and its decision time does not
+// degrade with the number of crashes.
+//
+// Workload: n=8 split inputs under jittered legal timing; k processes
+// crash after a few steps, k = 0..7.  Series: survivor decision rate,
+// survivor decision time, rounds.  Expected shape: 100% decision rate in
+// every row; time bounded by a small constant multiple of Delta.
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "tfr/core/consensus_sim.hpp"
+#include "tfr/sim/timing.hpp"
+
+using namespace tfr;
+
+namespace {
+constexpr sim::Duration kDelta = 100;
+constexpr std::size_t kProcesses = 8;
+constexpr std::uint64_t kSeeds = 25;
+}  // namespace
+
+int main() {
+  Section section(std::cout, "E4",
+                  "wait-freedom: survivors decide despite crashes "
+                  "(Theorem 2.4)");
+
+  Table table;
+  table.header({"crashes k", "survivors deciding (%)",
+                "decide time / Delta (mean, min..max)", "max round"});
+
+  bool all_survivors_decide = true;
+  double worst_time = 0;
+
+  for (std::size_t k = 0; k < kProcesses; ++k) {
+    std::size_t decided = 0;
+    std::size_t survivors = 0;
+    Samples times;
+    std::size_t max_round = 0;
+
+    for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+      sim::Simulation s(sim::make_uniform_timing(1, kDelta), {.seed = seed});
+      core::SimConsensus consensus(s.space(), kDelta);
+      for (std::size_t i = 0; i < kProcesses; ++i) {
+        const int input = static_cast<int>(i % 2);
+        consensus.monitor().set_input(static_cast<sim::Pid>(i), input);
+        s.spawn([&consensus, input](sim::Env env) {
+          return consensus.participant(env, input);
+        });
+      }
+      for (std::size_t c = 0; c < k; ++c)
+        s.crash_after_accesses(static_cast<sim::Pid>(c),
+                               2 + c + static_cast<std::size_t>(seed % 4));
+      s.run(10'000'000);
+      for (std::size_t i = k; i < kProcesses; ++i) {
+        ++survivors;
+        decided += consensus.monitor().has_decided(static_cast<sim::Pid>(i));
+      }
+      if (consensus.monitor().last_decision_time() >= 0)
+        times.add(static_cast<double>(consensus.monitor().last_decision_time()));
+      max_round = std::max(max_round, consensus.max_round());
+    }
+
+    const double rate = 100.0 * static_cast<double>(decided) /
+                        static_cast<double>(survivors);
+    all_survivors_decide &= (decided == survivors);
+    worst_time = std::max(worst_time, times.max() / kDelta);
+    table.row({Table::fmt(static_cast<long long>(k)), Table::fmt(rate, 1),
+               bench::summarize(times, kDelta),
+               Table::fmt(static_cast<long long>(max_round))});
+  }
+  table.print(std::cout);
+
+  bench::expect(all_survivors_decide,
+                "every survivor decides for every crash count");
+  bench::expect(worst_time <= 40.0,
+                "survivor decision time stays a small multiple of Delta "
+                "(measured max " + Table::fmt(worst_time) + " Delta)");
+  return bench::finish();
+}

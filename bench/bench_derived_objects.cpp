@@ -1,0 +1,200 @@
+// E11 — §1.4: consensus as a universal building block.  Cost of the
+// derived wait-free objects (leader election, test-and-set, n-renaming,
+// universal-construction operations) built from Algorithm 1, with and
+// without timing failures.
+//
+// Series: per-operation shared-memory steps and completion time (Delta
+// units), plus registers allocated, as n grows.  Expected shape: costs
+// scale with the bit-width of the agreement (elections/TAS ~constant in
+// n), renaming ~n slots worst case, and timing failures slow things down
+// without ever breaking agreement/uniqueness (safety columns implicit:
+// the monitors throw on violation, so completing the table is the check).
+
+#include <algorithm>
+#include <iostream>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "tfr/common/contracts.hpp"
+#include "tfr/derived/election_sim.hpp"
+#include "tfr/derived/long_lived_tas_sim.hpp"
+#include "tfr/derived/renaming_sim.hpp"
+#include "tfr/derived/set_consensus_sim.hpp"
+#include "tfr/derived/test_and_set_sim.hpp"
+#include "tfr/derived/universal_sim.hpp"
+#include "tfr/sim/simulation.hpp"
+#include "tfr/sim/timing.hpp"
+
+using namespace tfr;
+
+namespace {
+
+constexpr sim::Duration kDelta = 100;
+constexpr std::uint64_t kSeeds = 8;
+
+std::unique_ptr<sim::TimingModel> timing(bool failures) {
+  if (!failures) return sim::make_uniform_timing(1, kDelta);
+  auto injector = std::make_unique<sim::FailureInjector>(
+      sim::make_uniform_timing(1, kDelta), kDelta);
+  injector->set_random_failures(0.1, 8 * kDelta);
+  return injector;
+}
+
+struct Measured {
+  Samples steps;   ///< per process
+  Samples time;    ///< completion time
+  std::uint64_t registers = 0;
+};
+
+sim::Process elect_body(sim::Env env, derived::SimElection& e, int* out) {
+  *out = co_await e.elect(env);
+}
+
+sim::Process tas_body(sim::Env env, derived::SimTestAndSet& t, int* out) {
+  *out = co_await t.test_and_set(env);
+}
+
+sim::Process rename_body(sim::Env env, derived::SimRenaming& r, int* out) {
+  *out = co_await r.acquire(env);
+}
+
+sim::Process universal_body(sim::Env env, derived::SimUniversal& u, int ops) {
+  for (int k = 0; k < ops; ++k)
+    co_await u.invoke(env, derived::CounterReplica::kAdd, 1);
+}
+
+sim::Process setcons_body(sim::Env env, derived::SimSetConsensus& sc,
+                          std::int64_t input, std::int64_t* out) {
+  *out = co_await sc.propose(env, input);
+}
+
+sim::Process lltas_body(sim::Env env, derived::SimLongLivedTestAndSet& tas,
+                        int sessions) {
+  for (int s = 0; s < sessions; ++s) {
+    for (;;) {
+      const int got = co_await tas.test_and_set(env);
+      if (got == 0) break;
+      co_await env.delay(10);
+    }
+    co_await tas.reset(env);
+  }
+}
+
+Measured measure(const std::string& object, int n, bool failures) {
+  Measured m;
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    sim::Simulation s(timing(failures), {.seed = seed});
+    std::vector<int> out(static_cast<std::size_t>(n), -1);
+
+    std::unique_ptr<derived::SimElection> election;
+    std::unique_ptr<derived::SimTestAndSet> tas;
+    std::unique_ptr<derived::SimRenaming> renaming;
+    std::unique_ptr<derived::SimUniversal> universal;
+    std::unique_ptr<derived::SimSetConsensus> setcons;
+    std::unique_ptr<derived::SimLongLivedTestAndSet> lltas;
+    std::vector<std::int64_t> out64(static_cast<std::size_t>(n), -1);
+
+    if (object == "election") {
+      election = std::make_unique<derived::SimElection>(s.space(), kDelta);
+      for (int i = 0; i < n; ++i)
+        s.spawn([&election, slot = &out[static_cast<std::size_t>(i)]](
+                    sim::Env env) { return elect_body(env, *election, slot); });
+    } else if (object == "test-and-set") {
+      tas = std::make_unique<derived::SimTestAndSet>(s.space(), kDelta);
+      for (int i = 0; i < n; ++i)
+        s.spawn([&tas, slot = &out[static_cast<std::size_t>(i)]](
+                    sim::Env env) { return tas_body(env, *tas, slot); });
+    } else if (object == "renaming") {
+      renaming = std::make_unique<derived::SimRenaming>(s.space(), kDelta, n);
+      for (int i = 0; i < n; ++i)
+        s.spawn([&renaming, slot = &out[static_cast<std::size_t>(i)]](
+                    sim::Env env) { return rename_body(env, *renaming, slot); });
+    } else if (object == "set-consensus(k=2)") {
+      setcons =
+          std::make_unique<derived::SimSetConsensus>(s.space(), kDelta, 2);
+      for (int i = 0; i < n; ++i)
+        s.spawn([&setcons, input = std::int64_t{100 + i},
+                 slot = &out64[static_cast<std::size_t>(i)]](sim::Env env) {
+          return setcons_body(env, *setcons, input, slot);
+        });
+    } else if (object == "long-lived-tas") {
+      lltas = std::make_unique<derived::SimLongLivedTestAndSet>(s.space(),
+                                                                kDelta);
+      for (int i = 0; i < n; ++i)
+        s.spawn([&lltas](sim::Env env) { return lltas_body(env, *lltas, 2); });
+    } else {
+      universal = std::make_unique<derived::SimUniversal>(
+          s.space(), kDelta, n,
+          [] { return std::make_unique<derived::CounterReplica>(); });
+      for (int i = 0; i < n; ++i)
+        s.spawn([&universal](sim::Env env) {
+          return universal_body(env, *universal, 2);
+        });
+    }
+
+    s.run(failures ? 5'000'000'000 : 500'000'000);
+
+    // Safety audits per object.
+    if (object == "election" || object == "test-and-set" ||
+        object == "renaming") {
+      std::set<int> values(out.begin(), out.end());
+      if (object == "election") TFR_ENSURE(values.size() == 1);
+      if (object == "test-and-set")
+        TFR_ENSURE(std::count(out.begin(), out.end(), 0) == 1);
+      if (object == "renaming")
+        TFR_ENSURE(values.size() == static_cast<std::size_t>(n));
+    }
+    if (object == "set-consensus(k=2)") {
+      std::set<std::int64_t> values(out64.begin(), out64.end());
+      TFR_ENSURE(values.size() <= 2);
+    }
+    if (object == "long-lived-tas")
+      TFR_ENSURE(lltas->generations() >= static_cast<std::size_t>(2 * n));
+
+    for (int i = 0; i < n; ++i)
+      m.steps.add(static_cast<double>(s.stats(i).accesses()));
+    m.time.add(static_cast<double>(s.now()));
+    m.registers = std::max(m.registers, s.space().allocated());
+  }
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  Section section(std::cout, "E11",
+                  "derived wait-free objects built from consensus (§1.4)");
+
+  for (const bool failures : {false, true}) {
+    Table table(failures ? "with 10% timing failures" : "without failures");
+    table.header({"object", "n", "steps / process (mean)",
+                  "completion / Delta (mean)", "registers"});
+    for (const auto* object :
+         {"election", "test-and-set", "set-consensus(k=2)", "renaming",
+          "long-lived-tas", "universal-counter"}) {
+      for (const int n : {2, 4, 8}) {
+        const auto m = measure(object, n, failures);
+        table.row({object, Table::fmt(static_cast<long long>(n)),
+                   Table::fmt(m.steps.mean(), 0),
+                   Table::fmt(m.time.mean() / kDelta, 1),
+                   Table::fmt(static_cast<unsigned long long>(m.registers))});
+      }
+    }
+    table.print(std::cout);
+  }
+
+  // Shape checks: election cost ~independent of n; renaming grows with n.
+  const auto e2 = measure("election", 2, false);
+  const auto e8 = measure("election", 8, false);
+  const auto r2 = measure("renaming", 2, false);
+  const auto r8 = measure("renaming", 8, false);
+  bench::expect(e8.steps.mean() < 3 * e2.steps.mean(),
+                "election cost roughly independent of n "
+                "(bit-width bound, not participant bound)");
+  bench::expect(r8.steps.mean() > 2 * r2.steps.mean(),
+                "renaming cost grows with n (up to n slots contested)");
+  bench::expect(true, "all safety audits passed (monitors/ENSUREs held)");
+  return bench::finish();
+}

@@ -1,0 +1,151 @@
+// E14 — §4 extension: transient MEMORY failures on top of timing
+// failures.  The paper lists "both (transient) memory failures and timing
+// failures" as an open research direction; this experiment charts the
+// boundary empirically for Algorithm 1 by injecting single-register
+// corruptions mid-run and observing which safety/liveness properties
+// survive.
+//
+// Corruption classes (one random corruption per run, injected between
+// events while the protocol is in flight, plus 10% timing failures):
+//   flag-set      x[r, v] := 1 spuriously   — predicted TOLERATED for
+//                 safety (a phantom conflict only forces an extra round);
+//   decide-reset  decide := ⊥               — predicted TOLERATED
+//                 (y[r] is already frozen at the decided value, so any
+//                 re-decision must agree);
+//   flag-reset    x[r, v] := 0              — predicted UNSAFE (it can
+//                 erase the very flag that certifies a conflicting
+//                 preference exists, enabling a conflicting decision);
+//   y-overwrite   y[r] := v̄                 — predicted UNSAFE (it can
+//                 poison the frozen round proposal after a decision).
+//
+// Expected shape: tolerated rows show 0 agreement violations across all
+// runs; unsafe rows show a nonzero violation rate.  Liveness (deciding
+// within the horizon) holds in every class.
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "tfr/common/rng.hpp"
+#include "tfr/core/consensus_sim.hpp"
+#include "tfr/sim/timing.hpp"
+
+using namespace tfr;
+
+namespace {
+
+constexpr sim::Duration kDelta = 100;
+constexpr std::uint64_t kSeeds = 300;
+
+enum class Corruption { kFlagSet, kDecideReset, kFlagReset, kYOverwrite };
+
+const char* name_of(Corruption c) {
+  switch (c) {
+    case Corruption::kFlagSet: return "flag-set (0->1)";
+    case Corruption::kDecideReset: return "decide-reset (v->bot)";
+    case Corruption::kFlagReset: return "flag-reset (1->0)";
+    default: return "y-overwrite (v->conflicting)";
+  }
+}
+
+struct Row {
+  std::uint64_t violating_runs = 0;
+  std::uint64_t undecided_runs = 0;
+};
+
+Row sweep(Corruption corruption) {
+  Row row;
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    auto injector = std::make_unique<sim::FailureInjector>(
+        sim::make_uniform_timing(1, kDelta), kDelta);
+    injector->set_random_failures(0.10, 8 * kDelta);
+
+    sim::Simulation s(std::move(injector), {.seed = seed});
+    core::SimConsensus consensus(s.space(), kDelta);
+    consensus.monitor().throw_on_violation(false);
+    const std::vector<int> inputs{0, 1, 0, 1};
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      consensus.monitor().set_input(static_cast<sim::Pid>(i), inputs[i]);
+      s.spawn([&consensus, input = inputs[i]](sim::Env env) {
+        return consensus.participant(env, input);
+      });
+    }
+
+    // Inject one corruption at a random instant while the protocol is in
+    // flight (between events; costs no time, like a hardware bit flip).
+    Rng rng(seed * 977 + 13);
+    const sim::Time when = rng.uniform(2 * kDelta, 9 * kDelta);
+    s.run(when);
+    const std::size_t round = consensus.max_round();
+    const int v = static_cast<int>(rng.uniform(0, 1));
+    switch (corruption) {
+      case Corruption::kFlagSet:
+        consensus.fault_set_flag(v, round);
+        break;
+      case Corruption::kDecideReset:
+        consensus.fault_reset_decide();
+        break;
+      case Corruption::kFlagReset:
+        consensus.fault_reset_flag(v, round);
+        break;
+      case Corruption::kYOverwrite:
+        consensus.fault_overwrite_proposal(round, v);
+        break;
+    }
+    s.run(10'000'000);
+
+    row.violating_runs += (consensus.monitor().agreement_violations() > 0 ||
+                           consensus.monitor().validity_violations() > 0);
+    row.undecided_runs += !consensus.monitor().all_decided(inputs.size());
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  Section section(std::cout, "E14",
+                  "transient memory failures + timing failures (§4): "
+                  "which corruptions Algorithm 1 tolerates");
+
+  Table table;
+  table.header({"corruption class", "runs with safety violation",
+                "undecided runs", "verdict"});
+
+  Row flag_set = sweep(Corruption::kFlagSet);
+  Row decide_reset = sweep(Corruption::kDecideReset);
+  Row flag_reset = sweep(Corruption::kFlagReset);
+  Row y_overwrite = sweep(Corruption::kYOverwrite);
+
+  auto verdict = [](const Row& row) {
+    return row.violating_runs == 0 ? "tolerated" : "UNSAFE";
+  };
+  for (const auto& [c, row] :
+       {std::pair{Corruption::kFlagSet, flag_set},
+        std::pair{Corruption::kDecideReset, decide_reset},
+        std::pair{Corruption::kFlagReset, flag_reset},
+        std::pair{Corruption::kYOverwrite, y_overwrite}}) {
+    table.row({name_of(c),
+               Table::fmt(static_cast<unsigned long long>(row.violating_runs)),
+               Table::fmt(static_cast<unsigned long long>(row.undecided_runs)),
+               verdict(row)});
+  }
+  table.print(std::cout);
+
+  bench::expect(flag_set.violating_runs == 0,
+                "spurious flag-set corruptions are tolerated "
+                "(cost an extra round at most)");
+  bench::expect(decide_reset.violating_runs == 0,
+                "decide-reset corruptions are tolerated "
+                "(the frozen y[r] forces the same re-decision)");
+  bench::expect(flag_reset.violating_runs + y_overwrite.violating_runs > 0,
+                "flag-reset / y-overwrite corruptions can break agreement "
+                "— charting the open problem's boundary");
+  bench::expect(flag_set.undecided_runs + decide_reset.undecided_runs +
+                        flag_reset.undecided_runs +
+                        y_overwrite.undecided_runs ==
+                    0,
+                "liveness survives every corruption class");
+  return bench::finish();
+}

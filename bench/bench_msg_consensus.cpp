@@ -1,0 +1,234 @@
+// E16 — §4 extension: the paper's consensus carried into a message-passing
+// system.  Algorithm 1 runs unchanged over ABD majority-quorum registers;
+// a late message is a timing failure on a channel register.  Claims under
+// test, mirroring the shared-memory headline:
+//   * safety (agreement & validity) holds under arbitrary message delays;
+//   * decisions arrive once delays respect the bound, and scale with the
+//     message delay (the c·Δ shape, Δ now a message-level bound);
+//   * any minority of replica crashes is harmless (ABD quorums);
+//   * a majority crash stalls liveness but can never corrupt safety —
+//     the CAP-flavoured corollary the composition predicts.
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "tfr/msg/abd.hpp"
+#include "tfr/msg/consensus_msg.hpp"
+#include "tfr/msg/election_msg.hpp"
+#include "tfr/sim/timing.hpp"
+
+using namespace tfr;
+
+namespace {
+
+constexpr sim::Duration kStep = 50;  // per-channel-access cost bound
+
+struct Run {
+  bool all_decided = false;
+  std::uint64_t violations = 0;
+  sim::Time last_decision = -1;
+};
+
+Run run_once(int n, std::unique_ptr<sim::TimingModel> timing,
+             std::uint64_t seed, sim::Time limit, int crash_servers) {
+  sim::Simulation s(std::move(timing), {.seed = seed});
+  msg::Network net(s.space(), 2 * n);
+  msg::MsgConsensus consensus(net, n, 60 * kStep);
+  consensus.monitor().throw_on_violation(false);
+  for (int i = 0; i < n; ++i) {
+    consensus.monitor().set_input(i, i % 2);
+    s.spawn([&consensus, i](sim::Env env) {
+      return consensus.participant(env, i, i % 2);
+    });
+  }
+  for (int i = 0; i < n; ++i) {
+    s.spawn(
+        [&net, i, n](sim::Env env) { return msg::abd_server(env, net, i, n); });
+  }
+  for (int c = 0; c < crash_servers; ++c) s.crash_at(n + c, 1);
+
+  const auto deciders = static_cast<std::size_t>(n);
+  s.run(limit, [&] { return consensus.monitor().decided_count() == deciders; });
+  Run r;
+  r.all_decided = consensus.monitor().all_decided(deciders);
+  r.violations = consensus.monitor().agreement_violations() +
+                 consensus.monitor().validity_violations();
+  r.last_decision = consensus.monitor().last_decision_time();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  Section section(std::cout, "E16",
+                  "Algorithm 1 over message passing (ABD registers): "
+                  "safety always, liveness when message delays behave");
+
+  // (a) decision time vs message-step cost.
+  Table scale("failure-free: decision time vs per-message step cost");
+  scale.header({"n", "step cost", "decide time / step (mean, min..max)",
+                "violations"});
+  bool clean_all_decide = true;
+  std::uint64_t clean_violations = 0;
+  for (const int n : {3, 5}) {
+    for (const sim::Duration cost : {10, 50}) {
+      Samples times;
+      for (std::uint64_t seed = 0; seed < 8; ++seed) {
+        auto r = run_once(n, sim::make_uniform_timing(1, cost), seed,
+                          1'000'000'000, 0);
+        clean_all_decide &= r.all_decided;
+        clean_violations += r.violations;
+        if (r.last_decision >= 0)
+          times.add(static_cast<double>(r.last_decision));
+      }
+      scale.row({Table::fmt(static_cast<long long>(n)),
+                 Table::fmt(static_cast<long long>(cost)),
+                 bench::summarize(times, static_cast<double>(cost)),
+                 Table::fmt(static_cast<unsigned long long>(clean_violations))});
+    }
+  }
+  scale.print(std::cout);
+  bench::expect(clean_all_decide && clean_violations == 0,
+                "failure-free message consensus always decides, safely");
+
+  // (b) late messages (timing failures on channels).
+  Table late("5% of channel accesses stretched 40x (late messages)");
+  late.header({"n", "decided", "violations",
+               "decide time / step (mean, min..max)"});
+  bool late_all_decide = true;
+  std::uint64_t late_violations = 0;
+  for (const int n : {3, 5}) {
+    Samples times;
+    bool decided = true;
+    for (std::uint64_t seed = 0; seed < 6; ++seed) {
+      auto injector = std::make_unique<sim::FailureInjector>(
+          sim::make_uniform_timing(1, kStep), kStep);
+      injector->set_random_failures(0.05, 40 * kStep);
+      auto r = run_once(n, std::move(injector), seed, 4'000'000'000, 0);
+      decided &= r.all_decided;
+      late_violations += r.violations;
+      if (r.last_decision >= 0)
+        times.add(static_cast<double>(r.last_decision));
+    }
+    late_all_decide &= decided;
+    late.row({Table::fmt(static_cast<long long>(n)), decided ? "yes" : "NO",
+              Table::fmt(static_cast<unsigned long long>(late_violations)),
+              bench::summarize(times, static_cast<double>(kStep))});
+  }
+  late.print(std::cout);
+  bench::expect(late_violations == 0,
+                "late messages never violate agreement/validity");
+  bench::expect(late_all_decide,
+                "decisions still arrive once the late-message storm is "
+                "ridden out");
+
+  // (c) replica crashes: minority harmless; majority stalls but stays safe.
+  Table crash("replica crashes (n = 5)");
+  crash.header({"servers crashed", "decided within limit", "violations"});
+  std::uint64_t crash_violations = 0;
+  bool minority_ok = true;
+  bool majority_stalls = false;
+  for (const int crashed : {1, 2, 3}) {
+    const auto r = run_once(5, sim::make_uniform_timing(1, kStep), 7,
+                            crashed <= 2 ? 1'000'000'000 : 3'000'000,
+                            crashed);
+    crash_violations += r.violations;
+    if (crashed <= 2) minority_ok &= r.all_decided;
+    if (crashed == 3) majority_stalls = !r.all_decided;
+    crash.row({Table::fmt(static_cast<long long>(crashed)),
+               r.all_decided ? "yes" : "no",
+               Table::fmt(static_cast<unsigned long long>(r.violations))});
+  }
+  crash.print(std::cout);
+  bench::expect(minority_ok && crash_violations == 0,
+                "any minority of replica crashes is tolerated");
+  bench::expect(majority_stalls,
+                "a crashed majority stalls liveness (quorums unavailable) "
+                "— while safety still holds");
+
+  // (d) elections: the timing-dependent baseline vs the resilient one —
+  // the message-passing twins of Fischer vs Algorithm 3.
+  Table elections("leader election: split-leadership runs out of 40 seeds "
+                  "(n = 4, 30% of channel accesses stretched 100x)");
+  elections.header({"algorithm", "splits (no failures)",
+                    "splits (late messages)"});
+  auto timed_splits = [&](bool failures) {
+    std::uint64_t splits = 0;
+    for (std::uint64_t seed = 0; seed < 40; ++seed) {
+      std::unique_ptr<sim::TimingModel> timing =
+          sim::make_uniform_timing(1, kStep);
+      if (failures) {
+        auto injector = std::make_unique<sim::FailureInjector>(
+            std::move(timing), kStep);
+        injector->set_random_failures(0.3, 100 * kStep);
+        timing = std::move(injector);
+      }
+      sim::Simulation s(std::move(timing), {.seed = seed});
+      msg::Network net(s.space(), 4);
+      msg::TimedElection election(net, 4, 20 * kStep);
+      for (int i = 0; i < 4; ++i) {
+        s.spawn([&election, i](sim::Env env) {
+          return election.participant(env, i);
+        });
+      }
+      s.run(100'000'000);
+      splits += (election.monitor().agreement_violations() > 0);
+    }
+    return splits;
+  };
+  auto resilient_splits = [&](bool failures) {
+    std::uint64_t splits = 0;
+    for (std::uint64_t seed = 0; seed < 40; ++seed) {
+      std::unique_ptr<sim::TimingModel> timing =
+          sim::make_uniform_timing(1, kStep);
+      if (failures) {
+        auto injector = std::make_unique<sim::FailureInjector>(
+            std::move(timing), kStep);
+        injector->set_random_failures(0.3, 100 * kStep);
+        timing = std::move(injector);
+      }
+      sim::Simulation s(std::move(timing), {.seed = seed});
+      const int n = 4;
+      msg::Network net(s.space(), 2 * n);
+      msg::MsgElection election(net, n, 60 * kStep);
+      for (int i = 0; i < n; ++i) {
+        s.spawn([&election, i](sim::Env env) {
+          return election.participant(env, i);
+        });
+      }
+      for (int i = 0; i < n; ++i) {
+        s.spawn([&net, i, n](sim::Env env) {
+          return msg::abd_server(env, net, i, n);
+        });
+      }
+      s.run(20'000'000'000, [&] {
+        return election.monitor().decided_count() ==
+               static_cast<std::size_t>(n);
+      });
+      splits += (election.monitor().agreement_violations() > 0);
+    }
+    return splits;
+  };
+  const auto timed_clean = timed_splits(false);
+  const auto timed_faulty = timed_splits(true);
+  const auto resilient_clean = resilient_splits(false);
+  const auto resilient_faulty = resilient_splits(true);
+  elections.row({"timed broadcast (baseline)",
+                 Table::fmt(static_cast<unsigned long long>(timed_clean)),
+                 Table::fmt(static_cast<unsigned long long>(timed_faulty))});
+  elections.row({"resilient (bitwise consensus over ABD)",
+                 Table::fmt(static_cast<unsigned long long>(resilient_clean)),
+                 Table::fmt(static_cast<unsigned long long>(
+                     resilient_faulty))});
+  elections.print(std::cout);
+
+  bench::expect(timed_clean == 0,
+                "timed election is correct while messages are on time");
+  bench::expect(timed_faulty > 0,
+                "late messages split the timed election's leadership");
+  bench::expect(resilient_clean == 0 && resilient_faulty == 0,
+                "the resilient election never splits, failures or not");
+  return bench::finish();
+}

@@ -1,0 +1,83 @@
+// E9 — Theorem 3.1 (space lower bound): any n-process mutual-exclusion
+// algorithm that is resilient to timing failures must use at least n
+// shared registers.
+//
+// Audit: count the registers each implementation actually allocates as n
+// grows, against the lower-bound line.  Expected shape: Algorithm 3
+// instantiations sit at Θ(n) (>= n, within a small constant factor);
+// Fischer alone sits below the line — consistent with the theorem, since
+// Fischer alone is *not* resilient to timing failures (see E6).
+
+#include <iostream>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "tfr/mutex/mutex_sim.hpp"
+#include "tfr/sim/register.hpp"
+
+using namespace tfr;
+
+namespace {
+constexpr sim::Duration kDelta = 100;
+
+std::uint64_t registers_for(const char* name, int n) {
+  sim::RegisterSpace space;
+  std::unique_ptr<mutex::SimMutex> algorithm;
+  const std::string which(name);
+  if (which == "fischer") {
+    algorithm = std::make_unique<mutex::FischerMutex>(space, kDelta);
+  } else if (which == "tfr(sf)") {
+    algorithm = mutex::make_tfr_mutex_starvation_free(space, n, kDelta);
+  } else if (which == "tfr(df)") {
+    algorithm = mutex::make_tfr_mutex_deadlock_free_only(space, n, kDelta);
+  } else if (which == "bakery") {
+    algorithm = std::make_unique<mutex::BakeryMutex>(space, n);
+  } else {
+    algorithm = std::make_unique<mutex::BlackWhiteBakeryMutex>(space, n);
+  }
+  return space.allocated();
+}
+
+}  // namespace
+
+int main() {
+  Section section(std::cout, "E9",
+                  "register counts vs the Theorem 3.1 lower bound "
+                  "(n registers for n processes)");
+
+  Table table;
+  table.header({"n", "lower bound", "tfr(sf)", "tfr(df)", "bakery",
+                "bw-bakery", "fischer (not resilient)"});
+
+  bool resilient_meet_bound = true;
+  bool resilient_linear = true;
+  for (const int n : {2, 4, 8, 16, 32, 64}) {
+    const auto sf = registers_for("tfr(sf)", n);
+    const auto df = registers_for("tfr(df)", n);
+    const auto bak = registers_for("bakery", n);
+    const auto bw = registers_for("bw-bakery", n);
+    const auto fis = registers_for("fischer", n);
+    resilient_meet_bound &= (sf >= static_cast<std::uint64_t>(n)) &&
+                            (df >= static_cast<std::uint64_t>(n));
+    resilient_linear &= (sf <= static_cast<std::uint64_t>(3 * n + 8));
+    table.row({Table::fmt(static_cast<long long>(n)),
+               Table::fmt(static_cast<long long>(n)),
+               Table::fmt(static_cast<unsigned long long>(sf)),
+               Table::fmt(static_cast<unsigned long long>(df)),
+               Table::fmt(static_cast<unsigned long long>(bak)),
+               Table::fmt(static_cast<unsigned long long>(bw)),
+               Table::fmt(static_cast<unsigned long long>(fis))});
+  }
+  table.print(std::cout);
+
+  bench::expect(resilient_meet_bound,
+                "time-resilient algorithms allocate >= n registers "
+                "(Theorem 3.1 lower bound respected)");
+  bench::expect(resilient_linear,
+                "Algorithm 3 (A = starvation-free) stays within 3n + 8 "
+                "registers: the bound is asymptotically tight");
+  bench::expect(registers_for("fischer", 64) == 1,
+                "Fischer alone uses one register — and is exactly the "
+                "algorithm that is NOT resilient (cf. E6)");
+  return bench::finish();
+}

@@ -1,0 +1,70 @@
+// E12a — real-thread microbenchmarks (google-benchmark) for Algorithm 1
+// and its multi-valued extension on std::atomic registers: the "each
+// individual machine architecture" measurements §3.3 calls for when
+// picking optimistic(Delta).
+//
+// Series: solo propose latency (the 7-step fast path in wall-clock time),
+// decided-object adoption latency, multi-valued propose latency by bit
+// width, and contended propose throughput at 2/4 threads.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <thread>
+
+#include "tfr/core/consensus_rt.hpp"
+#include "tfr/derived/derived_rt.hpp"
+
+namespace {
+
+using tfr::rt::Nanos;
+using tfr::rt::RtConsensus;
+using tfr::rt::RtMultiConsensus;
+
+void BM_SoloPropose(benchmark::State& state) {
+  for (auto _ : state) {
+    RtConsensus consensus({.delta = Nanos{1000}});
+    benchmark::DoNotOptimize(consensus.propose_value(1));
+  }
+}
+BENCHMARK(BM_SoloPropose);
+
+void BM_AdoptDecided(benchmark::State& state) {
+  RtConsensus consensus({.delta = Nanos{1000}});
+  consensus.propose_value(1);
+  for (auto _ : state) {
+    // A late arrival reads the decision in one step.
+    benchmark::DoNotOptimize(consensus.propose_value(0));
+  }
+}
+BENCHMARK(BM_AdoptDecided);
+
+void BM_MultiValuePropose(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    RtMultiConsensus mc({.delta = Nanos{1000}, .bits = bits});
+    benchmark::DoNotOptimize(mc.propose((std::int64_t{1} << (bits - 1)) - 1));
+  }
+  state.SetLabel(std::to_string(bits) + " bits");
+}
+BENCHMARK(BM_MultiValuePropose)->Arg(8)->Arg(24)->Arg(62);
+
+void BM_ContendedPropose(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    RtConsensus consensus({.delta = Nanos{2000}});
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i) {
+      workers.emplace_back(
+          [&consensus, i] { consensus.propose_value(i % 2); });
+    }
+    for (auto& t : workers) t.join();
+  }
+  state.SetLabel(std::to_string(threads) + " threads (incl. spawn cost)");
+}
+BENCHMARK(BM_ContendedPropose)->Arg(2)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// E12b — real-thread microbenchmarks (google-benchmark) for the mutex
+// family on std::atomic registers: uncontended lock/unlock latency per
+// algorithm (the cost a downstream user actually pays), the effect of the
+// assumed optimistic(Delta) on Algorithm 3's fast path, and contended
+// throughput.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <thread>
+
+#include "tfr/mutex/mutex_rt.hpp"
+
+namespace {
+
+using namespace tfr::rt;
+
+std::unique_ptr<RtMutex> make_mutex(int algo, int n, Nanos delta) {
+  switch (algo) {
+    case 0: return std::make_unique<FischerRt>(delta);
+    case 1: return std::make_unique<LamportFastRt>(n);
+    case 2: return std::make_unique<BakeryRt>(n);
+    case 3: return std::make_unique<BlackWhiteBakeryRt>(n);
+    case 4:
+      return std::make_unique<StarvationFreeRt>(
+          n, std::make_unique<LamportFastRt>(n));
+    default: return make_tfr_mutex_rt(n, delta);
+  }
+}
+
+const char* algo_name(int algo) {
+  switch (algo) {
+    case 0: return "fischer";
+    case 1: return "lamport-fast";
+    case 2: return "bakery";
+    case 3: return "bw-bakery";
+    case 4: return "starvation-free";
+    default: return "tfr(sf)";
+  }
+}
+
+void BM_UncontendedLockUnlock(benchmark::State& state) {
+  const int algo = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  auto mutex = make_mutex(algo, n, Nanos{500});
+  for (auto _ : state) {
+    mutex->lock(0);
+    mutex->unlock(0);
+  }
+  state.SetLabel(std::string(algo_name(algo)) + ", n=" + std::to_string(n));
+}
+BENCHMARK(BM_UncontendedLockUnlock)
+    ->ArgsProduct({{0, 1, 2, 3, 4, 5}, {4, 64}});
+
+void BM_TfrFastPathVsDelta(benchmark::State& state) {
+  // Algorithm 3 pays one delay(delta) per uncontended acquisition: the
+  // knob optimistic(Delta) directly sets the fast-path latency.
+  const Nanos delta{state.range(0)};
+  auto mutex = make_tfr_mutex_rt(4, delta);
+  for (auto _ : state) {
+    mutex->lock(0);
+    mutex->unlock(0);
+  }
+  state.SetLabel("delta=" + std::to_string(delta.count()) + "ns");
+}
+BENCHMARK(BM_TfrFastPathVsDelta)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_ContendedThroughput(benchmark::State& state) {
+  const int algo = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    auto mutex = make_mutex(algo, threads, Nanos{500});
+    const auto result = run_rt_mutex_workload(
+        *mutex, {.threads = threads,
+                 .sessions = 50,
+                 .cs_time = Nanos{200},
+                 .ncs_time = Nanos{200}});
+    if (result.violations != 0) state.SkipWithError("ME violated!");
+  }
+  state.SetLabel(std::string(algo_name(algo)) + ", " +
+                 std::to_string(threads) + " threads x 50 sessions");
+}
+BENCHMARK(BM_ContendedThroughput)->ArgsProduct({{2, 3, 5}, {2, 4}});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// Shared scaffolding for the experiment harnesses (E1-E11).
+//
+// Each bench binary reproduces one claim of the paper's evaluation
+// (DESIGN.md §3 maps claims to binaries) and prints:
+//   * an aligned table with the measured series, and
+//   * one or more EXPECT lines — machine-greppable shape checks in the
+//     form "EXPECT <description>: PASS|FAIL" that encode what the paper
+//     predicts (who wins, by what factor, where the bound lies).
+// EXPERIMENTS.md records paper-vs-measured for every table printed here.
+
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "tfr/common/stats.hpp"
+#include "tfr/common/table.hpp"
+
+namespace tfr::bench {
+
+inline int g_failures = 0;
+
+/// Prints a shape check; tracks failures for the process exit code.
+inline void expect(bool ok, const std::string& what) {
+  std::cout << "EXPECT " << what << ": " << (ok ? "PASS" : "FAIL") << "\n";
+  if (!ok) ++g_failures;
+}
+
+/// Exit code for main(): 0 iff every expect() passed.
+inline int finish() {
+  if (g_failures > 0)
+    std::cout << "\n" << g_failures << " expectation(s) FAILED\n";
+  return g_failures == 0 ? 0 : 1;
+}
+
+/// Formats a Samples summary as "mean (min..max)" in the given unit.
+inline std::string summarize(const Samples& samples, double unit = 1.0,
+                             int precision = 2) {
+  if (samples.empty()) return "-";
+  return Table::fmt(samples.mean() / unit, precision) + " (" +
+         Table::fmt(samples.min() / unit, precision) + ".." +
+         Table::fmt(samples.max() / unit, precision) + ")";
+}
+
+}  // namespace tfr::bench

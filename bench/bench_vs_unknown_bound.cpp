@@ -1,0 +1,87 @@
+// E5 — §1.5 comparison against the unknown-bound model (Alur-Attiya-
+// Taubenfeld [3]): knowing Delta buys a hard c·Delta bound.  The
+// unknown-bound algorithm must ramp its estimate (doubling per round), so
+// under a jittery-but-legal schedule it burns extra rounds and its
+// normalized decision time grows with the true bound, while Algorithm 1's
+// stays flat at a small constant.
+//
+// Workload: n=4 split inputs; true bound beta swept over decades; both
+// algorithms run on identical schedules (same seeds).  Series: decision
+// time / beta, rounds.  Expected shape: known-bound flat (<= 15) and at
+// most 2 rounds; unknown-bound uses more rounds on average and its
+// worst-case normalized time exceeds the known-bound algorithm's.
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "tfr/baseline/unknown_bound_sim.hpp"
+#include "tfr/core/consensus_sim.hpp"
+#include "tfr/sim/timing.hpp"
+
+using namespace tfr;
+
+namespace {
+constexpr std::uint64_t kSeeds = 30;
+
+std::vector<int> split_inputs(std::size_t n) {
+  std::vector<int> inputs(n);
+  for (std::size_t i = 0; i < n; ++i) inputs[i] = static_cast<int>(i % 2);
+  return inputs;
+}
+}  // namespace
+
+int main() {
+  Section section(std::cout, "E5",
+                  "known-bound Algorithm 1 vs unknown-bound baseline "
+                  "(estimate doubling, after [3])");
+
+  Table table;
+  table.header({"true bound beta", "algorithm", "decide time / beta",
+                "rounds (mean)", "rounds (max)"});
+
+  bool known_flat = true;
+  bool unknown_more_rounds_somewhere = false;
+  double known_worst = 0;
+
+  for (const sim::Duration beta : {64, 256, 1024, 4096}) {
+    Samples known_time, unknown_time, known_rounds, unknown_rounds;
+    for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+      const auto known = core::run_consensus(
+          split_inputs(4), beta, sim::make_uniform_timing(1, beta), seed);
+      const auto unknown = baseline::run_unknown_bound_consensus(
+          split_inputs(4), 1, sim::make_uniform_timing(1, beta), seed,
+          1'000'000'000);
+      known_time.add(static_cast<double>(known.last_decision));
+      unknown_time.add(static_cast<double>(unknown.last_decision));
+      known_rounds.add(static_cast<double>(known.max_round + 1));
+      unknown_rounds.add(static_cast<double>(unknown.max_round + 1));
+      known_flat &= known.all_decided && (known.max_round <= 1);
+    }
+    known_worst = std::max(known_worst,
+                           known_time.max() / static_cast<double>(beta));
+    if (unknown_rounds.mean() > known_rounds.mean())
+      unknown_more_rounds_somewhere = true;
+
+    table.row({Table::fmt(static_cast<long long>(beta)), "known-bound",
+               bench::summarize(known_time, static_cast<double>(beta)),
+               Table::fmt(known_rounds.mean(), 2),
+               Table::fmt(known_rounds.max(), 0)});
+    table.row({Table::fmt(static_cast<long long>(beta)), "unknown-bound",
+               bench::summarize(unknown_time, static_cast<double>(beta)),
+               Table::fmt(unknown_rounds.mean(), 2),
+               Table::fmt(unknown_rounds.max(), 0)});
+  }
+  table.print(std::cout);
+
+  bench::expect(known_flat,
+                "known-bound algorithm always decides within two rounds");
+  bench::expect(known_worst <= 15.0,
+                "known-bound normalized decision time <= 15 (measured " +
+                    Table::fmt(known_worst) + ")");
+  bench::expect(unknown_more_rounds_somewhere,
+                "unknown-bound algorithm uses more rounds on average for "
+                "some true bound");
+  return bench::finish();
+}

@@ -1,0 +1,64 @@
+// A replicated, linearizable log on real threads via the universal
+// construction (§1.4 + Herlihy's universality of consensus): any object
+// with a sequential specification gets a wait-free, timing-failure-
+// resilient implementation from atomic registers.
+//
+//   $ ./replicated_log
+//
+// Three "nodes" (threads) append their own entries concurrently; each
+// append is agreed through a consensus log slot, so every node's replica
+// applies exactly the same sequence.  A reader node then drains the log
+// and prints the single agreed order.
+
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "tfr/derived/derived_rt.hpp"
+
+namespace {
+
+using tfr::derived::QueueReplica;
+
+int encode_entry(int node, int k) { return node * 100 + k; }
+
+}  // namespace
+
+int main() {
+  constexpr int kNodes = 3;
+  constexpr int kAppendsPerNode = 4;
+
+  tfr::rt::RtUniversal log(std::chrono::microseconds(50), kNodes + 1, [] {
+    return std::make_unique<QueueReplica>();
+  });
+
+  std::vector<std::thread> nodes;
+  for (int node = 0; node < kNodes; ++node) {
+    nodes.emplace_back([&log, node] {
+      for (int k = 0; k < kAppendsPerNode; ++k) {
+        const auto size = log.invoke(node, QueueReplica::kEnqueue,
+                                     encode_entry(node, k));
+        std::printf("node %d appended %d (log size observed: %lld)\n", node,
+                    encode_entry(node, k), static_cast<long long>(size));
+      }
+    });
+  }
+  for (auto& t : nodes) t.join();
+
+  std::printf("\nreader drains the agreed order:\n  ");
+  int drained = 0;
+  while (drained < kNodes * kAppendsPerNode) {
+    const auto v = log.invoke(kNodes, QueueReplica::kDequeue, 0);
+    if (v < 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    std::printf("%lld ", static_cast<long long>(v));
+    ++drained;
+  }
+  std::printf("\n\nevery replica applied this same order — the log is "
+              "linearizable and wait-free,\nand remains safe even when "
+              "steps outlast the assumed bound.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Contract checking macros used across the library.
+//
+// Following the Core Guidelines (I.6/E.12 spirit) we make preconditions and
+// invariants explicit and *always on*: the algorithms in this library exist
+// to demonstrate safety properties, so silently continuing past a violated
+// invariant would defeat the purpose.  Violations throw
+// tfr::ContractViolation so tests can assert on them; in contexts where
+// throwing is impossible the *_FATAL variants abort.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace tfr {
+
+/// Thrown when a TFR_REQUIRE / TFR_ENSURE / TFR_INVARIANT check fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+
+[[noreturn]] inline void contract_fail_fatal(const char* kind,
+                                             const char* expr,
+                                             const char* file, int line) {
+  std::fprintf(stderr, "%s failed: %s at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace detail
+
+}  // namespace tfr
+
+/// Precondition check: argument/state requirements at function entry.
+#define TFR_REQUIRE(expr)                                                  \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::tfr::detail::contract_fail("precondition", #expr, __FILE__,        \
+                                   __LINE__);                              \
+  } while (0)
+
+/// Postcondition check.
+#define TFR_ENSURE(expr)                                                   \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::tfr::detail::contract_fail("postcondition", #expr, __FILE__,       \
+                                   __LINE__);                              \
+  } while (0)
+
+/// Internal invariant check.
+#define TFR_INVARIANT(expr)                                                \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::tfr::detail::contract_fail("invariant", #expr, __FILE__,           \
+                                   __LINE__);                              \
+  } while (0)
+
+/// Invariant check usable in noexcept / destructor contexts: aborts.
+#define TFR_INVARIANT_FATAL(expr)                                          \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::tfr::detail::contract_fail_fatal("invariant", #expr, __FILE__,     \
+                                         __LINE__);                        \
+  } while (0)
+
+/// Marks unreachable code paths.
+#define TFR_UNREACHABLE(msg)                                               \
+  ::tfr::detail::contract_fail("unreachable", msg, __FILE__, __LINE__)

@@ -1,0 +1,17 @@
+#include "tfr/common/rng.hpp"
+
+namespace tfr {
+
+std::uint64_t Rng::bounded(std::uint64_t bound) {
+  TFR_REQUIRE(bound > 0);
+  // Rejection sampling: draw until the value falls into the largest
+  // multiple of `bound` that fits in 64 bits, then reduce.  The expected
+  // number of draws is < 2 for every bound.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+}  // namespace tfr

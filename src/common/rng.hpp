@@ -1,0 +1,108 @@
+// Deterministic pseudo-random number generation.
+//
+// Every randomized component in the library (schedulers, timing models,
+// workloads, property tests) draws from tfr::Rng so that a (seed, program)
+// pair fully determines an execution.  The generator is xoshiro256**
+// (public-domain algorithm by Blackman & Vigna), seeded through SplitMix64,
+// which gives high-quality 64-bit streams with a tiny state — ideal for
+// embedding one generator per simulated process when needed.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "tfr/common/contracts.hpp"
+
+namespace tfr {
+
+/// SplitMix64 step; used for seeding and for cheap hash mixing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** deterministic PRNG.  Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a single 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    TFR_REQUIRE(lo <= hi);
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>((*this)());  // full range
+    return lo + static_cast<std::int64_t>(bounded(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) { return uniform01() < p; }
+
+  /// Picks an index uniformly in [0, n).  Requires n > 0.
+  std::size_t index(std::size_t n) {
+    TFR_REQUIRE(n > 0);
+    return static_cast<std::size_t>(bounded(n));
+  }
+
+  /// Fisher-Yates shuffle of a random-access range.
+  template <class Range>
+  void shuffle(Range& range) {
+    const std::size_t n = range.size();
+    for (std::size_t i = n; i > 1; --i) {
+      const std::size_t j = index(i);
+      using std::swap;
+      swap(range[i - 1], range[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for per-process streams).
+  Rng split() {
+    std::uint64_t seed = (*this)();
+    return Rng(seed);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  /// Unbiased bounded sample via Lemire-style rejection.
+  std::uint64_t bounded(std::uint64_t bound);
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace tfr

@@ -1,0 +1,110 @@
+#include "tfr/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tfr/common/contracts.hpp"
+
+namespace tfr {
+
+void StatAccumulator::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double StatAccumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double StatAccumulator::stddev() const { return std::sqrt(variance()); }
+
+void StatAccumulator::merge(const StatAccumulator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Samples::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Samples::mean() const {
+  if (values_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+double Samples::min() const {
+  TFR_REQUIRE(!values_.empty());
+  ensure_sorted();
+  return values_.front();
+}
+
+double Samples::max() const {
+  TFR_REQUIRE(!values_.empty());
+  ensure_sorted();
+  return values_.back();
+}
+
+double Samples::percentile(double q) const {
+  TFR_REQUIRE(!values_.empty());
+  TFR_REQUIRE(q >= 0.0 && q <= 100.0);
+  ensure_sorted();
+  if (values_.size() == 1) return values_.front();
+  const double rank = q / 100.0 * static_cast<double>(values_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values_[lo] + frac * (values_[hi] - values_[lo]);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  TFR_REQUIRE(hi > lo);
+  TFR_REQUIRE(buckets > 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    auto i = static_cast<std::size_t>((x - lo_) / width_);
+    if (i >= counts_.size()) i = counts_.size() - 1;  // float edge case
+    ++counts_[i];
+  }
+}
+
+double Histogram::edge(std::size_t i) const {
+  TFR_REQUIRE(i < counts_.size());
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+}  // namespace tfr

@@ -1,0 +1,104 @@
+#include "tfr/common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+
+#include "tfr/common/contracts.hpp"
+
+namespace tfr {
+
+void Table::header(std::vector<std::string> cells) {
+  TFR_REQUIRE(rows_.empty());
+  header_ = std::move(cells);
+}
+
+void Table::row(std::vector<std::string> cells) {
+  if (!header_.empty()) TFR_REQUIRE(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::fmt(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+std::string Table::fmt(unsigned long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", v);
+  return buf;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths;
+  auto widen = [&widths](const std::vector<std::string>& cells) {
+    if (widths.size() < cells.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto print_row = [&os, &widths](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << "  " << std::setw(static_cast<int>(widths[i])) << cells[i];
+    }
+    os << '\n';
+  };
+
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+
+  if (!title_.empty()) os << title_ << '\n';
+  os << std::string(total, '-') << '\n';
+  if (!header_.empty()) {
+    print_row(header_);
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) print_row(r);
+  os << std::string(total, '-') << '\n';
+}
+
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void Table::write_csv(std::ostream& os) const {
+  auto emit = [&os](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) os << ',';
+      os << csv_escape(cells[i]);
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r);
+}
+
+Section::Section(std::ostream& os, const std::string& id,
+                 const std::string& what)
+    : os_(os) {
+  os_ << "\n=== " << id << ": " << what << " ===\n";
+}
+
+Section::~Section() { os_ << std::flush; }
+
+}  // namespace tfr

@@ -1,0 +1,63 @@
+// Console table / CSV emission for the experiment harnesses.
+//
+// Every bench binary prints one aligned table per paper claim plus an
+// optional CSV copy (for plotting), in the same spirit as the rows a paper
+// table would report.
+
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tfr {
+
+/// An aligned text table.  Cells are strings; numeric helpers format with
+/// sensible defaults.  Rendering pads every column to its widest cell.
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Sets the header row.  Must be called before adding rows.
+  void header(std::vector<std::string> cells);
+
+  /// Appends a row; must match the header width if a header was set.
+  void row(std::vector<std::string> cells);
+
+  /// Convenience: formats a mixed row.  Use fmt() helpers for cells.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt(long long v);
+  static std::string fmt(unsigned long long v);
+  static std::string fmt(int v) { return fmt(static_cast<long long>(v)); }
+  static std::string fmt(std::size_t v) {
+    return fmt(static_cast<unsigned long long>(v));
+  }
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders the aligned table (title, rule, header, rule, rows).
+  void print(std::ostream& os) const;
+
+  /// Emits the table as CSV (header + rows, comma separated, quoted as
+  /// needed).
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// RAII helper that prints a section banner for a bench experiment, e.g.
+///   === E1: consensus decision time without timing failures ===
+class Section {
+ public:
+  Section(std::ostream& os, const std::string& id, const std::string& what);
+  ~Section();
+
+ private:
+  std::ostream& os_;
+};
+
+}  // namespace tfr

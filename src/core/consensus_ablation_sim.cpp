@@ -1,0 +1,124 @@
+#include "tfr/core/consensus_ablation_sim.hpp"
+
+#include <algorithm>
+
+#include "tfr/common/contracts.hpp"
+#include "tfr/core/consensus_sim.hpp"
+
+namespace tfr::core {
+
+AblationConsensus::AblationConsensus(sim::RegisterSpace& space,
+                                     sim::Duration delta)
+    : delta_(delta),
+      x0_(space, 0, "abl.x0"),
+      x1_(space, 0, "abl.x1"),
+      y_(space, sim::kBot, "abl.y"),
+      decide_(space, sim::kBot, "abl.decide") {
+  TFR_REQUIRE(delta >= 1);
+  monitor_.throw_on_violation(false);  // ablations exist to count failures
+}
+
+sim::Register<int>& AblationConsensus::flag(int value, std::size_t round) {
+  return value == 0 ? x0_.at(round) : x1_.at(round);
+}
+
+sim::Process AblationConsensus::participant(sim::Env env, int input) {
+  const int decided = co_await propose(env, input);
+  monitor_.on_decide(env.pid(), decided, env.now());
+}
+
+sim::Task<int> YFirstConsensus::propose(sim::Env env, int input) {
+  TFR_REQUIRE(input == 0 || input == 1);
+  int v = input;
+  std::size_t r = 0;
+  for (;;) {
+    const int decided = co_await env.read(decide_);
+    if (decided != sim::kBot) co_return decided;
+    max_round_ = std::max(max_round_, r);
+    // ABLATION: proposal before flag (paper's lines 2 and 3 swapped).
+    const int proposal = co_await env.read(y_.at(r));
+    if (proposal == sim::kBot) co_await env.write(y_.at(r), v);
+    co_await env.write(flag(v, r), 1);
+    const int conflicting = co_await env.read(flag(1 - v, r));
+    if (conflicting == 0) {
+      co_await env.write(decide_, v);
+    } else {
+      co_await env.delay(delta_);
+      v = co_await env.read(y_.at(r));
+      TFR_INVARIANT(v != sim::kBot);
+      r += 1;
+    }
+  }
+}
+
+sim::Task<int> NoDelayConsensus::propose(sim::Env env, int input) {
+  TFR_REQUIRE(input == 0 || input == 1);
+  int v = input;
+  std::size_t r = 0;
+  for (;;) {
+    const int decided = co_await env.read(decide_);
+    if (decided != sim::kBot) co_return decided;
+    max_round_ = std::max(max_round_, r);
+    co_await env.write(flag(v, r), 1);
+    const int proposal = co_await env.read(y_.at(r));
+    if (proposal == sim::kBot) co_await env.write(y_.at(r), v);
+    const int conflicting = co_await env.read(flag(1 - v, r));
+    if (conflicting == 0) {
+      co_await env.write(decide_, v);
+    } else {
+      // ABLATION: no delay(Δ) before re-reading the proposal.
+      v = co_await env.read(y_.at(r));
+      TFR_INVARIANT(v != sim::kBot);
+      r += 1;
+    }
+  }
+}
+
+AblationOutcome run_ablation(AblationVariant variant,
+                             const std::vector<int>& inputs,
+                             sim::Duration delta,
+                             std::unique_ptr<sim::TimingModel> timing,
+                             std::uint64_t seed, sim::Time limit) {
+  TFR_REQUIRE(!inputs.empty());
+  sim::Simulation simulation(std::move(timing), {.seed = seed});
+
+  AblationOutcome outcome;
+  if (variant == AblationVariant::kFaithful) {
+    SimConsensus consensus(simulation.space(), delta);
+    consensus.monitor().throw_on_violation(false);
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      consensus.monitor().set_input(static_cast<sim::Pid>(i), inputs[i]);
+      simulation.spawn([&consensus, input = inputs[i]](sim::Env env) {
+        return consensus.participant(env, input);
+      });
+    }
+    simulation.run(limit);
+    outcome.all_decided = consensus.monitor().all_decided(inputs.size());
+    outcome.agreement_violations =
+        consensus.monitor().agreement_violations();
+    outcome.max_round = consensus.max_round();
+    return outcome;
+  }
+
+  std::unique_ptr<AblationConsensus> consensus;
+  if (variant == AblationVariant::kYFirst) {
+    consensus =
+        std::make_unique<YFirstConsensus>(simulation.space(), delta);
+  } else {
+    consensus =
+        std::make_unique<NoDelayConsensus>(simulation.space(), delta);
+  }
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    consensus->monitor().set_input(static_cast<sim::Pid>(i), inputs[i]);
+    simulation.spawn([&consensus, input = inputs[i]](sim::Env env) {
+      return consensus->participant(env, input);
+    });
+  }
+  simulation.run(limit);
+  outcome.all_decided = consensus->monitor().all_decided(inputs.size());
+  outcome.agreement_violations = consensus->monitor().agreement_violations();
+  outcome.max_round = consensus->max_round();
+  return outcome;
+}
+
+}  // namespace tfr::core

@@ -1,0 +1,92 @@
+// Ablation variants of Algorithm 1 (E13): each removes one load-bearing
+// design element, demonstrating *why* the paper's algorithm is written
+// the way it is.  These exist for the experiment harness and for negative
+// tests only — never use them as a consensus object.
+//
+//   YFirstConsensus  — swaps lines 2 and 3: publishes/reads the round
+//     proposal y[r] BEFORE raising the flag x[r,v].  The flag-first order
+//     is what guarantees that once a process decides v in round r, every
+//     process carrying the conflicting preference must observe y[r] = v;
+//     with the order swapped, a straggler whose y-write lands after the
+//     decision poisons the next round and agreement fails under timing
+//     failures.
+//
+//   NoDelayConsensus — removes line 5's delay(Δ).  Safety is unaffected
+//     (it never depends on timing), but the delay is what forces every
+//     in-flight y-write to land before preferences are re-read, so
+//     without it rounds can keep splitting even in failure-free (legal)
+//     executions: the 15·Δ bound of Theorem 2.1 is lost.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tfr/sim/monitor.hpp"
+#include "tfr/sim/register.hpp"
+#include "tfr/sim/simulation.hpp"
+#include "tfr/sim/task.hpp"
+
+namespace tfr::core {
+
+/// Common chassis for the ablation variants.
+class AblationConsensus {
+ public:
+  AblationConsensus(sim::RegisterSpace& space, sim::Duration delta);
+  virtual ~AblationConsensus() = default;
+
+  sim::Process participant(sim::Env env, int input);
+
+  sim::DecisionMonitor& monitor() { return monitor_; }
+  std::size_t max_round() const { return max_round_; }
+
+ protected:
+  virtual sim::Task<int> propose(sim::Env env, int input) = 0;
+
+  sim::Register<int>& flag(int value, std::size_t round);
+
+  sim::Duration delta_;
+  sim::RegisterArray<int> x0_;
+  sim::RegisterArray<int> x1_;
+  sim::RegisterArray<int> y_;
+  sim::Register<int> decide_;
+  sim::DecisionMonitor monitor_;
+  std::size_t max_round_ = 0;
+};
+
+/// Lines 2/3 swapped: y[r] before x[r,v].
+class YFirstConsensus final : public AblationConsensus {
+ public:
+  using AblationConsensus::AblationConsensus;
+
+ protected:
+  sim::Task<int> propose(sim::Env env, int input) override;
+};
+
+/// Line 5's delay(Δ) removed.
+class NoDelayConsensus final : public AblationConsensus {
+ public:
+  using AblationConsensus::AblationConsensus;
+
+ protected:
+  sim::Task<int> propose(sim::Env env, int input) override;
+};
+
+/// Runs `variant` participants on the given timing; reports safety and
+/// round statistics with violations *counted*, not thrown.
+struct AblationOutcome {
+  bool all_decided = false;
+  std::uint64_t agreement_violations = 0;
+  std::size_t max_round = 0;
+};
+
+enum class AblationVariant { kFaithful, kYFirst, kNoDelay };
+
+AblationOutcome run_ablation(AblationVariant variant,
+                             const std::vector<int>& inputs,
+                             sim::Duration delta,
+                             std::unique_ptr<sim::TimingModel> timing,
+                             std::uint64_t seed, sim::Time limit);
+
+}  // namespace tfr::core

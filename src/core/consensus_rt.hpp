@@ -1,0 +1,66 @@
+// Algorithm 1 on real threads: wait-free binary consensus resilient to
+// timing failures, built from std::atomic registers only.
+//
+// Mirrors core/consensus_sim.hpp line for line; see that header for the
+// round structure and the theorem list.  Here Δ is wall-clock
+// (nanoseconds) and should be an optimistic(Δ) for the host (§3.3): safety
+// never depends on it, a too-small value only costs extra rounds.
+//
+// An optional FaultInjector stalls the caller at named points, emulating
+// preemption-induced timing failures:
+//   "consensus.after_flag"      — between line 2 and line 3
+//   "consensus.after_read_y"    — between reading and writing y[r]
+//   "consensus.before_decide"   — before line 4's decide write
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "tfr/registers/atomic_register.hpp"
+#include "tfr/registers/fault_injector.hpp"
+#include "tfr/registers/register_array.hpp"
+
+namespace tfr::rt {
+
+class RtConsensus {
+ public:
+  static constexpr int kBot = -1;
+
+  struct Config {
+    Nanos delta{1000};               ///< optimistic(Δ) used by delay()
+    FaultInjector* faults = nullptr; ///< optional failure injection
+  };
+
+  explicit RtConsensus(Config config);
+
+  RtConsensus(const RtConsensus&) = delete;
+  RtConsensus& operator=(const RtConsensus&) = delete;
+
+  struct Result {
+    int value = kBot;
+    std::uint64_t rounds = 0;  ///< rounds entered by this caller (>= 1)
+    std::uint64_t steps = 0;   ///< shared accesses by this caller
+    std::uint64_t delays = 0;  ///< delay statements executed
+  };
+
+  /// Proposes `input` (0/1) on behalf of the calling thread and blocks
+  /// until a decision is reached.  Wait-free once timing holds: progress
+  /// does not depend on any other thread taking steps.
+  Result propose(int input);
+
+  /// Convenience wrapper returning only the decision.
+  int propose_value(int input) { return propose(input).value; }
+
+  /// Snapshot of the decide register (kBot while undecided).
+  int decided() const { return decide_.read(); }
+
+ private:
+  Config config_;
+  RegisterArray<int> x0_;
+  RegisterArray<int> x1_;
+  RegisterArray<int> y_;
+  AtomicRegister<int> decide_;
+};
+
+}  // namespace tfr::rt

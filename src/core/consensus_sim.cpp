@@ -1,0 +1,131 @@
+#include "tfr/core/consensus_sim.hpp"
+
+#include <algorithm>
+
+#include "tfr/common/contracts.hpp"
+
+namespace tfr::core {
+
+SimConsensus::SimConsensus(sim::RegisterSpace& space, sim::Duration delta,
+                           std::size_t max_rounds)
+    : delta_(delta),
+      max_rounds_(max_rounds),
+      x0_(space, 0, "x0"),
+      x1_(space, 0, "x1"),
+      y_(space, sim::kBot, "y"),
+      decide_(space, sim::kBot, "decide") {
+  TFR_REQUIRE(delta >= 1);
+  if (max_rounds_ > 0) {
+    // Finitely many registers, allocated up front (§2.1 remark).
+    x0_.at(max_rounds_ - 1);
+    x1_.at(max_rounds_ - 1);
+    y_.at(max_rounds_ - 1);
+  }
+}
+
+sim::Register<int>& SimConsensus::flag(int value, std::size_t round) {
+  return value == 0 ? x0_.at(round) : x1_.at(round);
+}
+
+sim::Task<int> SimConsensus::propose(sim::Env env, int input) {
+  TFR_REQUIRE(input == 0 || input == 1);
+  int v = input;
+  std::size_t r = 0;
+  for (;;) {
+    // Line 1: while decide = ⊥.  (Also the step that completes the fast
+    // path: after line 4 wrote `decide`, this read observes it.)
+    const int decided = co_await env.read(decide_);
+    if (decided != sim::kBot) {
+      decision_rounds_.emplace_back(env.pid(), r);
+      co_return decided;  // line 9: decide(decide)
+    }
+    // Bounded-register mode: the environment promised failures shorter
+    // than what max_rounds covers; running out of rounds means it lied.
+    TFR_REQUIRE(max_rounds_ == 0 || r < max_rounds_);
+    max_round_ = std::max(max_round_, r);
+    // Line 2: flag our preference for round r.
+    co_await env.write(flag(v, r), 1);
+    // Line 3: publish v as the round's proposal if none is there yet.
+    const int proposal = co_await env.read(y_.at(r));
+    if (proposal == sim::kBot) co_await env.write(y_.at(r), v);
+    // Line 4: if nobody flagged the conflicting preference, decide.
+    const int conflicting = co_await env.read(flag(1 - v, r));
+    if (conflicting == 0) {
+      co_await env.write(decide_, v);
+      // Loop back to line 1, which reads the decision (7 steps total on
+      // the contention-free path, no delay executed).
+    } else {
+      // Lines 5-7: wait out the bound, adopt the round's proposal, retry.
+      co_await env.delay(delta_);
+      v = co_await env.read(y_.at(r));
+      // y[r] ≠ ⊥ here: we reached line 5 because x[r, v̄] = 1, and every
+      // process writes y[r] (or saw it written) at line 3 before flagging
+      // could be observed — in particular this process executed line 3.
+      TFR_INVARIANT(v != sim::kBot);
+      r += 1;
+    }
+  }
+}
+
+sim::Process SimConsensus::participant(sim::Env env, int input) {
+  const int decided = co_await propose(env, input);
+  monitor_.on_decide(env.pid(), decided, env.now());
+}
+
+void SimConsensus::fault_reset_flag(int value, std::size_t round) {
+  flag(value, round).poke(0);
+}
+
+void SimConsensus::fault_set_flag(int value, std::size_t round) {
+  flag(value, round).poke(1);
+}
+
+void SimConsensus::fault_overwrite_proposal(std::size_t round, int v) {
+  y_.at(round).poke(v);
+}
+
+void SimConsensus::fault_reset_decide() { decide_.poke(sim::kBot); }
+
+std::size_t SimConsensus::decision_round(sim::Pid pid) const {
+  for (const auto& [p, r] : decision_rounds_) {
+    if (p == pid) return r;
+  }
+  TFR_REQUIRE(!"process has not decided");
+  return 0;
+}
+
+ConsensusOutcome run_consensus(const std::vector<int>& inputs,
+                               sim::Duration algorithm_delta,
+                               std::unique_ptr<sim::TimingModel> timing,
+                               std::uint64_t seed, sim::Time limit) {
+  TFR_REQUIRE(!inputs.empty());
+  sim::Simulation simulation(std::move(timing), {.seed = seed});
+  SimConsensus consensus(simulation.space(), algorithm_delta);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    consensus.monitor().set_input(static_cast<sim::Pid>(i), inputs[i]);
+    simulation.spawn([&consensus, input = inputs[i]](sim::Env env) {
+      return consensus.participant(env, input);
+    });
+  }
+  simulation.run(limit);
+
+  ConsensusOutcome outcome;
+  outcome.all_decided = consensus.monitor().all_decided(inputs.size());
+  if (consensus.monitor().decided_count() > 0)
+    outcome.value = consensus.decided_value();
+  outcome.first_decision = consensus.monitor().first_decision_time();
+  outcome.last_decision = consensus.monitor().last_decision_time();
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const auto& s = simulation.stats(static_cast<sim::Pid>(i));
+    outcome.steps.push_back(s.accesses());
+    outcome.delays.push_back(s.delays);
+    if (consensus.monitor().has_decided(static_cast<sim::Pid>(i)))
+      outcome.decision_rounds.push_back(
+          consensus.decision_round(static_cast<sim::Pid>(i)));
+  }
+  outcome.max_round = consensus.max_round();
+  outcome.registers_allocated = simulation.space().allocated();
+  return outcome;
+}
+
+}  // namespace tfr::core

@@ -1,0 +1,130 @@
+// Algorithm 1 of the paper: binary consensus resilient to timing failures,
+// using atomic registers only — simulator edition.
+//
+// Round structure (per process p with preference v in round r):
+//   1  while decide = ⊥ do
+//   2     x[r, v] := 1
+//   3     if y[r] = ⊥ then y[r] := v fi
+//   4     if x[r, v̄] = 0 then decide := v
+//   5     else delay(Δ)
+//   6          v := y[r]
+//   7          r := r + 1 fi
+//   8  od
+//   9  decide(decide)
+//
+// Guarantees (Theorems 2.1–2.4): safety (validity, agreement) holds under
+// arbitrary timing behaviour; without timing failures every process decides
+// within 15·Δ; a process alone decides after 7 of its own steps with no
+// delay statement; the algorithm is wait-free; the number of participants
+// is unbounded.
+//
+// The instance's `delta` is the *assumed* bound the algorithm delays for;
+// the simulation's TimingModel decides real step costs.  Real cost > delta
+// is exactly a timing failure with respect to this instance.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tfr/sim/monitor.hpp"
+#include "tfr/sim/register.hpp"
+#include "tfr/sim/simulation.hpp"
+#include "tfr/sim/task.hpp"
+#include "tfr/sim/types.hpp"
+
+namespace tfr::core {
+
+/// One instance of the time-resilient binary consensus object.
+class SimConsensus {
+ public:
+  /// Registers are allocated inside `space`; `delta` is the bound used by
+  /// the algorithm's delay statements (use a value smaller than the timing
+  /// model's worst case to run with optimistic(Δ)).
+  ///
+  /// `max_rounds` realizes the paper's §2.1 remark: the unbounded register
+  /// arrays are only needed because timing failures can last arbitrarily
+  /// long; "such an algorithm [with finitely many registers] exists when
+  /// there is a known bound on the number of time units during which there
+  /// are timing failures."  A nonzero max_rounds preallocates exactly
+  /// 3·max_rounds + 1 registers (F time units of failures cost at most
+  /// ~F/Δ extra rounds, +2 for the failure-free tail); exceeding the bound
+  /// is a contract violation — the environment broke its promise.
+  SimConsensus(sim::RegisterSpace& space, sim::Duration delta,
+               std::size_t max_rounds = 0);
+
+  SimConsensus(const SimConsensus&) = delete;
+  SimConsensus& operator=(const SimConsensus&) = delete;
+
+  /// Composable core: propose `input` (0 or 1), suspend until decided,
+  /// co_return the decision.  Usable as a building block from any process
+  /// coroutine (the derived objects are built on this).
+  sim::Task<int> propose(sim::Env env, int input);
+
+  /// Convenience: a full process that registers its input with the
+  /// monitor, proposes, and reports its decision.
+  sim::Process participant(sim::Env env, int input);
+
+  sim::DecisionMonitor& monitor() { return monitor_; }
+  sim::Duration delta() const { return delta_; }
+
+  /// Highest round index any process has entered so far (0-based).
+  std::size_t max_round() const { return max_round_; }
+  /// Round in which `pid` decided; requires that it decided.
+  std::size_t decision_round(sim::Pid pid) const;
+  /// Number of per-round register triples allocated so far (x0, x1, y).
+  std::size_t rounds_allocated() const { return y_.size(); }
+  /// Untimed view of the decide register (kBot while undecided).
+  int decided_value() const { return decide_.peek(); }
+
+  // --- Transient memory-failure injection (paper §4 extension) ----------
+  // Instantaneous register corruptions applied between simulation events;
+  // cost no time and bypass the access model, exactly like a bit flip in
+  // hardware.  E14 charts which classes Algorithm 1 tolerates.
+
+  /// Clears the flag x[round, value] (a 1 -> 0 corruption).
+  void fault_reset_flag(int value, std::size_t round);
+  /// Spuriously raises the flag x[round, value] (0 -> 1).
+  void fault_set_flag(int value, std::size_t round);
+  /// Overwrites the round proposal y[round] with `v`.
+  void fault_overwrite_proposal(std::size_t round, int v);
+  /// Resets the decide register to ⊥.
+  void fault_reset_decide();
+
+ private:
+  sim::Register<int>& flag(int value, std::size_t round);
+
+  sim::Duration delta_;
+  std::size_t max_rounds_;      ///< 0 = unbounded (the paper's default)
+  sim::RegisterArray<int> x0_;  ///< x[·, 0]
+  sim::RegisterArray<int> x1_;  ///< x[·, 1]
+  sim::RegisterArray<int> y_;   ///< y[·] over {⊥, 0, 1}
+  sim::Register<int> decide_;   ///< {⊥, 0, 1}
+  sim::DecisionMonitor monitor_;
+  std::size_t max_round_ = 0;
+  std::vector<std::pair<sim::Pid, std::size_t>> decision_rounds_;
+};
+
+/// Aggregate outcome of a scripted consensus run (tests and benches).
+struct ConsensusOutcome {
+  bool all_decided = false;
+  int value = sim::kBot;
+  sim::Time first_decision = -1;
+  sim::Time last_decision = -1;
+  std::vector<std::uint64_t> steps;       ///< shared accesses per process
+  std::vector<std::uint64_t> delays;      ///< delay statements per process
+  std::vector<std::size_t> decision_rounds;
+  std::size_t max_round = 0;
+  std::uint64_t registers_allocated = 0;
+};
+
+/// Spawns one participant per input, runs to completion (or `limit`), and
+/// summarizes.  `algorithm_delta` is the bound the algorithm assumes.
+ConsensusOutcome run_consensus(const std::vector<int>& inputs,
+                               sim::Duration algorithm_delta,
+                               std::unique_ptr<sim::TimingModel> timing,
+                               std::uint64_t seed = 1,
+                               sim::Time limit = sim::kTimeNever);
+
+}  // namespace tfr::core

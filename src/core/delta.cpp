@@ -1,0 +1,44 @@
+#include "tfr/core/delta.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tfr/common/contracts.hpp"
+
+namespace tfr::core {
+
+OptimisticDelta::OptimisticDelta(Config config)
+    : config_(config), estimate_(config.initial) {
+  TFR_REQUIRE(config.min >= 1);
+  TFR_REQUIRE(config.max >= config.min);
+  TFR_REQUIRE(config.initial >= config.min && config.initial <= config.max);
+  TFR_REQUIRE(config.grow_factor > 1.0);
+  TFR_REQUIRE(config.shrink_step >= 1);
+  TFR_REQUIRE(config.stable_threshold >= 1);
+}
+
+void OptimisticDelta::on_progress() {
+  ++progress_events_;
+  if (++stable_run_ >= config_.stable_threshold) {
+    stable_run_ = 0;
+    const Duration next = estimate_ - config_.shrink_step;
+    if (next >= config_.min && next < estimate_) {
+      estimate_ = next;
+      ++shrinks_;
+    }
+  }
+}
+
+void OptimisticDelta::on_retry() {
+  ++retry_events_;
+  stable_run_ = 0;
+  const auto grown = static_cast<Duration>(
+      std::ceil(static_cast<double>(estimate_) * config_.grow_factor));
+  const Duration next = std::min(config_.max, std::max(estimate_ + 1, grown));
+  if (next > estimate_) {
+    estimate_ = next;
+    ++grows_;
+  }
+}
+
+}  // namespace tfr::core

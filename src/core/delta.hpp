@@ -1,0 +1,68 @@
+// Δ and optimistic(Δ).
+//
+// The paper (§1.2, §3.3) observes that the true bound Δ on shared-memory
+// step time must account for preemption, cache misses and contention, and
+// is therefore impractically large; because time-resilient algorithms stay
+// safe when the bound is violated, they should run with a much smaller
+// optimistic(Δ), adapted online "using a technique similar to the one used
+// in TCP congestion control (slow start and additive-increase,
+// multiplicative-decrease)".  OptimisticDelta implements that estimator.
+//
+// The mapping of TCP's rate control onto a delay bound inverts the knobs:
+// the quantity we want high is speed == 1/estimate, so a suspected timing
+// failure (we were too optimistic) grows the estimate multiplicatively,
+// while sustained progress shrinks it additively to probe for a faster
+// setting.  Safety never depends on the estimate — that is the entire point
+// of resilience to timing failures.
+
+#pragma once
+
+#include <cstdint>
+
+#include "tfr/sim/types.hpp"
+
+namespace tfr::core {
+
+using sim::Duration;
+
+/// Online estimator for optimistic(Δ).
+class OptimisticDelta {
+ public:
+  struct Config {
+    Duration initial = 1;       ///< starting estimate (slow start from tiny)
+    Duration min = 1;           ///< never probe below this
+    Duration max = 1 << 20;     ///< cap (the pessimistic true Δ if known)
+    double grow_factor = 2.0;   ///< multiplicative increase on failure
+    Duration shrink_step = 1;   ///< additive decrease after stable progress
+    int stable_threshold = 8;   ///< successes required before shrinking
+  };
+
+  explicit OptimisticDelta(Config config);
+
+  /// The current estimate to use for delay(optimistic(Δ)).
+  Duration current() const { return estimate_; }
+
+  /// Call when a protocol step succeeded under the current estimate
+  /// (e.g. a consensus round decided, a lock was acquired first try).
+  void on_progress();
+
+  /// Call when a suspected timing failure occurred relative to the current
+  /// estimate (e.g. a consensus round had to retry, Fischer's check failed).
+  void on_retry();
+
+  std::uint64_t progress_events() const { return progress_events_; }
+  std::uint64_t retry_events() const { return retry_events_; }
+  std::uint64_t shrinks() const { return shrinks_; }
+  std::uint64_t grows() const { return grows_; }
+
+ private:
+  Config config_;
+  Duration estimate_;
+  int stable_run_ = 0;
+  std::uint64_t progress_events_ = 0;
+  std::uint64_t retry_events_ = 0;
+  std::uint64_t shrinks_ = 0;
+  std::uint64_t grows_ = 0;
+};
+
+}  // namespace tfr::core

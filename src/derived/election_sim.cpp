@@ -1,0 +1,24 @@
+#include "tfr/derived/election_sim.hpp"
+
+namespace tfr::derived {
+
+namespace {
+// Pids are small; 24 bits of id space keeps the bitwise reduction short.
+constexpr int kPidBits = 24;
+}  // namespace
+
+SimElection::SimElection(sim::RegisterSpace& space, sim::Duration delta)
+    : agreement_(space, delta, kPidBits) {}
+
+sim::Task<int> SimElection::elect(sim::Env env) {
+  const std::int64_t winner =
+      co_await agreement_.propose(env, static_cast<std::int64_t>(env.pid()));
+  co_return static_cast<int>(winner);
+}
+
+int SimElection::leader() const {
+  const std::int64_t value = agreement_.decided_value();
+  return value < 0 ? -1 : static_cast<int>(value);
+}
+
+}  // namespace tfr::derived

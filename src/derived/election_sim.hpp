@@ -1,0 +1,25 @@
+// Wait-free leader election from consensus (§1.4): every participant
+// proposes its own pid; the consensus decision is the leader.  Inherits
+// wait-freedom and resilience to timing failures from Algorithm 1.
+
+#pragma once
+
+#include "tfr/derived/multivalue_sim.hpp"
+
+namespace tfr::derived {
+
+class SimElection {
+ public:
+  SimElection(sim::RegisterSpace& space, sim::Duration delta);
+
+  /// Participates in the election; co_returns the elected pid.
+  sim::Task<int> elect(sim::Env env);
+
+  /// The leader if elected, -1 otherwise (untimed snapshot).
+  int leader() const;
+
+ private:
+  SimMultiConsensus agreement_;
+};
+
+}  // namespace tfr::derived

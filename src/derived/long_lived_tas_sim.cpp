@@ -1,0 +1,37 @@
+#include "tfr/derived/long_lived_tas_sim.hpp"
+
+#include "tfr/common/contracts.hpp"
+
+namespace tfr::derived {
+
+SimLongLivedTestAndSet::SimLongLivedTestAndSet(sim::RegisterSpace& space,
+                                               sim::Duration delta)
+    : space_(&space), delta_(delta), generation_(space, 0, "lltas.gen") {}
+
+SimElection& SimLongLivedTestAndSet::election(std::size_t generation) {
+  while (elections_.size() <= generation)
+    elections_.push_back(std::make_unique<SimElection>(*space_, delta_));
+  return *elections_[generation];
+}
+
+sim::Task<int> SimLongLivedTestAndSet::test_and_set(sim::Env env) {
+  const int g = co_await env.read(generation_);
+  TFR_INVARIANT(g >= 0);
+  const int winner = co_await election(static_cast<std::size_t>(g)).elect(env);
+  if (winner != env.pid()) co_return 1;
+  // Winning generation g implies g is still current: only g's (unique)
+  // winner can advance the generation register, and that is us.
+  const auto pid = static_cast<std::size_t>(env.pid());
+  if (won_generation_.size() <= pid) won_generation_.resize(pid + 1, -1);
+  won_generation_[pid] = g;
+  co_return 0;
+}
+
+sim::Task<void> SimLongLivedTestAndSet::reset(sim::Env env) {
+  const int g = co_await env.read(generation_);
+  const auto pid = static_cast<std::size_t>(env.pid());
+  TFR_REQUIRE(pid < won_generation_.size() && won_generation_[pid] == g);
+  co_await env.write(generation_, g + 1);
+}
+
+}  // namespace tfr::derived

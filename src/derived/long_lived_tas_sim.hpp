@@ -1,0 +1,50 @@
+// Long-lived (resettable) test-and-set from atomic registers, built on
+// the one-shot consensus-based TAS of §1.4.
+//
+// The object proceeds in *generations*: generation g is a one-shot leader
+// election; test_and_set() reads the current generation and plays its
+// election — the election's winner gets 0, everybody else (including
+// stragglers who join generation g after it was decided) gets 1.  Only
+// the current generation's winner may call reset(), which opens
+// generation g+1.  Per generation exactly one caller wins, which makes
+// the object a correct lock:  loop { if (tas() == 0) { CS; reset(); } }
+// is a mutual-exclusion algorithm resilient to timing failures.
+//
+// Elections are allocated lazily, one per generation, mirroring the
+// unbounded round registers of Algorithm 1 (a known bound on failure
+// duration would bound them, per the paper's remark in §2.1).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tfr/derived/election_sim.hpp"
+
+namespace tfr::derived {
+
+class SimLongLivedTestAndSet {
+ public:
+  SimLongLivedTestAndSet(sim::RegisterSpace& space, sim::Duration delta);
+
+  /// 0 for exactly one caller per generation, 1 for the rest.
+  sim::Task<int> test_and_set(sim::Env env);
+
+  /// Releases the bit; caller must be the current generation's winner.
+  sim::Task<void> reset(sim::Env env);
+
+  /// Generations opened so far (untimed).
+  std::size_t generations() const { return elections_.size(); }
+
+ private:
+  SimElection& election(std::size_t generation);
+
+  sim::RegisterSpace* space_;
+  sim::Duration delta_;
+  sim::Register<int> generation_;
+  std::vector<std::unique_ptr<SimElection>> elections_;
+  std::vector<int> won_generation_;  ///< per-pid local memory (last win)
+};
+
+}  // namespace tfr::derived

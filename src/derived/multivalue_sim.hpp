@@ -1,0 +1,51 @@
+// Multi-valued consensus from the paper's binary consensus.
+//
+// §1.4 uses Algorithm 1 as a building block for election, renaming, etc.,
+// which need agreement on values larger than one bit.  This is the classic
+// bitwise prefix-agreement reduction: agree on the value bit by bit using
+// one binary instance per position.  Before proposing bit b at position k,
+// a process publishes its full current candidate in witness[k][b]; a
+// process whose bit loses adopts the witness for the winning bit, which is
+// guaranteed (a) to have been written before that bit could win, (b) to
+// match the agreed prefix through position k, and (c) to be some process's
+// input (inductively).  After all positions the agreed bit string *is* the
+// decided value, so agreement and validity follow, and every property of
+// the underlying instances (wait-freedom, resilience to timing failures,
+// unbounded participation) is inherited.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tfr/core/consensus_sim.hpp"
+
+namespace tfr::derived {
+
+class SimMultiConsensus {
+ public:
+  /// Values must be non-negative and fit in `bits` bits (max 62).
+  SimMultiConsensus(sim::RegisterSpace& space, sim::Duration delta,
+                    int bits = 31);
+
+  SimMultiConsensus(const SimMultiConsensus&) = delete;
+  SimMultiConsensus& operator=(const SimMultiConsensus&) = delete;
+
+  /// Proposes `value`; co_returns the agreed value (some process's input).
+  sim::Task<std::int64_t> propose(sim::Env env, std::int64_t value);
+
+  int bits() const { return bits_; }
+  /// Decided value if every bit instance has decided, else -1 (untimed).
+  std::int64_t decided_value() const;
+
+ private:
+  sim::RegisterArray<std::int64_t>& witness(int bit_value);
+
+  int bits_;
+  std::vector<std::unique_ptr<core::SimConsensus>> bit_;
+  sim::RegisterArray<std::int64_t> witness0_;
+  sim::RegisterArray<std::int64_t> witness1_;
+};
+
+}  // namespace tfr::derived

@@ -1,0 +1,40 @@
+#include "tfr/derived/renaming_sim.hpp"
+
+#include "tfr/common/contracts.hpp"
+
+namespace tfr::derived {
+
+namespace {
+constexpr int kPidBits = 24;
+}  // namespace
+
+SimRenaming::SimRenaming(sim::RegisterSpace& space, sim::Duration delta,
+                         int max_names)
+    : space_(&space), delta_(delta) {
+  TFR_REQUIRE(max_names >= 1);
+  slots_.reserve(static_cast<std::size_t>(max_names));
+  for (int k = 0; k < max_names; ++k)
+    slots_.push_back(
+        std::make_unique<SimMultiConsensus>(space, delta, kPidBits));
+}
+
+sim::Task<int> SimRenaming::acquire(sim::Env env) {
+  const auto me = static_cast<std::int64_t>(env.pid());
+  for (std::size_t k = 0; k < slots_.size(); ++k) {
+    const std::int64_t winner = co_await slots_[k]->propose(env, me);
+    if (winner == me) co_return static_cast<int>(k);
+  }
+  // More participants than names: a precondition violation of n-renaming.
+  TFR_REQUIRE(!"renaming namespace exhausted: more participants than names");
+  co_return -1;
+}
+
+int SimRenaming::owner(int name) const {
+  TFR_REQUIRE(name >= 0 &&
+              static_cast<std::size_t>(name) < slots_.size());
+  const std::int64_t v =
+      slots_[static_cast<std::size_t>(name)]->decided_value();
+  return v < 0 ? -1 : static_cast<int>(v);
+}
+
+}  // namespace tfr::derived

@@ -1,0 +1,39 @@
+// Wait-free n-renaming from consensus (§1.4): participants acquire unique
+// names from the tight namespace {0, .., n-1}.
+//
+// Construction: one multi-valued consensus instance per name slot; a
+// participant proposes its pid for slot 0, 1, 2, ... until it wins one.
+// Each slot is won by exactly one pid (agreement), a participant stops at
+// its first win (uniqueness), and since each lost slot is won by a
+// *different* competing pid, a participant loses at most n-1 slots
+// (namespace tightness + wait-freedom).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tfr/derived/multivalue_sim.hpp"
+
+namespace tfr::derived {
+
+class SimRenaming {
+ public:
+  /// `max_names` bounds the namespace (use the number of participants n
+  /// for tight renaming).
+  SimRenaming(sim::RegisterSpace& space, sim::Duration delta, int max_names);
+
+  /// Acquires a name in [0, max_names); one-shot per process.
+  sim::Task<int> acquire(sim::Env env);
+
+  /// Winner of slot `name`, or -1 (untimed snapshot).
+  int owner(int name) const;
+
+ private:
+  sim::RegisterSpace* space_;
+  sim::Duration delta_;
+  std::vector<std::unique_ptr<SimMultiConsensus>> slots_;
+};
+
+}  // namespace tfr::derived

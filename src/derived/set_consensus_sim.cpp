@@ -1,0 +1,24 @@
+#include "tfr/derived/set_consensus_sim.hpp"
+
+#include "tfr/common/contracts.hpp"
+
+namespace tfr::derived {
+
+SimSetConsensus::SimSetConsensus(sim::RegisterSpace& space,
+                                 sim::Duration delta, int k, int bits)
+    : k_(k) {
+  TFR_REQUIRE(k >= 1);
+  groups_.reserve(static_cast<std::size_t>(k));
+  for (int g = 0; g < k; ++g)
+    groups_.push_back(std::make_unique<SimMultiConsensus>(space, delta, bits));
+}
+
+sim::Task<std::int64_t> SimSetConsensus::propose(sim::Env env,
+                                                 std::int64_t value) {
+  const auto group =
+      static_cast<std::size_t>(env.pid() % k_);
+  const std::int64_t decided = co_await groups_[group]->propose(env, value);
+  co_return decided;
+}
+
+}  // namespace tfr::derived

@@ -1,0 +1,39 @@
+// k-set consensus from consensus (§2.1: "other problems that have no
+// fault-tolerant solutions using atomic registers in a completely
+// asynchronous system such as election, set-consensus and renaming").
+//
+// k-set agreement relaxes agreement to "at most k distinct decisions".
+// Given full consensus it has a direct solution: partition the proposers
+// across k independent consensus instances (by pid mod k); each process
+// decides its instance's value.  At most k instances exist, so at most k
+// values are decided; validity and wait-freedom are inherited per
+// instance, and so is resilience to timing failures.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tfr/derived/multivalue_sim.hpp"
+
+namespace tfr::derived {
+
+class SimSetConsensus {
+ public:
+  /// Decisions take at most `k` distinct values.
+  SimSetConsensus(sim::RegisterSpace& space, sim::Duration delta, int k,
+                  int bits = 31);
+
+  /// Proposes `value`; co_returns a decision (some proposer's input; at
+  /// most k distinct values across all processes).
+  sim::Task<std::int64_t> propose(sim::Env env, std::int64_t value);
+
+  int k() const { return k_; }
+
+ private:
+  int k_;
+  std::vector<std::unique_ptr<SimMultiConsensus>> groups_;
+};
+
+}  // namespace tfr::derived

@@ -1,0 +1,13 @@
+#include "tfr/derived/test_and_set_sim.hpp"
+
+namespace tfr::derived {
+
+SimTestAndSet::SimTestAndSet(sim::RegisterSpace& space, sim::Duration delta)
+    : election_(space, delta) {}
+
+sim::Task<int> SimTestAndSet::test_and_set(sim::Env env) {
+  const int winner = co_await election_.elect(env);
+  co_return winner == env.pid() ? 0 : 1;
+}
+
+}  // namespace tfr::derived

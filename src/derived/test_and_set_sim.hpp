@@ -1,0 +1,29 @@
+// Wait-free one-shot test-and-set from atomic registers (§1.4).
+//
+// The paper notes that a wait-free, timing-failure-resilient implementation
+// of test-and-set follows from the consensus building block: the processes
+// elect a winner; the winner's test_and_set returns 0 (it "got" the bit),
+// everyone else returns 1.  This is the canonical consensus→TAS reduction.
+
+#pragma once
+
+#include "tfr/derived/election_sim.hpp"
+
+namespace tfr::derived {
+
+class SimTestAndSet {
+ public:
+  SimTestAndSet(sim::RegisterSpace& space, sim::Duration delta);
+
+  /// One-shot TAS: co_returns 0 for exactly one caller, 1 for the rest.
+  /// At most one call per process.
+  sim::Task<int> test_and_set(sim::Env env);
+
+  /// Untimed read of the abstract bit (1 once someone has won).
+  int peek() const { return election_.leader() >= 0 ? 1 : 0; }
+
+ private:
+  SimElection election_;
+};
+
+}  // namespace tfr::derived

@@ -1,0 +1,132 @@
+#include "tfr/derived/universal_sim.hpp"
+
+#include "tfr/common/contracts.hpp"
+
+namespace tfr::derived {
+
+std::int64_t OpCodec::encode(int pid, int seq, int opcode, int arg) {
+  TFR_REQUIRE(pid >= 0 && pid < (1 << 14));
+  TFR_REQUIRE(seq >= 1 && seq < (1 << 16));
+  TFR_REQUIRE(opcode >= 0 && opcode < (1 << 8));
+  TFR_REQUIRE(arg >= 0 && arg < (1 << 24));
+  return (static_cast<std::int64_t>(pid) << 48) |
+         (static_cast<std::int64_t>(seq) << 32) |
+         (static_cast<std::int64_t>(opcode) << 24) |
+         static_cast<std::int64_t>(arg);
+}
+
+SimUniversal::SimUniversal(
+    sim::RegisterSpace& space, sim::Duration delta, int n,
+    std::function<std::unique_ptr<Replica>()> make_replica)
+    : n_(n),
+      space_(&space),
+      delta_(delta),
+      make_replica_(std::move(make_replica)),
+      announce_(space, -1, "universal.announce") {
+  TFR_REQUIRE(n >= 1);
+  TFR_REQUIRE(make_replica_ != nullptr);
+  announce_.at(static_cast<std::size_t>(n - 1));
+  per_process_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto pp = std::make_unique<PerProcess>();
+    pp->replica = make_replica_();
+    pp->applied_seq.assign(static_cast<std::size_t>(n), 0);
+    per_process_.push_back(std::move(pp));
+  }
+}
+
+SimMultiConsensus& SimUniversal::slot(std::size_t index) {
+  while (slots_.size() <= index)
+    slots_.push_back(
+        std::make_unique<SimMultiConsensus>(*space_, delta_, OpCodec::kBits));
+  return *slots_[index];
+}
+
+sim::Task<std::int64_t> SimUniversal::invoke(sim::Env env, int opcode,
+                                             int arg) {
+  const int me = env.pid();
+  TFR_REQUIRE(me >= 0 && me < n_);
+  PerProcess& mine = *per_process_[static_cast<std::size_t>(me)];
+  const std::int64_t op = OpCodec::encode(me, mine.next_seq++, opcode, arg);
+
+  // Announce, so that other processes help us into the log even if we lose
+  // every direct race (wait-freedom under contention).
+  co_await env.write(announce_.at(static_cast<std::size_t>(me)), op);
+
+  std::int64_t my_result = -1;
+  bool applied_mine = false;
+  while (!applied_mine) {
+    const std::size_t index = mine.applied_slots;
+    // Helping rule: slot s belongs to process (s mod n); propose its
+    // announced-but-unapplied operation if there is one, else our own.
+    const int beneficiary = static_cast<int>(index % static_cast<std::size_t>(n_));
+    std::int64_t proposal = op;
+    if (beneficiary != me) {
+      const std::int64_t announced = co_await env.read(
+          announce_.at(static_cast<std::size_t>(beneficiary)));
+      if (announced >= 0 &&
+          OpCodec::seq(announced) >
+              mine.applied_seq[static_cast<std::size_t>(beneficiary)]) {
+        proposal = announced;
+      }
+    }
+    const std::int64_t winner = co_await slot(index).propose(env, proposal);
+    // Apply the slot's winner to our replica regardless of who won: the
+    // replica stays in lockstep with the decided prefix of the log.
+    const std::int64_t result = mine.replica->apply(winner);
+    const int winner_pid = OpCodec::pid(winner);
+    TFR_INVARIANT(winner_pid >= 0 && winner_pid < n_);
+    // Sequence numbers of one pid enter the log in order.
+    TFR_INVARIANT(OpCodec::seq(winner) >
+                  mine.applied_seq[static_cast<std::size_t>(winner_pid)]);
+    mine.applied_seq[static_cast<std::size_t>(winner_pid)] =
+        OpCodec::seq(winner);
+    mine.applied_slots = index + 1;
+    if (winner == op) {
+      my_result = result;
+      applied_mine = true;
+    }
+  }
+  // Retire the announcement (latecomers see it as already applied via the
+  // sequence high-water mark, so this write is an optimization, not a
+  // correctness requirement).
+  co_await env.write(announce_.at(static_cast<std::size_t>(me)),
+                     std::int64_t{-1});
+  co_return my_result;
+}
+
+std::size_t SimUniversal::log_length() const {
+  std::size_t longest = 0;
+  for (const auto& pp : per_process_)
+    if (pp && pp->applied_slots > longest) longest = pp->applied_slots;
+  return longest;
+}
+
+std::int64_t CounterReplica::apply(std::int64_t op) {
+  switch (OpCodec::opcode(op)) {
+    case kAdd:
+      value_ += OpCodec::arg(op);
+      return value_;
+    case kGet:
+      return value_;
+    default:
+      TFR_REQUIRE(!"unknown counter opcode");
+      return -1;
+  }
+}
+
+std::int64_t QueueReplica::apply(std::int64_t op) {
+  switch (OpCodec::opcode(op)) {
+    case kEnqueue:
+      items_.push_back(OpCodec::arg(op));
+      return static_cast<std::int64_t>(items_.size() - head_);
+    case kDequeue:
+      if (head_ == items_.size()) return -1;
+      return items_[head_++];
+    default:
+      TFR_REQUIRE(!"unknown queue opcode");
+      return -1;
+  }
+}
+
+}  // namespace tfr::derived

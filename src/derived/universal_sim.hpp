@@ -1,0 +1,124 @@
+// Universal construction: a wait-free, timing-failure-resilient
+// implementation of ANY object with a sequential specification, from
+// atomic registers (§1.4, via Herlihy's universality of consensus [24]).
+//
+// Construction (state-machine replication over a consensus log, with
+// Herlihy-style helping):
+//   * an unbounded log of multi-valued consensus instances, one per slot;
+//   * a process announces its (uniquely tagged) operation in announce[i],
+//     then proposes for successive slots until its operation lands in the
+//     log.  At slot s it proposes the *announced, not yet applied*
+//     operation of process (s mod n) if any — itself otherwise — so a slow
+//     announcer wins a slot within ~2n decisions (wait-freedom even under
+//     adversarial slot contention);
+//   * every process applies the log in slot order to a private replica of
+//     the object; an operation's result is what the replica returned when
+//     the operation's slot was applied.
+//
+// Operations are 62-bit integers; OpCodec packs (pid, per-process sequence
+// number, opcode, argument) so every invocation is unique — required,
+// since the log decides operations, not (operation, result) pairs.  A
+// process's operations enter the log in sequence order, so "not yet
+// applied" is a per-pid high-water mark.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tfr/derived/multivalue_sim.hpp"
+
+namespace tfr::derived {
+
+/// A sequential object: deterministically applies encoded operations.
+class Replica {
+ public:
+  virtual ~Replica() = default;
+  virtual std::int64_t apply(std::int64_t op) = 0;
+};
+
+/// Operation encoding shared by the sim and rt universal constructions:
+///   bits 48..61 pid (14 bits), 32..47 per-process sequence + 1 (16 bits),
+///   bits 24..31 opcode (8 bits), bits 0..23 argument (24 bits).
+struct OpCodec {
+  static constexpr int kBits = 62;
+
+  static std::int64_t encode(int pid, int seq, int opcode, int arg);
+  static int pid(std::int64_t op) {
+    return static_cast<int>((op >> 48) & 0x3fff);
+  }
+  /// 1-based so that 0 means "nothing applied yet".
+  static int seq(std::int64_t op) {
+    return static_cast<int>((op >> 32) & 0xffff);
+  }
+  static int opcode(std::int64_t op) {
+    return static_cast<int>((op >> 24) & 0xff);
+  }
+  static int arg(std::int64_t op) {
+    return static_cast<int>(op & 0xffffff);
+  }
+};
+
+class SimUniversal {
+ public:
+  /// `n` is the number of participating processes (pids 0..n-1).
+  /// `make_replica` constructs one private replica per process; replicas
+  /// must be deterministic and start in the same state.
+  SimUniversal(sim::RegisterSpace& space, sim::Duration delta, int n,
+               std::function<std::unique_ptr<Replica>()> make_replica);
+
+  /// Invokes opcode(arg) on behalf of env.pid(); co_returns the result.
+  /// Wait-free once timing holds; linearizable always.
+  sim::Task<std::int64_t> invoke(sim::Env env, int opcode, int arg);
+
+  /// Log slots applied by the fastest replica so far (untimed).
+  std::size_t log_length() const;
+
+ private:
+  struct PerProcess {
+    std::unique_ptr<Replica> replica;
+    std::size_t applied_slots = 0;   ///< next log slot this replica applies
+    std::vector<int> applied_seq;    ///< per-pid applied high-water marks
+    int next_seq = 1;                ///< own sequence numbers (1-based)
+  };
+
+  SimMultiConsensus& slot(std::size_t index);
+
+  int n_;
+  sim::RegisterSpace* space_;
+  sim::Duration delta_;
+  std::function<std::unique_ptr<Replica>()> make_replica_;
+  sim::RegisterArray<std::int64_t> announce_;  ///< -1 = nothing announced
+  std::vector<std::unique_ptr<SimMultiConsensus>> slots_;
+  std::vector<std::unique_ptr<PerProcess>> per_process_;
+};
+
+// Two ready-made replicas used by tests, benches and examples.
+
+/// Counter: opcode 1 = add(arg) -> new value; 2 = get() -> value.
+class CounterReplica final : public Replica {
+ public:
+  std::int64_t apply(std::int64_t op) override;
+  static constexpr int kAdd = 1;
+  static constexpr int kGet = 2;
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// FIFO queue of ints: opcode 1 = enqueue(arg) -> size; 2 = dequeue() ->
+/// front or -1 when empty.
+class QueueReplica final : public Replica {
+ public:
+  std::int64_t apply(std::int64_t op) override;
+  static constexpr int kEnqueue = 1;
+  static constexpr int kDequeue = 2;
+
+ private:
+  std::vector<int> items_;
+  std::size_t head_ = 0;
+};
+
+}  // namespace tfr::derived

@@ -1,0 +1,114 @@
+#include "tfr/msg/abd.hpp"
+
+#include <algorithm>
+
+#include "tfr/common/contracts.hpp"
+
+namespace tfr::msg {
+
+sim::Process abd_server(sim::Env env, Network& net, int node, int n) {
+  TFR_REQUIRE(node >= 0 && node < n);
+  const int self = n + node;
+  std::map<int, std::pair<std::int64_t, std::int64_t>> store;  // reg -> (tag, value)
+  for (;;) {
+    const Message m = co_await net.recv(env, self);
+    auto& cell = store[m.reg];  // default (0, 0)
+    switch (m.type) {
+      case kTagReq: {
+        Message ack;
+        ack.type = kTagAck;
+        ack.reg = m.reg;
+        ack.rid = m.rid;
+        ack.tag = cell.first;
+        ack.value = cell.second;
+        co_await net.send(env, self, m.from, ack);
+        break;
+      }
+      case kReadReq: {
+        Message ack;
+        ack.type = kReadAck;
+        ack.reg = m.reg;
+        ack.rid = m.rid;
+        ack.tag = cell.first;
+        ack.value = cell.second;
+        co_await net.send(env, self, m.from, ack);
+        break;
+      }
+      case kWriteReq: {
+        if (m.tag > cell.first) cell = {m.tag, m.value};
+        Message ack;
+        ack.type = kWriteAck;
+        ack.reg = m.reg;
+        ack.rid = m.rid;
+        co_await net.send(env, self, m.from, ack);
+        break;
+      }
+      default:
+        TFR_UNREACHABLE("unknown ABD message type");
+    }
+  }
+}
+
+AbdClient::AbdClient(Network& net, int node, int n)
+    : net_(&net), node_(node), n_(n) {
+  TFR_REQUIRE(n >= 1);
+  TFR_REQUIRE(node >= 0 && node < n);
+  TFR_REQUIRE(net.endpoints() >= 2 * n);
+}
+
+sim::Task<AbdClient::Quorum> AbdClient::majority(sim::Env env,
+                                                 Message request,
+                                                 std::int32_t ack_type) {
+  const std::int64_t rid = next_rid_++;
+  request.rid = rid;
+  co_await net_->multicast(env, node_, n_, 2 * n_, request);
+  Quorum quorum;
+  int acks = 0;
+  const int needed = n_ / 2 + 1;
+  while (acks < needed) {
+    const Message m = co_await net_->recv(env, node_);
+    if (m.rid != rid || m.type != ack_type) continue;  // stale/other ack
+    ++acks;
+    if (m.tag > quorum.max_tag) {
+      quorum.max_tag = m.tag;
+      quorum.value_of_max = m.value;
+    }
+  }
+  co_return quorum;
+}
+
+sim::Task<void> AbdClient::write(sim::Env env, int reg, std::int64_t value) {
+  // Phase 1: learn the highest tag at a majority.
+  Message query;
+  query.type = kTagReq;
+  query.reg = reg;
+  const Quorum seen = co_await majority(env, query, kTagAck);
+  // Phase 2: store with a strictly higher, writer-unique tag.
+  Message store;
+  store.type = kWriteReq;
+  store.reg = reg;
+  store.tag = make_tag(tag_counter(seen.max_tag) + 1, node_);
+  store.value = value;
+  co_await majority(env, store, kWriteAck);
+  ++operations_;
+}
+
+sim::Task<std::int64_t> AbdClient::read(sim::Env env, int reg) {
+  // Phase 1: collect a majority of (tag, value); adopt the maximum.
+  Message query;
+  query.type = kReadReq;
+  query.reg = reg;
+  const Quorum seen = co_await majority(env, query, kReadAck);
+  // Phase 2 (write-back): install the adopted pair at a majority so every
+  // later read sees at least this tag — atomicity, not just regularity.
+  Message store;
+  store.type = kWriteReq;
+  store.reg = reg;
+  store.tag = seen.max_tag;
+  store.value = seen.value_of_max;
+  co_await majority(env, store, kWriteAck);
+  ++operations_;
+  co_return seen.value_of_max;
+}
+
+}  // namespace tfr::msg

@@ -1,0 +1,87 @@
+// ABD: atomic multi-writer multi-reader registers emulated over message
+// passing with majority quorums (after Attiya–Bar-Noy–Dolev), tolerating
+// crashes of any minority of nodes.
+//
+// This is the bridge that carries the paper's register-based algorithms
+// into the message-passing world (§4): a logical register's write queries
+// a majority for the highest tag, then stores a higher one at a majority;
+// a read collects a majority of (tag, value) pairs, adopts the maximum,
+// and writes it back to a majority before returning (the write-back is
+// what makes reads atomic rather than merely regular).  Any two
+// majorities intersect, so a completed operation is visible to every
+// later one — with NO timing assumption; late messages (timing failures
+// on channel registers) delay operations but never unorder them.
+//
+// Each node contributes two endpoints to the Network:
+//   client(i) = i        — runs the node's algorithm and issues ops;
+//   server(i) = n + i    — the replica: stores (tag, value) per logical
+//                          register and answers queries forever.
+//
+// Tags are (counter << 16 | writer) so concurrent writers never tie.
+// Logical register ids are arbitrary non-negative ints; unknown ids read
+// as (tag 0, value 0), so protocols encode their "initial value" as 0.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "tfr/msg/network.hpp"
+
+namespace tfr::msg {
+
+/// Message types of the ABD protocol.
+enum AbdMessageType : std::int32_t {
+  kTagReq = 1,   ///< -> server: what is your tag for reg?
+  kTagAck = 2,   ///< <- server: my tag
+  kWriteReq = 3, ///< -> server: store (tag, value) if tag is higher
+  kWriteAck = 4, ///< <- server: stored (or already newer)
+  kReadReq = 5,  ///< -> server: what is your (tag, value)?
+  kReadAck = 6,  ///< <- server: my (tag, value)
+};
+
+/// The replica role of node `node`: answers ABD requests forever.  Spawn
+/// with endpoint id server(node) = n + node.  Crash it to fault the node.
+sim::Process abd_server(sim::Env env, Network& net, int node, int n);
+
+/// The client role: issues linearizable reads/writes of logical
+/// registers.  One instance per node; must be driven by the coroutine
+/// running at endpoint client(node) = node.
+class AbdClient {
+ public:
+  AbdClient(Network& net, int node, int n);
+
+  /// Linearizable write of logical register `reg` (two majority phases).
+  sim::Task<void> write(sim::Env env, int reg, std::int64_t value);
+
+  /// Linearizable read of logical register `reg` (query + write-back).
+  sim::Task<std::int64_t> read(sim::Env env, int reg);
+
+  std::uint64_t operations() const { return operations_; }
+
+ private:
+  struct Quorum {
+    std::int64_t max_tag = 0;
+    std::int64_t value_of_max = 0;
+  };
+
+  /// Broadcasts `request` to all servers and collects a majority of acks
+  /// of type `ack_type` carrying the current rid; returns the highest
+  /// (tag, value) seen among them.
+  sim::Task<Quorum> majority(sim::Env env, Message request,
+                             std::int32_t ack_type);
+
+  static std::int64_t make_tag(std::int64_t counter, int writer) {
+    return (counter << 16) | static_cast<std::int64_t>(writer & 0xffff);
+  }
+  static std::int64_t tag_counter(std::int64_t tag) { return tag >> 16; }
+
+  Network* net_;
+  int node_;
+  int n_;
+  std::int64_t next_rid_ = 1;
+  std::uint64_t operations_ = 0;
+};
+
+}  // namespace tfr::msg

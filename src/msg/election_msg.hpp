@@ -1,0 +1,80 @@
+// Leader election over message passing: the timing-dependent baseline and
+// the time-resilient construction, side by side (§4 extension; the
+// message-passing twins of Fischer vs Algorithm 3).
+//
+// TimedElection — the classic timing-based protocol: broadcast your id,
+// wait out the assumed delivery bound W, elect the smallest id heard
+// (including your own).  Fast and correct while every message arrives
+// within W; a single late HELLO splits the leadership — the exact
+// message-passing analogue of Fischer's gate failure.  Violations are the
+// point: E16 measures them.
+//
+// MsgElection — resilient: agree on the leader id with the bitwise
+// multi-valued construction over MsgConsensus instances (one per id bit,
+// witnesses in ABD registers).  Safety never depends on delivery times;
+// late messages only delay the outcome.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tfr/msg/consensus_msg.hpp"
+
+namespace tfr::msg {
+
+/// Message type used by TimedElection's announcements.
+inline constexpr std::int32_t kHello = 100;
+
+class TimedElection {
+ public:
+  /// `wait` is the assumed bound W on announcement delivery.
+  TimedElection(Network& net, int n, sim::Duration wait);
+
+  /// Announce, wait W, elect min id heard.  Reports to the monitor (which
+  /// records an agreement violation when leaders split).
+  sim::Process participant(sim::Env env, int node);
+
+  sim::DecisionMonitor& monitor() { return monitor_; }
+
+ private:
+  Network* net_;
+  int n_;
+  sim::Duration wait_;
+  sim::DecisionMonitor monitor_;
+};
+
+/// Resilient election: bitwise agreement on the leader id over
+/// MsgConsensus instances sharing one ABD register space.
+class MsgElection {
+ public:
+  static constexpr int kIdBits = 10;  ///< up to 1024 node ids
+
+  MsgElection(Network& net, int n, sim::Duration delta);
+
+  /// Full participant: elect and report to the monitor.  The node's
+  /// abd_server must be running.
+  sim::Process participant(sim::Env env, int node);
+
+  /// Composable core.
+  sim::Task<int> elect(sim::Env env, AbdClient& client, int id);
+
+  sim::DecisionMonitor& monitor() { return monitor_; }
+
+ private:
+  // Register-id layout inside the shared ABD space:
+  //   [0, 2*kIdBits)                      witness registers (bit, value)
+  //   bit k's MsgConsensus: base 2*kIdBits + k*kRegsPerBit
+  static constexpr int kRegsPerBit = 1 << 14;  // ~5400 rounds per bit
+  int witness_reg(int bit, int b) const { return 2 * bit + b; }
+  int bit_base(int bit) const { return 2 * kIdBits + bit * kRegsPerBit; }
+
+  Network* net_;
+  int n_;
+  sim::Duration delta_;
+  std::vector<std::unique_ptr<MsgConsensus>> bits_;
+  sim::DecisionMonitor monitor_;
+};
+
+}  // namespace tfr::msg

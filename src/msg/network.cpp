@@ -1,0 +1,68 @@
+#include "tfr/msg/network.hpp"
+
+#include <string>
+
+#include "tfr/common/contracts.hpp"
+
+namespace tfr::msg {
+
+Network::Network(sim::RegisterSpace& space, int endpoints)
+    : endpoints_(endpoints) {
+  TFR_REQUIRE(endpoints >= 1);
+  channels_.reserve(static_cast<std::size_t>(endpoints) *
+                    static_cast<std::size_t>(endpoints));
+  for (int from = 0; from < endpoints; ++from) {
+    for (int to = 0; to < endpoints; ++to) {
+      channels_.push_back(std::make_unique<Channel>(
+          space,
+          "ch." + std::to_string(from) + ">" + std::to_string(to)));
+    }
+  }
+  consumed_.assign(static_cast<std::size_t>(endpoints),
+                   std::vector<int>(static_cast<std::size_t>(endpoints), 0));
+}
+
+sim::Task<void> Network::send(sim::Env env, int self, int to, Message m) {
+  TFR_REQUIRE(self >= 0 && self < endpoints_);
+  TFR_REQUIRE(to >= 0 && to < endpoints_);
+  m.from = self;
+  Channel& ch = channel(self, to);
+  // Only `self` writes this channel, so the next free slot is sender-local
+  // knowledge.  Slot is written BEFORE the tail so the receiver never
+  // observes an unwritten slot.
+  const int slot = ch.sender_next++;
+  co_await env.write(ch.slots.at(static_cast<std::size_t>(slot)), m);
+  co_await env.write(ch.tail, slot + 1);
+  ++sent_;
+}
+
+sim::Task<void> Network::multicast(sim::Env env, int self, int first,
+                                   int last, Message m) {
+  for (int to = first; to < last; ++to) co_await send(env, self, to, m);
+}
+
+sim::Task<std::optional<Message>> Network::try_recv(sim::Env env, int self) {
+  TFR_REQUIRE(self >= 0 && self < endpoints_);
+  auto& cursors = consumed_[static_cast<std::size_t>(self)];
+  for (int from = 0; from < endpoints_; ++from) {
+    Channel& ch = channel(from, self);
+    const int tail = co_await env.read(ch.tail);
+    int& cursor = cursors[static_cast<std::size_t>(from)];
+    if (tail > cursor) {
+      const Message m =
+          co_await env.read(ch.slots.at(static_cast<std::size_t>(cursor)));
+      ++cursor;
+      co_return m;
+    }
+  }
+  co_return std::nullopt;
+}
+
+sim::Task<Message> Network::recv(sim::Env env, int self) {
+  for (;;) {
+    auto m = co_await try_recv(env, self);
+    if (m.has_value()) co_return *m;
+  }
+}
+
+}  // namespace tfr::msg

@@ -1,0 +1,92 @@
+// Message passing for the simulator (paper §4: "to consider message
+// passing systems").
+//
+// The network is built from the same primitive the paper allows — atomic
+// registers under the timing model — so every existing capability applies
+// unchanged: a timing failure on a channel register *is* a late message,
+// the adversary schedules delivery, crashes silence a node, and RMR
+// accounting covers polling.  Each ordered pair (sender, receiver) gets an
+// SPSC channel: an unbounded slot array plus a tail register; send writes
+// the slot then bumps the tail (2 shared accesses, each <= Δ when timing
+// holds, so a message "arrives" within 2Δ + the receiver's polling step);
+// the receiver polls tails (cache-local while nothing changes) and
+// consumes slots in order.
+//
+// Endpoints are small integers in [0, endpoints); the ABD layer maps a
+// node to two endpoints (client + server).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "tfr/sim/register.hpp"
+#include "tfr/sim/simulation.hpp"
+#include "tfr/sim/task.hpp"
+
+namespace tfr::msg {
+
+/// Fixed-shape message; meaning of the payload fields is protocol-defined.
+struct Message {
+  std::int32_t type = 0;
+  std::int32_t from = -1;   ///< sending endpoint
+  std::int32_t reg = 0;     ///< logical register id (ABD)
+  std::int64_t rid = 0;     ///< request id (matching acks to requests)
+  std::int64_t tag = 0;     ///< logical timestamp
+  std::int64_t value = 0;
+};
+
+class Network {
+ public:
+  Network(sim::RegisterSpace& space, int endpoints);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  int endpoints() const { return endpoints_; }
+
+  /// Sends `m` to endpoint `to` (2 shared accesses).  m.from is stamped
+  /// with `self`.
+  sim::Task<void> send(sim::Env env, int self, int to, Message m);
+
+  /// Sends `m` to every endpoint in [first, last) (including self if in
+  /// range).
+  sim::Task<void> multicast(sim::Env env, int self, int first, int last,
+                            Message m);
+
+  /// One polling sweep over all inbound channels of `self`; returns the
+  /// first undelivered message found, or nullopt.  Costs one tail read
+  /// per sender (cache-local when idle) plus one slot read on a hit.
+  sim::Task<std::optional<Message>> try_recv(sim::Env env, int self);
+
+  /// Polls until a message arrives.
+  sim::Task<Message> recv(sim::Env env, int self);
+
+  std::uint64_t messages_sent() const { return sent_; }
+
+ private:
+  struct Channel {
+    Channel(sim::RegisterSpace& space, const std::string& name)
+        : slots(space, Message{}, name + ".slot"),
+          tail(space, 0, name + ".tail") {}
+    sim::RegisterArray<Message> slots;
+    sim::Register<int> tail;
+    int sender_next = 0;  ///< sender-local: slots written so far
+  };
+
+  Channel& channel(int from, int to) {
+    return *channels_[static_cast<std::size_t>(from) *
+                          static_cast<std::size_t>(endpoints_) +
+                      static_cast<std::size_t>(to)];
+  }
+
+  int endpoints_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  /// consumed_[receiver][sender]: receiver-local read cursors.
+  std::vector<std::vector<int>> consumed_;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace tfr::msg

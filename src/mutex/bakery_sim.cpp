@@ -1,0 +1,55 @@
+#include <algorithm>
+
+#include "tfr/common/contracts.hpp"
+#include "tfr/mutex/mutex_sim.hpp"
+
+namespace tfr::mutex {
+
+// Lamport's bakery algorithm: the classic asynchronous starvation-free
+// (indeed FIFO) mutex.  Used as the "best known asynchronous algorithm"
+// baseline that Algorithm 3 is compared against: its entry section costs
+// Θ(n) accesses even without contention, so its time complexity is Θ(n·Δ)
+// where Algorithm 3 achieves O(Δ).
+
+BakeryMutex::BakeryMutex(sim::RegisterSpace& space, int n)
+    : n_(n),
+      choosing_(space, 0, "bakery.choosing"),
+      number_(space, 0, "bakery.number") {
+  TFR_REQUIRE(n >= 1);
+  choosing_.at(static_cast<std::size_t>(n - 1));
+  number_.at(static_cast<std::size_t>(n - 1));
+}
+
+sim::Task<void> BakeryMutex::enter(sim::Env env, int id) {
+  TFR_REQUIRE(id >= 0 && id < n_);
+  co_await env.write(choosing_.at(id), 1);
+  int max_seen = 0;
+  for (int j = 0; j < n_; ++j) {
+    if (j == id) continue;
+    const int nj = co_await env.read(number_.at(j));
+    max_seen = std::max(max_seen, nj);
+  }
+  const int mine = max_seen + 1;
+  max_ticket_ = std::max(max_ticket_, mine);
+  co_await env.write(number_.at(id), mine);
+  co_await env.write(choosing_.at(id), 0);
+  for (int j = 0; j < n_; ++j) {
+    if (j == id) continue;
+    for (;;) {  // await ¬choosing[j]
+      const int cj = co_await env.read(choosing_.at(j));
+      if (cj == 0) break;
+    }
+    for (;;) {
+      const int nj = co_await env.read(number_.at(j));
+      // Pass j once it is not competing or is ordered after us in the
+      // lexicographic (ticket, id) order.
+      if (nj == 0 || nj > mine || (nj == mine && j > id)) break;
+    }
+  }
+}
+
+sim::Task<void> BakeryMutex::exit(sim::Env env, int id) {
+  co_await env.write(number_.at(id), 0);
+}
+
+}  // namespace tfr::mutex

@@ -1,0 +1,72 @@
+#include <algorithm>
+
+#include "tfr/common/contracts.hpp"
+#include "tfr/mutex/mutex_sim.hpp"
+
+namespace tfr::mutex {
+
+// Taubenfeld's black-white bakery (DISC 2004).  Tickets carry the colour
+// of the shared colour bit read in the doorway; the waiting rule orders
+// same-coloured tickets like the bakery, and gives the *old* generation
+// (colour different from the current shared colour) priority over the new
+// one.  A process leaving the CS flips the shared colour away from its
+// own, which bounds every ticket by the number of processes.
+
+BlackWhiteBakeryMutex::BlackWhiteBakeryMutex(sim::RegisterSpace& space, int n)
+    : n_(n),
+      color_(space, 0, "bw.color"),
+      choosing_(space, 0, "bw.choosing"),
+      ticket_(space, Ticket{}, "bw.ticket"),
+      mycolor_(static_cast<std::size_t>(n), 0) {
+  TFR_REQUIRE(n >= 1);
+  choosing_.at(static_cast<std::size_t>(n - 1));
+  ticket_.at(static_cast<std::size_t>(n - 1));
+}
+
+sim::Task<void> BlackWhiteBakeryMutex::enter(sim::Env env, int id) {
+  TFR_REQUIRE(id >= 0 && id < n_);
+  co_await env.write(choosing_.at(id), 1);
+  const int mycolor = co_await env.read(color_);
+  mycolor_[static_cast<std::size_t>(id)] = mycolor;
+  // Take one more than the largest ticket of my own colour.
+  int max_seen = 0;
+  for (int j = 0; j < n_; ++j) {
+    if (j == id) continue;
+    const Ticket t = co_await env.read(ticket_.at(j));
+    if (t.num != 0 && t.color == mycolor) max_seen = std::max(max_seen, t.num);
+  }
+  const int mine = max_seen + 1;
+  max_ticket_ = std::max(max_ticket_, mine);
+  co_await env.write(ticket_.at(id), Ticket{mycolor, mine});
+  co_await env.write(choosing_.at(id), 0);
+
+  for (int j = 0; j < n_; ++j) {
+    if (j == id) continue;
+    for (;;) {  // await ¬choosing[j]
+      const int cj = co_await env.read(choosing_.at(j));
+      if (cj == 0) break;
+    }
+    for (;;) {
+      const Ticket t = co_await env.read(ticket_.at(j));
+      if (t.num == 0) break;  // j is not competing
+      if (t.color == mycolor) {
+        // Same generation: bakery order on (ticket, id).
+        if (t.num > mine || (t.num == mine && j > id)) break;
+      } else {
+        // Different generations: the old one (colour != shared colour) has
+        // priority.  We pass j iff we are the old generation.
+        const int shared = co_await env.read(color_);
+        if (shared != mycolor) break;
+      }
+    }
+  }
+}
+
+sim::Task<void> BlackWhiteBakeryMutex::exit(sim::Env env, int id) {
+  // Flip the shared colour away from ours, retiring our generation, then
+  // return the ticket.
+  co_await env.write(color_, 1 - mycolor_[static_cast<std::size_t>(id)]);
+  co_await env.write(ticket_.at(id), Ticket{});
+}
+
+}  // namespace tfr::mutex

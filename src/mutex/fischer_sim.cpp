@@ -1,0 +1,42 @@
+#include "tfr/common/contracts.hpp"
+#include "tfr/mutex/mutex_sim.hpp"
+
+namespace tfr::mutex {
+
+// Algorithm 2 (paper §3.1):
+//   1  repeat   await (x = 0)
+//   2           x := i
+//   3           delay(Δ)
+//   4  until    x = i
+//   5  critical section
+//   6  x := 0
+//
+// The delay guarantees (absent timing failures) that after it completes,
+// every process that read x = 0 before our write has finished its own
+// write, so a surviving x = i certifies exclusive ownership.
+
+FischerMutex::FischerMutex(sim::RegisterSpace& space, sim::Duration delta)
+    : delta_(delta), x_(space, 0, "fischer.x") {
+  TFR_REQUIRE(delta >= 1);
+}
+
+sim::Task<void> FischerMutex::enter(sim::Env env, int id) {
+  const int me = id + 1;
+  for (;;) {
+    for (;;) {  // await (x = 0)
+      const int x = co_await env.read(x_);
+      if (x == 0) break;
+    }
+    co_await env.write(x_, me);
+    co_await env.delay(delta_);
+    const int check = co_await env.read(x_);
+    if (check == me) co_return;
+  }
+}
+
+sim::Task<void> FischerMutex::exit(sim::Env env, int id) {
+  (void)id;
+  co_await env.write(x_, 0);
+}
+
+}  // namespace tfr::mutex

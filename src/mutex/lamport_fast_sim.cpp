@@ -1,0 +1,67 @@
+#include "tfr/common/contracts.hpp"
+#include "tfr/mutex/mutex_sim.hpp"
+
+namespace tfr::mutex {
+
+// Lamport, "A fast mutual exclusion algorithm" (TOCS 1987), Algorithm 2.
+// Shared: x, y (gate, 0 = open), b[1..n].  Contention-free path: two writes
+// (b[i], x), one read (y), one write (y), one read (x) — five accesses.
+// Deadlock-free; a process can be overtaken forever (no starvation-
+// freedom), which is exactly why Theorem 3.2 rejects it as the inner
+// algorithm A of Algorithm 3.
+
+LamportFastMutex::LamportFastMutex(sim::RegisterSpace& space, int n)
+    : n_(n),
+      x_(space, 0, "lamport.x"),
+      y_(space, 0, "lamport.y"),
+      b_(space, 0, "lamport.b") {
+  TFR_REQUIRE(n >= 1);
+  // Pre-size b so the register count is visible up front (Theorem 3.1
+  // audits: n + 2 registers for n processes).
+  b_.at(static_cast<std::size_t>(n - 1));
+}
+
+sim::Task<void> LamportFastMutex::enter(sim::Env env, int id) {
+  TFR_REQUIRE(id >= 0 && id < n_);
+  const int me = id + 1;
+  for (;;) {  // start:
+    co_await env.write(b_.at(id), 1);
+    co_await env.write(x_, me);
+    const int gate = co_await env.read(y_);
+    if (gate != 0) {
+      co_await env.write(b_.at(id), 0);
+      for (;;) {  // await y = 0
+        const int y = co_await env.read(y_);
+        if (y == 0) break;
+      }
+      continue;  // goto start
+    }
+    co_await env.write(y_, me);
+    const int last = co_await env.read(x_);
+    if (last != me) {
+      co_await env.write(b_.at(id), 0);
+      for (int j = 0; j < n_; ++j) {
+        for (;;) {  // await ¬b[j]
+          const int bj = co_await env.read(b_.at(j));
+          if (bj == 0) break;
+        }
+      }
+      const int owner = co_await env.read(y_);
+      if (owner != me) {
+        for (;;) {  // await y = 0
+          const int y = co_await env.read(y_);
+          if (y == 0) break;
+        }
+        continue;  // goto start
+      }
+    }
+    co_return;  // enter the critical section
+  }
+}
+
+sim::Task<void> LamportFastMutex::exit(sim::Env env, int id) {
+  co_await env.write(y_, 0);
+  co_await env.write(b_.at(id), 0);
+}
+
+}  // namespace tfr::mutex

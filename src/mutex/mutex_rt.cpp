@@ -1,0 +1,291 @@
+#include "tfr/mutex/mutex_rt.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "tfr/common/contracts.hpp"
+
+namespace tfr::rt {
+
+namespace {
+
+/// Spin-wait step: be polite to the OS scheduler so oversubscribed runs
+/// (more threads than cores) keep making progress.
+inline void relax() { std::this_thread::yield(); }
+
+std::unique_ptr<AtomicRegister<int>[]> make_int_registers(int n, int init) {
+  auto regs = std::make_unique<AtomicRegister<int>[]>(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) regs[static_cast<std::size_t>(i)].write(init);
+  return regs;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// Fischer
+
+FischerRt::FischerRt(Nanos delta, FaultInjector* faults)
+    : delta_(delta), faults_(faults) {
+  TFR_REQUIRE(delta.count() >= 0);
+}
+
+void FischerRt::lock(int id) {
+  const int me = id + 1;
+  for (;;) {
+    while (x_.read() != 0) relax();  // await (x = 0)
+    // The gate's vulnerable window: a stall here longer than Δ is exactly
+    // the timing failure that breaks mutual exclusion (§3.1).
+    maybe_stall(faults_, "fischer.gate");
+    x_.write(me);
+    spin_for(delta_);
+    if (x_.read() == me) return;
+  }
+}
+
+void FischerRt::unlock(int /*id*/) { x_.write(0); }
+
+// --------------------------------------------------------------------------
+// Lamport's fast mutex
+
+LamportFastRt::LamportFastRt(int n) : n_(n), b_(make_int_registers(n, 0)) {
+  TFR_REQUIRE(n >= 1);
+}
+
+void LamportFastRt::lock(int id) {
+  TFR_REQUIRE(id >= 0 && id < n_);
+  const int me = id + 1;
+  for (;;) {  // start:
+    b_[static_cast<std::size_t>(id)].write(1);
+    x_.write(me);
+    if (y_.read() != 0) {
+      b_[static_cast<std::size_t>(id)].write(0);
+      while (y_.read() != 0) relax();
+      continue;
+    }
+    y_.write(me);
+    if (x_.read() != me) {
+      b_[static_cast<std::size_t>(id)].write(0);
+      for (int j = 0; j < n_; ++j) {
+        while (b_[static_cast<std::size_t>(j)].read() != 0) relax();
+      }
+      if (y_.read() != me) {
+        while (y_.read() != 0) relax();
+        continue;
+      }
+    }
+    return;
+  }
+}
+
+void LamportFastRt::unlock(int id) {
+  y_.write(0);
+  b_[static_cast<std::size_t>(id)].write(0);
+}
+
+// --------------------------------------------------------------------------
+// Bakery
+
+BakeryRt::BakeryRt(int n)
+    : n_(n),
+      choosing_(make_int_registers(n, 0)),
+      number_(make_int_registers(n, 0)) {
+  TFR_REQUIRE(n >= 1);
+}
+
+void BakeryRt::lock(int id) {
+  TFR_REQUIRE(id >= 0 && id < n_);
+  choosing_[static_cast<std::size_t>(id)].write(1);
+  int max_seen = 0;
+  for (int j = 0; j < n_; ++j) {
+    if (j == id) continue;
+    max_seen = std::max(max_seen, number_[static_cast<std::size_t>(j)].read());
+  }
+  const int mine = max_seen + 1;
+  number_[static_cast<std::size_t>(id)].write(mine);
+  choosing_[static_cast<std::size_t>(id)].write(0);
+  for (int j = 0; j < n_; ++j) {
+    if (j == id) continue;
+    while (choosing_[static_cast<std::size_t>(j)].read() != 0) relax();
+    for (;;) {
+      const int nj = number_[static_cast<std::size_t>(j)].read();
+      if (nj == 0 || nj > mine || (nj == mine && j > id)) break;
+      relax();
+    }
+  }
+}
+
+void BakeryRt::unlock(int id) {
+  number_[static_cast<std::size_t>(id)].write(0);
+}
+
+// --------------------------------------------------------------------------
+// Black-white bakery
+
+BlackWhiteBakeryRt::BlackWhiteBakeryRt(int n)
+    : n_(n),
+      choosing_(make_int_registers(n, 0)),
+      ticket_(std::make_unique<AtomicRegister<Ticket>[]>(
+          static_cast<std::size_t>(n))),
+      mycolor_(static_cast<std::size_t>(n), 0) {
+  TFR_REQUIRE(n >= 1);
+  for (int i = 0; i < n; ++i)
+    ticket_[static_cast<std::size_t>(i)].write(Ticket{});
+}
+
+void BlackWhiteBakeryRt::lock(int id) {
+  TFR_REQUIRE(id >= 0 && id < n_);
+  choosing_[static_cast<std::size_t>(id)].write(1);
+  const int mycolor = color_.read();
+  mycolor_[static_cast<std::size_t>(id)] = mycolor;
+  int max_seen = 0;
+  for (int j = 0; j < n_; ++j) {
+    if (j == id) continue;
+    const Ticket t = ticket_[static_cast<std::size_t>(j)].read();
+    if (t.num != 0 && t.color == mycolor) max_seen = std::max(max_seen, t.num);
+  }
+  const int mine = max_seen + 1;
+  ticket_[static_cast<std::size_t>(id)].write(
+      Ticket{static_cast<std::int32_t>(mycolor),
+             static_cast<std::int32_t>(mine)});
+  choosing_[static_cast<std::size_t>(id)].write(0);
+  for (int j = 0; j < n_; ++j) {
+    if (j == id) continue;
+    while (choosing_[static_cast<std::size_t>(j)].read() != 0) relax();
+    for (;;) {
+      const Ticket t = ticket_[static_cast<std::size_t>(j)].read();
+      if (t.num == 0) break;
+      if (t.color == mycolor) {
+        if (t.num > mine || (t.num == mine && j > id)) break;
+      } else {
+        if (color_.read() != mycolor) break;  // we are the old generation
+      }
+      relax();
+    }
+  }
+}
+
+void BlackWhiteBakeryRt::unlock(int id) {
+  color_.write(1 - mycolor_[static_cast<std::size_t>(id)]);
+  ticket_[static_cast<std::size_t>(id)].write(Ticket{});
+}
+
+// --------------------------------------------------------------------------
+// Starvation-free doorway
+
+StarvationFreeRt::StarvationFreeRt(int n, std::unique_ptr<RtMutex> inner)
+    : n_(n), inner_(std::move(inner)), flag_(make_int_registers(n, 0)) {
+  TFR_REQUIRE(n >= 1);
+  TFR_REQUIRE(inner_ != nullptr);
+}
+
+void StarvationFreeRt::lock(int id) {
+  TFR_REQUIRE(id >= 0 && id < n_);
+  flag_[static_cast<std::size_t>(id)].write(1);
+  for (;;) {
+    const int t = turn_.read();
+    if (t == id) break;
+    if (flag_[static_cast<std::size_t>(t)].read() == 0) break;
+    relax();
+  }
+  inner_->lock(id);
+}
+
+void StarvationFreeRt::unlock(int id) {
+  flag_[static_cast<std::size_t>(id)].write(0);
+  const int t = turn_.read();
+  if (flag_[static_cast<std::size_t>(t)].read() == 0)
+    turn_.write((t + 1) % n_);
+  inner_->unlock(id);
+}
+
+// --------------------------------------------------------------------------
+// Algorithm 3
+
+TfrMutexRt::TfrMutexRt(Nanos delta, std::unique_ptr<RtMutex> inner,
+                       FaultInjector* faults)
+    : delta_(delta), inner_(std::move(inner)), faults_(faults) {
+  TFR_REQUIRE(delta.count() >= 0);
+  TFR_REQUIRE(inner_ != nullptr);
+}
+
+void TfrMutexRt::lock(int id) {
+  const int me = id + 1;
+  bool first_attempt = true;
+  for (;;) {
+    while (x_.read() != 0) relax();
+    maybe_stall(faults_, "fischer.gate");
+    x_.write(me);
+    spin_for(delta_);
+    if (x_.read() == me) break;
+    first_attempt = false;
+  }
+  (first_attempt ? first_try_ : retried_)
+      .fetch_add(1, std::memory_order_relaxed);
+  inner_->lock(id);
+}
+
+void TfrMutexRt::unlock(int id) {
+  inner_->unlock(id);
+  if (x_.read() == id + 1) x_.write(0);
+}
+
+std::unique_ptr<TfrMutexRt> make_tfr_mutex_rt(int n, Nanos delta,
+                                              FaultInjector* faults) {
+  auto fast = std::make_unique<LamportFastRt>(n);
+  auto a = std::make_unique<StarvationFreeRt>(n, std::move(fast));
+  return std::make_unique<TfrMutexRt>(delta, std::move(a), faults);
+}
+
+// --------------------------------------------------------------------------
+// Harness
+
+RtWorkloadResult run_rt_mutex_workload(RtMutex& mutex,
+                                       RtWorkloadConfig config) {
+  TFR_REQUIRE(config.threads >= 1);
+  TFR_REQUIRE(config.sessions >= 1);
+
+  std::atomic<int> occupancy{0};
+  std::atomic<std::uint64_t> violations{0};
+  std::atomic<std::uint64_t> entries{0};
+  std::atomic<std::int64_t> max_wait_ns{0};
+
+  auto worker = [&](int id) {
+    for (int s = 0; s < config.sessions; ++s) {
+      if (config.ncs_time.count() > 0) spin_for(config.ncs_time);
+      const auto wait_begin = std::chrono::steady_clock::now();
+      mutex.lock(id);
+      const auto waited = std::chrono::duration_cast<Nanos>(
+                              std::chrono::steady_clock::now() - wait_begin)
+                              .count();
+      std::int64_t seen = max_wait_ns.load(std::memory_order_relaxed);
+      while (waited > seen &&
+             !max_wait_ns.compare_exchange_weak(seen, waited,
+                                                std::memory_order_relaxed)) {
+      }
+      if (occupancy.fetch_add(1, std::memory_order_seq_cst) != 0)
+        violations.fetch_add(1, std::memory_order_relaxed);
+      entries.fetch_add(1, std::memory_order_relaxed);
+      if (config.cs_time.count() > 0) spin_for(config.cs_time);
+      occupancy.fetch_sub(1, std::memory_order_seq_cst);
+      mutex.unlock(id);
+    }
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(config.threads));
+  for (int i = 0; i < config.threads; ++i) threads.emplace_back(worker, i);
+  for (auto& t : threads) t.join();
+  const auto wall = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+
+  return RtWorkloadResult{
+      .violations = violations.load(),
+      .cs_entries = entries.load(),
+      .max_wait = Nanos{max_wait_ns.load()},
+      .wall_seconds = wall,
+  };
+}
+
+}  // namespace tfr::rt

@@ -1,0 +1,176 @@
+// Mutual-exclusion algorithms — real-thread edition (std::atomic registers).
+//
+// Same algorithm set as mutex_sim.hpp; see that header for the catalogue
+// and the role each plays in the paper.  Spin loops yield to the OS
+// scheduler so the suite behaves on machines with fewer cores than
+// threads (a paper-faithful source of "timing failures", incidentally).
+//
+// Injection points (see registers/fault_injector.hpp):
+//   "fischer.gate"  — between reading x = 0 and writing x := i; stalling
+//                     here longer than Δ reproduces the classic mutual-
+//                     exclusion violation of §3.1.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "tfr/registers/atomic_register.hpp"
+#include "tfr/registers/fault_injector.hpp"
+
+namespace tfr::rt {
+
+class RtMutex {
+ public:
+  virtual ~RtMutex() = default;
+  virtual void lock(int id) = 0;
+  virtual void unlock(int id) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Algorithm 2 — Fischer's timing-based mutex on real threads.  `delta`
+/// should be optimistic(Δ); ME holds only while no step outlasts it.
+class FischerRt final : public RtMutex {
+ public:
+  FischerRt(Nanos delta, FaultInjector* faults = nullptr);
+
+  void lock(int id) override;
+  void unlock(int id) override;
+  std::string name() const override { return "fischer"; }
+
+ private:
+  Nanos delta_;
+  FaultInjector* faults_;
+  AtomicRegister<int> x_{0};
+};
+
+/// Lamport's fast mutex (deadlock-free, not starvation-free).
+class LamportFastRt final : public RtMutex {
+ public:
+  explicit LamportFastRt(int n);
+
+  void lock(int id) override;
+  void unlock(int id) override;
+  std::string name() const override { return "lamport-fast"; }
+
+ private:
+  int n_;
+  AtomicRegister<int> x_{0};
+  AtomicRegister<int> y_{0};
+  std::unique_ptr<AtomicRegister<int>[]> b_;
+};
+
+/// Lamport's bakery (starvation-free, FIFO, unbounded tickets).
+class BakeryRt final : public RtMutex {
+ public:
+  explicit BakeryRt(int n);
+
+  void lock(int id) override;
+  void unlock(int id) override;
+  std::string name() const override { return "bakery"; }
+
+ private:
+  int n_;
+  std::unique_ptr<AtomicRegister<int>[]> choosing_;
+  std::unique_ptr<AtomicRegister<int>[]> number_;
+};
+
+/// Taubenfeld's black-white bakery (starvation-free, bounded tickets).
+class BlackWhiteBakeryRt final : public RtMutex {
+ public:
+  explicit BlackWhiteBakeryRt(int n);
+
+  void lock(int id) override;
+  void unlock(int id) override;
+  std::string name() const override { return "bw-bakery"; }
+
+ private:
+  struct Ticket {
+    std::int32_t color = 0;
+    std::int32_t num = 0;  ///< 0 = not competing
+  };
+
+  int n_;
+  AtomicRegister<int> color_{0};
+  std::unique_ptr<AtomicRegister<int>[]> choosing_;
+  std::unique_ptr<AtomicRegister<Ticket>[]> ticket_;
+  std::vector<int> mycolor_;
+};
+
+/// Deadlock-free → starvation-free doorway transformation (see
+/// mutex/starvation_free_sim.cpp for the argument).
+class StarvationFreeRt final : public RtMutex {
+ public:
+  StarvationFreeRt(int n, std::unique_ptr<RtMutex> inner);
+
+  void lock(int id) override;
+  void unlock(int id) override;
+  std::string name() const override {
+    return "starvation-free(" + inner_->name() + ")";
+  }
+
+ private:
+  int n_;
+  std::unique_ptr<RtMutex> inner_;
+  std::unique_ptr<AtomicRegister<int>[]> flag_;
+  AtomicRegister<int> turn_{0};
+};
+
+/// Algorithm 3 — the time-resilient mutex: Fischer filter around an inner
+/// asynchronous algorithm A.
+class TfrMutexRt final : public RtMutex {
+ public:
+  TfrMutexRt(Nanos delta, std::unique_ptr<RtMutex> inner,
+             FaultInjector* faults = nullptr);
+
+  void lock(int id) override;
+  void unlock(int id) override;
+  std::string name() const override { return "tfr(" + inner_->name() + ")"; }
+
+  std::uint64_t first_try_admissions() const {
+    return first_try_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t retried_admissions() const {
+    return retried_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Nanos delta_;
+  std::unique_ptr<RtMutex> inner_;
+  FaultInjector* faults_;
+  AtomicRegister<int> x_{0};
+  std::atomic<std::uint64_t> first_try_{0};
+  std::atomic<std::uint64_t> retried_{0};
+};
+
+/// The paper's recommended instantiation of Algorithm 3: A = starvation-
+/// free transformation of Lamport's fast mutex.
+std::unique_ptr<TfrMutexRt> make_tfr_mutex_rt(int n, Nanos delta,
+                                              FaultInjector* faults = nullptr);
+
+// ---------------------------------------------------------------------------
+// Harness: n threads cycling NCS → lock → CS → unlock with an occupancy
+// probe that counts mutual-exclusion violations.
+
+struct RtWorkloadConfig {
+  int threads = 2;
+  int sessions = 100;
+  Nanos cs_time{500};
+  Nanos ncs_time{500};
+};
+
+struct RtWorkloadResult {
+  std::uint64_t violations = 0;   ///< CS occupancy > 1 observations
+  std::uint64_t cs_entries = 0;
+  Nanos max_wait{0};              ///< longest lock() latency
+  double wall_seconds = 0.0;
+};
+
+RtWorkloadResult run_rt_mutex_workload(RtMutex& mutex,
+                                       RtWorkloadConfig config);
+
+}  // namespace tfr::rt

@@ -1,0 +1,204 @@
+// Mutual-exclusion algorithms — simulator edition.
+//
+// The paper's §3 builds its time-resilient mutex (Algorithm 3) by wrapping
+// an asynchronous *fast starvation-free* algorithm A inside Fischer's
+// timing-based filter.  This header provides every piece:
+//
+//   FischerMutex           — Algorithm 2: the timing-based filter itself.
+//                            ME + deadlock-freedom without timing failures;
+//                            ME can break under timing failures (§3.1).
+//   LamportFastMutex       — Lamport's fast mutex: asynchronous,
+//                            deadlock-free but NOT starvation-free; the
+//                            negative instantiation of A (Theorem 3.2).
+//   BakeryMutex            — Lamport's bakery: asynchronous,
+//                            starvation-free, FIFO, unbounded tickets.
+//   BlackWhiteBakeryMutex  — Taubenfeld's black-white bakery: asynchronous,
+//                            starvation-free, bounded tickets.
+//   StarvationFreeMutex    — the deadlock-free → starvation-free register
+//                            transformation the paper invokes (due to Yoah
+//                            Bar-David; cf. Taubenfeld's book, Problem
+//                            2.3.4); applied to LamportFastMutex it yields
+//                            the fast starvation-free A of Theorem 3.3.
+//   TfrMutex               — Algorithm 3: Fischer filter around A, exit
+//                            code `if x = i then x := 0`.
+//
+// All ids are 0-based (0..n-1).  Entry/exit sections are Tasks so that
+// TfrMutex composes algorithms by awaiting them.
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tfr/sim/register.hpp"
+#include "tfr/sim/simulation.hpp"
+#include "tfr/sim/task.hpp"
+#include "tfr/sim/types.hpp"
+
+namespace tfr::mutex {
+
+/// Abstract mutual-exclusion algorithm in the simulator.
+class SimMutex {
+ public:
+  virtual ~SimMutex() = default;
+
+  /// The entry section: completes when `id` may enter its critical section.
+  virtual sim::Task<void> enter(sim::Env env, int id) = 0;
+
+  /// The exit section.
+  virtual sim::Task<void> exit(sim::Env env, int id) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Algorithm 2 — Fischer's timing-based mutex.  One shared register; the
+/// delay(Δ) after writing x := i is what makes the gate safe *when timing
+/// holds*.  Supports unboundedly many processes.
+class FischerMutex final : public SimMutex {
+ public:
+  FischerMutex(sim::RegisterSpace& space, sim::Duration delta);
+
+  sim::Task<void> enter(sim::Env env, int id) override;
+  sim::Task<void> exit(sim::Env env, int id) override;
+  std::string name() const override { return "fischer"; }
+
+  sim::Duration delta() const { return delta_; }
+
+ private:
+  sim::Duration delta_;
+  sim::Register<int> x_;  ///< 0 = free, else owner id + 1
+};
+
+/// Lamport's fast mutual exclusion algorithm (1987).  Asynchronous;
+/// deadlock-free; contention-free entry takes 3 writes + 2 reads.
+class LamportFastMutex final : public SimMutex {
+ public:
+  LamportFastMutex(sim::RegisterSpace& space, int n);
+
+  sim::Task<void> enter(sim::Env env, int id) override;
+  sim::Task<void> exit(sim::Env env, int id) override;
+  std::string name() const override { return "lamport-fast"; }
+
+ private:
+  int n_;
+  sim::Register<int> x_;       ///< last announcer (id + 1)
+  sim::Register<int> y_;       ///< gate (0 = open, else id + 1)
+  sim::RegisterArray<int> b_;  ///< b[i]: i is trying
+};
+
+/// Lamport's bakery algorithm.  Asynchronous; starvation-free (FIFO);
+/// tickets grow without bound under perpetual contention.
+class BakeryMutex final : public SimMutex {
+ public:
+  BakeryMutex(sim::RegisterSpace& space, int n);
+
+  sim::Task<void> enter(sim::Env env, int id) override;
+  sim::Task<void> exit(sim::Env env, int id) override;
+  std::string name() const override { return "bakery"; }
+
+  /// Largest ticket ever taken (observability for the boundedness contrast
+  /// with the black-white bakery).
+  int max_ticket() const { return max_ticket_; }
+
+ private:
+  int n_;
+  sim::RegisterArray<int> choosing_;
+  sim::RegisterArray<int> number_;
+  int max_ticket_ = 0;
+};
+
+/// Taubenfeld's black-white bakery (DISC 2004): starvation-free like the
+/// bakery but with tickets bounded by the number of processes, achieved by
+/// colouring each generation of tickets with a shared colour bit.
+class BlackWhiteBakeryMutex final : public SimMutex {
+ public:
+  BlackWhiteBakeryMutex(sim::RegisterSpace& space, int n);
+
+  sim::Task<void> enter(sim::Env env, int id) override;
+  sim::Task<void> exit(sim::Env env, int id) override;
+  std::string name() const override { return "bw-bakery"; }
+
+  int max_ticket() const { return max_ticket_; }
+
+ private:
+  /// A (colour, number) pair held in one atomic register, as in the paper.
+  struct Ticket {
+    int color = 0;
+    int num = 0;  ///< 0 = not competing
+  };
+
+  int n_;
+  sim::Register<int> color_;          ///< the shared colour bit
+  sim::RegisterArray<int> choosing_;
+  sim::RegisterArray<Ticket> ticket_;
+  std::vector<int> mycolor_;          ///< per-process local memory
+  int max_ticket_ = 0;
+};
+
+/// The deadlock-free → starvation-free transformation (registers only).
+/// A doorway (flag array + round-robin turn register) throttles entry to
+/// the inner deadlock-free lock so the turn-holder cannot be bypassed
+/// forever.  Fast: the doorway adds 3 accesses on the contention-free path.
+class StarvationFreeMutex final : public SimMutex {
+ public:
+  /// `inner` must be deadlock-free; the wrapper owns it.
+  StarvationFreeMutex(sim::RegisterSpace& space, int n,
+                      std::unique_ptr<SimMutex> inner);
+
+  sim::Task<void> enter(sim::Env env, int id) override;
+  sim::Task<void> exit(sim::Env env, int id) override;
+  std::string name() const override {
+    return "starvation-free(" + inner_->name() + ")";
+  }
+
+ private:
+  int n_;
+  std::unique_ptr<SimMutex> inner_;
+  sim::RegisterArray<int> flag_;  ///< 1 = up (competing)
+  sim::Register<int> turn_;
+};
+
+/// Algorithm 3 — the paper's time-resilient mutex: Fischer's filter in
+/// front of an asynchronous algorithm A, with exit code
+/// `A.exit(); if x = i then x := 0`.
+///
+/// Properties (§3.3): ME and deadlock-freedom always (A provides them even
+/// while timing fails); O(Δ) time complexity without timing failures; with
+/// a *starvation-free* A the algorithm converges after failures cease
+/// (Theorem 3.3), with a merely deadlock-free A it may not (Theorem 3.2).
+class TfrMutex final : public SimMutex {
+ public:
+  TfrMutex(sim::RegisterSpace& space, sim::Duration delta,
+           std::unique_ptr<SimMutex> inner);
+
+  sim::Task<void> enter(sim::Env env, int id) override;
+  sim::Task<void> exit(sim::Env env, int id) override;
+  std::string name() const override {
+    return "tfr(" + inner_->name() + ")";
+  }
+
+  sim::Duration delta() const { return delta_; }
+
+  /// How often the Fischer filter admitted a process on its first attempt
+  /// (no retry loop) — the filter's efficiency signal for optimistic(Δ).
+  std::uint64_t first_try_admissions() const { return first_try_; }
+  std::uint64_t retried_admissions() const { return retried_; }
+
+ private:
+  sim::Duration delta_;
+  std::unique_ptr<SimMutex> inner_;
+  sim::Register<int> x_;  ///< Fischer's register: 0 = free, else id + 1
+  std::uint64_t first_try_ = 0;
+  std::uint64_t retried_ = 0;
+};
+
+/// Convenience factories for the two instantiations of Algorithm 3 the
+/// paper discusses.
+std::unique_ptr<TfrMutex> make_tfr_mutex_starvation_free(
+    sim::RegisterSpace& space, int n, sim::Duration delta);
+std::unique_ptr<TfrMutex> make_tfr_mutex_deadlock_free_only(
+    sim::RegisterSpace& space, int n, sim::Duration delta);
+
+}  // namespace tfr::mutex

@@ -1,0 +1,61 @@
+#include "tfr/common/contracts.hpp"
+#include "tfr/mutex/mutex_sim.hpp"
+
+namespace tfr::mutex {
+
+// The deadlock-free → starvation-free transformation using registers only
+// (the paper credits Yoah Bar-David; cf. Taubenfeld's book, Problem 2.3.4;
+// this presentation follows Raynal's).  A flag array and a round-robin
+// TURN register form a doorway in front of the inner deadlock-free lock:
+//
+//   enter(i):  FLAG[i] := up
+//              wait until TURN = i or FLAG[TURN] = down
+//              inner.enter(i)
+//   exit(i):   FLAG[i] := down
+//              if FLAG[TURN] = down then TURN := (TURN + 1) mod n
+//              inner.exit(i)
+//
+// Why it is starvation-free: TURN only advances past a competitor once
+// that competitor's flag is down.  If TURN = j and j competes, every later
+// arrival blocks at the doorway, the finitely many processes already past
+// it drain (inner is deadlock-free), and then j — the only remaining
+// competitor — enters; its own exit advances TURN.  So TURN sweeps the
+// ring and every waiting process is eventually let through.
+//
+// Why it stays fast: the doorway costs 1 write + 2 reads when the lock is
+// idle, so with a fast inner algorithm the contention-free entry remains a
+// constant number of accesses — the property Algorithm 3 needs from A for
+// its O(Δ) efficiency claim.
+
+StarvationFreeMutex::StarvationFreeMutex(sim::RegisterSpace& space, int n,
+                                         std::unique_ptr<SimMutex> inner)
+    : n_(n),
+      inner_(std::move(inner)),
+      flag_(space, 0, "sf.flag"),
+      turn_(space, 0, "sf.turn") {
+  TFR_REQUIRE(n >= 1);
+  TFR_REQUIRE(inner_ != nullptr);
+  flag_.at(static_cast<std::size_t>(n - 1));
+}
+
+sim::Task<void> StarvationFreeMutex::enter(sim::Env env, int id) {
+  TFR_REQUIRE(id >= 0 && id < n_);
+  co_await env.write(flag_.at(id), 1);
+  for (;;) {
+    const int t = co_await env.read(turn_);
+    if (t == id) break;
+    const int holder_flag = co_await env.read(flag_.at(t));
+    if (holder_flag == 0) break;
+  }
+  co_await inner_->enter(env, id);
+}
+
+sim::Task<void> StarvationFreeMutex::exit(sim::Env env, int id) {
+  co_await env.write(flag_.at(id), 0);
+  const int t = co_await env.read(turn_);
+  const int holder_flag = co_await env.read(flag_.at(t));
+  if (holder_flag == 0) co_await env.write(turn_, (t + 1) % n_);
+  co_await inner_->exit(env, id);
+}
+
+}  // namespace tfr::mutex

@@ -1,0 +1,56 @@
+#include "tfr/mutex/workload_sim.hpp"
+
+#include "tfr/common/contracts.hpp"
+
+namespace tfr::mutex {
+
+sim::Process mutex_sessions(sim::Env env, SimMutex& algorithm,
+                            sim::MutexMonitor& mon, int id,
+                            WorkloadConfig config) {
+  for (int s = 0; config.sessions <= 0 || s < config.sessions; ++s) {
+    if (config.ncs_time > 0) {
+      const sim::Duration ncs =
+          config.randomize_ncs ? env.rng().uniform(0, config.ncs_time)
+                               : config.ncs_time;
+      if (ncs > 0) co_await env.delay(ncs);
+    }
+    mon.enter_entry(id, env.now());
+    co_await algorithm.enter(env, id);
+    mon.enter_cs(id, env.now());
+    if (config.cs_time > 0) co_await env.delay(config.cs_time);
+    mon.exit_cs(id, env.now());
+    co_await algorithm.exit(env, id);
+    mon.leave_exit(id, env.now());
+  }
+}
+
+WorkloadResult run_mutex_workload(
+    const std::function<std::unique_ptr<SimMutex>(sim::RegisterSpace&)>& make,
+    WorkloadConfig config, std::unique_ptr<sim::TimingModel> timing,
+    std::uint64_t seed, sim::Time limit) {
+  TFR_REQUIRE(config.processes >= 1);
+  sim::Simulation simulation(std::move(timing), {.seed = seed});
+  std::unique_ptr<SimMutex> algorithm = make(simulation.space());
+  TFR_REQUIRE(algorithm != nullptr);
+
+  sim::MutexMonitor monitor;
+  monitor.throw_on_violation(!config.tolerate_violations);
+  for (int i = 0; i < config.processes; ++i) {
+    simulation.spawn([&, i](sim::Env env) {
+      return mutex_sessions(env, *algorithm, monitor, i, config);
+    });
+  }
+  simulation.run(limit);
+
+  WorkloadResult result{.monitor = monitor};
+  result.violations = monitor.mutual_exclusion_violations();
+  result.cs_entries = monitor.cs_entries();
+  result.time_complexity = monitor.time_complexity();
+  result.max_wait = monitor.max_wait();
+  result.registers_allocated = simulation.space().allocated();
+  result.end_time = simulation.now();
+  result.completed = simulation.all_done();
+  return result;
+}
+
+}  // namespace tfr::mutex

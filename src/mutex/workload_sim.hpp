@@ -1,0 +1,54 @@
+// Workload harness for mutual-exclusion experiments: n processes cycling
+// NCS → entry → CS → exit under a chosen timing model, with a MutexMonitor
+// checking safety and recording the paper's time-complexity metric.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tfr/mutex/mutex_sim.hpp"
+#include "tfr/sim/monitor.hpp"
+#include "tfr/sim/simulation.hpp"
+#include "tfr/sim/timing.hpp"
+
+namespace tfr::mutex {
+
+struct WorkloadConfig {
+  int processes = 2;
+  /// Critical sections each process performs; <= 0 means "until the time
+  /// limit" (long-lived run).
+  int sessions = 10;
+  sim::Duration cs_time = 10;    ///< time spent inside the CS
+  sim::Duration ncs_time = 10;   ///< time spent in the NCS between sessions
+  bool randomize_ncs = false;    ///< NCS uniform in [0, ncs_time]
+  /// Count ME violations instead of throwing (for violation-rate sweeps).
+  bool tolerate_violations = false;
+};
+
+/// One process's session loop; reports entry/CS/exit transitions to `mon`.
+sim::Process mutex_sessions(sim::Env env, SimMutex& algorithm,
+                            sim::MutexMonitor& mon, int id,
+                            WorkloadConfig config);
+
+struct WorkloadResult {
+  sim::MutexMonitor monitor;          ///< full event record
+  std::uint64_t violations = 0;       ///< ME violations observed
+  std::uint64_t cs_entries = 0;
+  sim::Duration time_complexity = 0;  ///< paper's metric over the whole run
+  sim::Duration max_wait = 0;         ///< longest entry wait of any process
+  std::uint64_t registers_allocated = 0;
+  sim::Time end_time = 0;
+  bool completed = false;  ///< every process finished its sessions
+};
+
+/// Builds the mutex inside a fresh simulation (via `make`), spawns
+/// `config.processes` session loops, runs, and summarizes.
+WorkloadResult run_mutex_workload(
+    const std::function<std::unique_ptr<SimMutex>(sim::RegisterSpace&)>& make,
+    WorkloadConfig config, std::unique_ptr<sim::TimingModel> timing,
+    std::uint64_t seed = 1, sim::Time limit = sim::kTimeNever);
+
+}  // namespace tfr::mutex

@@ -1,0 +1,41 @@
+// Real-thread atomic read/write registers.
+//
+// The paper's model is atomic registers only; on real hardware these are
+// std::atomic cells with sequentially consistent accesses.  seq_cst is
+// deliberate: the algorithms' correctness arguments (e.g. the
+// flag-before-proposal ordering in consensus Algorithm 1, Fischer's gate)
+// assume a single total order of register operations, which is exactly the
+// guarantee of seq_cst — weakening individual accesses is an optimization
+// the paper does not license.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+namespace tfr::rt {
+
+template <class T>
+class AtomicRegister {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "registers hold plain values");
+
+ public:
+  AtomicRegister() : cell_(T{}) {}
+  explicit AtomicRegister(T initial) : cell_(initial) {}
+
+  AtomicRegister(const AtomicRegister&) = delete;
+  AtomicRegister& operator=(const AtomicRegister&) = delete;
+
+  T read() const { return cell_.load(std::memory_order_seq_cst); }
+  void write(T value) { cell_.store(value, std::memory_order_seq_cst); }
+
+  /// Whether the platform implements this register without a hidden lock.
+  bool is_lock_free() const { return cell_.is_lock_free(); }
+
+ private:
+  std::atomic<T> cell_;
+};
+
+}  // namespace tfr::rt

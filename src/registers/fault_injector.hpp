@@ -1,0 +1,105 @@
+// Timing-failure injection for real-thread algorithms.
+//
+// On real hardware a timing failure is a step that takes longer than the
+// assumed bound — preemption, a page fault, contention (§1.2).  We emulate
+// these by stalling a thread *between* two register accesses at named
+// injection points that the algorithms expose (e.g. Fischer's window
+// between reading x = 0 and writing x := i).  This turns "run unlucky for
+// long enough" into a controlled experiment.
+//
+// Thread safety: configure before the run; maybe_stall() is lock-free and
+// uses a hashed atomic counter for reproducible-ish probabilistic firing.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "tfr/common/contracts.hpp"
+#include "tfr/common/rng.hpp"
+
+namespace tfr::rt {
+
+using Nanos = std::chrono::nanoseconds;
+
+/// Busy-wait for at least `d`.  Spinning (rather than sleeping) keeps the
+/// wait close to the requested duration — delay(Δ) should not itself
+/// suffer a scheduler-induced timing failure whenever avoidable.
+inline void spin_for(Nanos d) {
+  const auto deadline = std::chrono::steady_clock::now() + d;
+  while (std::chrono::steady_clock::now() < deadline) {
+    // busy wait
+  }
+}
+
+class FaultInjector {
+ public:
+  struct PointConfig {
+    double probability = 0.0;  ///< chance each visit stalls
+    Nanos stall{0};            ///< how long a stall lasts
+    std::uint64_t always_on_visit = 0;  ///< if > 0: stall exactly that visit
+  };
+
+  explicit FaultInjector(std::uint64_t seed = 42) : seed_(seed) {}
+
+  /// Configures the named injection point.  Call before the threads start.
+  void configure(std::string point, PointConfig config) {
+    TFR_REQUIRE(config.probability >= 0.0 && config.probability <= 1.0);
+    auto [it, inserted] = points_.try_emplace(std::move(point));
+    it->second.config = config;
+    it->second.visits.store(0, std::memory_order_relaxed);
+  }
+
+  /// Called by algorithms at their injection points.  Returns true if a
+  /// stall was injected (so harnesses can count failures precisely).
+  bool maybe_stall(std::string_view point) {
+    auto it = points_.find(point);
+    if (it == points_.end()) return false;
+    Entry& entry = it->second;
+    const std::uint64_t visit =
+        entry.visits.fetch_add(1, std::memory_order_relaxed) + 1;
+    bool fire = false;
+    if (entry.config.always_on_visit > 0) {
+      fire = visit == entry.config.always_on_visit;
+    } else if (entry.config.probability > 0.0) {
+      // Hash the visit number into a uniform [0,1) draw; deterministic for
+      // a fixed arrival order, merely well-mixed otherwise.
+      std::uint64_t s = seed_ ^ (visit * 0x9e3779b97f4a7c15ULL);
+      const std::uint64_t h = splitmix64(s);
+      fire = static_cast<double>(h >> 11) * 0x1.0p-53 <
+             entry.config.probability;
+    }
+    if (fire) {
+      stalls_.fetch_add(1, std::memory_order_relaxed);
+      spin_for(entry.config.stall);
+    }
+    return fire;
+  }
+
+  std::uint64_t stalls() const {
+    return stalls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    PointConfig config;
+    std::atomic<std::uint64_t> visits{0};
+  };
+
+  std::uint64_t seed_;
+  std::map<std::string, Entry, std::less<>> points_;
+  std::atomic<std::uint64_t> stalls_{0};
+};
+
+/// Shared nullable injection handle: algorithms call through this so the
+/// common case (no injector) costs one branch.
+inline bool maybe_stall(FaultInjector* injector, std::string_view point) {
+  return injector != nullptr && injector->maybe_stall(point);
+}
+
+}  // namespace tfr::rt

@@ -1,0 +1,136 @@
+#include "tfr/sim/monitor.hpp"
+
+#include <algorithm>
+
+#include "tfr/common/contracts.hpp"
+
+namespace tfr::sim {
+
+void DecisionMonitor::set_input(Pid pid, int input) {
+  inputs_[pid] = input;
+  input_values_.insert(input);
+}
+
+void DecisionMonitor::on_decide(Pid pid, int value, Time now) {
+  // One decision per process.
+  if (decisions_.count(pid)) {
+    ++agreement_violations_;
+    if (throw_on_violation_) TFR_INVARIANT(!"process decided twice");
+    return;
+  }
+  // Validity: the decision must be some process's input.
+  if (!input_values_.empty() && input_values_.count(value) == 0) {
+    ++validity_violations_;
+    if (throw_on_violation_) TFR_INVARIANT(!"decided a non-input value");
+  }
+  // Agreement: all decisions equal.
+  if (!decisions_.empty() && decisions_.begin()->second != value) {
+    ++agreement_violations_;
+    if (throw_on_violation_) TFR_INVARIANT(!"conflicting decisions");
+  }
+  decisions_[pid] = value;
+  if (first_decision_time_ < 0) first_decision_time_ = now;
+  last_decision_time_ = now;
+}
+
+int DecisionMonitor::decision(Pid pid) const {
+  auto it = decisions_.find(pid);
+  TFR_REQUIRE(it != decisions_.end());
+  return it->second;
+}
+
+void MutexMonitor::enter_entry(Pid pid, Time now) {
+  TFR_REQUIRE(in_entry_.count(pid) == 0);
+  TFR_REQUIRE(in_cs_.count(pid) == 0);
+  in_entry_.insert(pid);
+  entry_since_[pid] = now;
+  update_starved(now);
+}
+
+void MutexMonitor::enter_cs(Pid pid, Time now) {
+  TFR_REQUIRE(in_entry_.count(pid) == 1);
+  if (!in_cs_.empty()) {
+    ++violations_;
+    if (throw_on_violation_)
+      TFR_INVARIANT(!"mutual exclusion violated: two processes in the CS");
+  }
+  in_entry_.erase(pid);
+  in_cs_.insert(pid);
+  ++cs_entries_;
+  ++entries_by_pid_[pid];
+  const Duration wait = now - entry_since_[pid];
+  auto& mw = max_wait_[pid];
+  mw = std::max(mw, wait);
+  waits_.push_back(Wait{pid, entry_since_[pid], wait});
+  update_starved(now);
+}
+
+void MutexMonitor::exit_cs(Pid pid, Time now) {
+  TFR_REQUIRE(in_cs_.count(pid) == 1);
+  in_cs_.erase(pid);
+  update_starved(now);
+}
+
+void MutexMonitor::leave_exit(Pid pid, Time now) {
+  // Exit code runs outside both entry and CS; nothing to track beyond the
+  // starvation metric, which only depends on entry/CS occupancy.
+  (void)pid;
+  update_starved(now);
+}
+
+std::uint64_t MutexMonitor::cs_entries(Pid pid) const {
+  auto it = entries_by_pid_.find(pid);
+  return it == entries_by_pid_.end() ? 0 : it->second;
+}
+
+Duration MutexMonitor::time_complexity(Time from) const {
+  Duration longest = 0;
+  for (const StarvedInterval& iv : intervals_) {
+    if (iv.begin >= from) longest = std::max(longest, iv.length());
+  }
+  // An interval still open at the end of the run is not closed here; callers
+  // measuring live deadlock should inspect currently_in_entry()/in_cs().
+  return longest;
+}
+
+Duration MutexMonitor::max_wait(Pid pid) const {
+  auto it = max_wait_.find(pid);
+  return it == max_wait_.end() ? 0 : it->second;
+}
+
+Duration MutexMonitor::max_wait() const {
+  Duration longest = 0;
+  for (const auto& [pid, w] : max_wait_) longest = std::max(longest, w);
+  return longest;
+}
+
+Duration MutexMonitor::max_wait_starting_at(Time from) const {
+  Duration longest = 0;
+  for (const Wait& w : waits_) {
+    if (w.begin >= from) longest = std::max(longest, w.length);
+  }
+  return longest;
+}
+
+Duration MutexMonitor::longest_pending_wait(Time now) const {
+  Duration longest = 0;
+  for (Pid pid : in_entry_) {
+    const auto it = entry_since_.find(pid);
+    if (it != entry_since_.end())
+      longest = std::max(longest, now - it->second);
+  }
+  return longest;
+}
+
+void MutexMonitor::update_starved(Time now) {
+  const bool starving_now = in_cs_.empty() && !in_entry_.empty();
+  if (starving_now && !starving_) {
+    starving_ = true;
+    starved_begin_ = now;
+  } else if (!starving_now && starving_) {
+    starving_ = false;
+    intervals_.push_back(StarvedInterval{starved_begin_, now});
+  }
+}
+
+}  // namespace tfr::sim

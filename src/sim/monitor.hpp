@@ -1,0 +1,132 @@
+// Invariant monitors: untimed observers that algorithm code notifies at
+// semantically meaningful points (deciding a value, entering the critical
+// section, ...).  Monitors check the paper's safety properties online and
+// accumulate the quantities its theorems bound.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tfr/sim/types.hpp"
+
+namespace tfr::sim {
+
+/// Observes a consensus execution: validity, agreement, termination times.
+class DecisionMonitor {
+ public:
+  /// Registers pid's input (call before the run).
+  void set_input(Pid pid, int input);
+
+  /// Algorithm code calls this when pid decides `value` at time `now`.
+  /// Enforces: one decision per process; agreement; validity.
+  /// Violations are recorded; they also throw iff throw_on_violation(true).
+  void on_decide(Pid pid, int value, Time now);
+
+  void throw_on_violation(bool enabled) { throw_on_violation_ = enabled; }
+
+  std::size_t decided_count() const { return decisions_.size(); }
+  bool has_decided(Pid pid) const { return decisions_.count(pid) != 0; }
+  int decision(Pid pid) const;
+  /// True iff at least `n` processes decided.
+  bool all_decided(std::size_t n) const { return decisions_.size() >= n; }
+
+  /// Safety verdicts (over everything observed so far).
+  bool agreement_holds() const { return agreement_violations_ == 0; }
+  bool validity_holds() const { return validity_violations_ == 0; }
+  std::uint64_t agreement_violations() const { return agreement_violations_; }
+  std::uint64_t validity_violations() const { return validity_violations_; }
+
+  Time first_decision_time() const { return first_decision_time_; }
+  Time last_decision_time() const { return last_decision_time_; }
+
+ private:
+  std::map<Pid, int> inputs_;
+  std::map<Pid, int> decisions_;
+  std::set<int> input_values_;
+  bool throw_on_violation_ = true;
+  std::uint64_t agreement_violations_ = 0;
+  std::uint64_t validity_violations_ = 0;
+  Time first_decision_time_ = -1;
+  Time last_decision_time_ = -1;
+};
+
+/// Observes a mutual-exclusion execution.
+///
+/// Tracks the mutual-exclusion invariant (at most one process in the CS),
+/// per-process waiting times, and the paper's time-complexity metric: the
+/// longest interval during which some process is in its entry code while no
+/// process is in the critical section (§3, "Time complexity").
+class MutexMonitor {
+ public:
+  void enter_entry(Pid pid, Time now);  ///< pid leaves NCS, starts entry code
+  void enter_cs(Pid pid, Time now);     ///< pid enters the critical section
+  void exit_cs(Pid pid, Time now);      ///< pid leaves the CS, starts exit code
+  void leave_exit(Pid pid, Time now);   ///< pid finishes exit code (back to NCS)
+
+  void throw_on_violation(bool enabled) { throw_on_violation_ = enabled; }
+
+  /// Number of times two processes overlapped in the CS (0 == ME held).
+  std::uint64_t mutual_exclusion_violations() const { return violations_; }
+  bool mutual_exclusion_holds() const { return violations_ == 0; }
+
+  std::uint64_t cs_entries() const { return cs_entries_; }
+  std::uint64_t cs_entries(Pid pid) const;
+
+  /// One closed "starvation interval": a maximal span with someone in entry
+  /// code and the CS empty.
+  struct StarvedInterval {
+    Time begin;
+    Time end;
+    Duration length() const { return end - begin; }
+  };
+  const std::vector<StarvedInterval>& starved_intervals() const {
+    return intervals_;
+  }
+
+  /// The paper's time-complexity metric over the whole run (optionally only
+  /// counting intervals that begin at or after `from`).
+  Duration time_complexity(Time from = 0) const;
+
+  /// Longest entry-code wait (entry -> CS) experienced by pid;
+  /// 0 if pid never entered the CS.
+  Duration max_wait(Pid pid) const;
+  /// Longest entry-code wait over all processes.
+  Duration max_wait() const;
+  /// Longest wait among waits that *began* at or after `from` — used for
+  /// convergence measurements after failures cease.
+  Duration max_wait_starting_at(Time from) const;
+  /// Longest wait still in progress at `now` (processes in their entry
+  /// code that have not reached the CS) — a starved process never shows up
+  /// in the completed-wait statistics, only here.
+  Duration longest_pending_wait(Time now) const;
+
+  std::size_t currently_in_cs() const { return in_cs_.size(); }
+  std::size_t currently_in_entry() const { return in_entry_.size(); }
+
+ private:
+  void update_starved(Time now);
+
+  std::set<Pid> in_entry_;
+  std::set<Pid> in_cs_;
+  std::map<Pid, Time> entry_since_;
+  std::map<Pid, Duration> max_wait_;
+  std::map<Pid, std::uint64_t> entries_by_pid_;
+  std::vector<StarvedInterval> intervals_;
+  struct Wait {
+    Pid pid;
+    Time begin;
+    Duration length;
+  };
+  std::vector<Wait> waits_;
+  bool starving_ = false;   ///< currently in an open starved interval
+  Time starved_begin_ = 0;
+  bool throw_on_violation_ = true;
+  std::uint64_t violations_ = 0;
+  std::uint64_t cs_entries_ = 0;
+};
+
+}  // namespace tfr::sim

@@ -1,0 +1,155 @@
+// Simulated atomic read/write registers.
+//
+// A Register<T> is a passive cell: the *time* an access takes is charged by
+// the simulator when a process co_awaits env.read()/env.write(); the value
+// transfer itself happens at the instant the access linearizes (event
+// resume), which is trivially atomic because the simulator is
+// single-threaded.  peek()/poke() bypass simulated time and are reserved
+// for monitors, tests and initialization.
+//
+// Registers are allocated inside a RegisterSpace, which counts them — this
+// is how E9 audits the space lower bound of Theorem 3.1.  RegisterArray<T>
+// realizes the paper's infinite arrays (x[1..∞], y[1..∞]) by growing on
+// demand; allocation is a local action and costs no simulated time.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tfr/common/contracts.hpp"
+#include "tfr/sim/types.hpp"
+
+namespace tfr::sim {
+
+/// Accounting domain for registers: how many shared registers an algorithm
+/// instance actually allocated, and how many accesses they served.
+class RegisterSpace {
+ public:
+  RegisterSpace() = default;
+  RegisterSpace(const RegisterSpace&) = delete;
+  RegisterSpace& operator=(const RegisterSpace&) = delete;
+
+  std::uint64_t allocated() const { return allocated_; }
+  std::uint64_t total_reads() const { return reads_; }
+  std::uint64_t total_writes() const { return writes_; }
+
+ private:
+  template <class T>
+  friend class Register;
+
+  void note_allocated() { ++allocated_; }
+  void note_read() { ++reads_; }
+  void note_write() { ++writes_; }
+
+  std::uint64_t allocated_ = 0;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+/// One atomic shared register holding a T.  T must be cheaply copyable
+/// (ints, small structs) — exactly what the paper's registers hold.
+template <class T>
+class Register {
+ public:
+  Register(RegisterSpace& space, T initial, std::string name = {})
+      : space_(&space), value_(std::move(initial)), name_(std::move(name)) {
+    space_->note_allocated();
+  }
+
+  Register(const Register&) = delete;
+  Register& operator=(const Register&) = delete;
+  Register(Register&&) = delete;
+  Register& operator=(Register&&) = delete;
+
+  /// Untimed read (monitors / tests / local inspection only).
+  const T& peek() const { return value_; }
+
+  /// Untimed write (initialization / tests / fault injection only).
+  void poke(T v) { value_ = std::move(v); }
+
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t writes() const { return writes_; }
+  const std::string& name() const { return name_; }
+
+  // Remote-memory-reference accounting (cache-coherent model): a read is
+  // remote iff the reader holds no valid cached copy (it then acquires
+  // one); a write is always remote and invalidates every other copy.
+  // Used by the local-spinning analysis (E15); costs no simulated time.
+  bool note_read_rmr(Pid pid) const {
+    const auto index = static_cast<std::size_t>(pid);
+    if (index < cached_.size() && cached_[index]) return false;
+    if (index >= cached_.size()) cached_.resize(index + 1, false);
+    cached_[index] = true;
+    return true;
+  }
+
+  void note_write_rmr(Pid pid) {
+    cached_.assign(cached_.size(), false);
+    const auto index = static_cast<std::size_t>(pid);
+    if (index >= cached_.size()) cached_.resize(index + 1, false);
+    cached_[index] = true;  // the writer retains a valid copy
+  }
+
+  // Internal: the timed accesses, invoked by the simulator's awaiters at
+  // the instant the access linearizes.  Algorithm code must go through
+  // Env::read/Env::write instead.
+  T load_linearized() const {
+    ++reads_;
+    space_->note_read();
+    return value_;
+  }
+
+  void store_linearized(T v) {
+    ++writes_;
+    space_->note_write();
+    value_ = std::move(v);
+  }
+
+ private:
+  RegisterSpace* space_;
+  T value_;
+  mutable std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+  std::string name_;
+  /// Per-pid "holds a valid cached copy" bits (RMR accounting).
+  mutable std::vector<bool> cached_;
+};
+
+/// Unbounded register array (the paper's x[1..∞]): grows on first touch of
+/// an index.  Indices are 0-based.  Backed by a deque so grown registers
+/// never move (registers are pinned: awaiters hold pointers to them).
+template <class T>
+class RegisterArray {
+ public:
+  RegisterArray(RegisterSpace& space, T initial, std::string name = {})
+      : space_(&space), initial_(std::move(initial)), name_(std::move(name)) {}
+
+  /// Returns the register at `index`, allocating up to it on demand.
+  Register<T>& at(std::size_t index) {
+    while (cells_.size() <= index) {
+      cells_.emplace_back(*space_, initial_,
+                          name_ + "[" + std::to_string(cells_.size()) + "]");
+    }
+    return cells_[index];
+  }
+
+  /// Read-only access to an index that must already exist.
+  const Register<T>& at(std::size_t index) const {
+    TFR_REQUIRE(index < cells_.size());
+    return cells_[index];
+  }
+
+  std::size_t size() const { return cells_.size(); }
+
+ private:
+  RegisterSpace* space_;
+  T initial_;
+  std::string name_;
+  std::deque<Register<T>> cells_;
+};
+
+}  // namespace tfr::sim

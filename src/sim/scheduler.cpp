@@ -1,0 +1,142 @@
+#include "tfr/sim/simulation.hpp"
+
+namespace tfr::sim {
+
+Simulation::Simulation(std::unique_ptr<TimingModel> timing, Options options)
+    : timing_(std::move(timing)), options_(options), rng_(options.seed) {
+  TFR_REQUIRE(timing_ != nullptr);
+}
+
+Simulation::~Simulation() {
+  // Drop pending events before coroutines are destroyed (Process dtors run
+  // when processes_ is destroyed); never resume a handle after this point.
+  while (!queue_.empty()) queue_.pop();
+}
+
+Simulation::RunResult Simulation::run(Time limit,
+                                      const std::function<bool()>& stop) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.when > limit) return RunResult::TimeLimit;
+    Event event = top;
+    queue_.pop();
+    if (crashed_by(event.pid, event.when)) {
+      // The access would have linearized at or after the crash instant:
+      // it never takes effect and the process takes no further steps.
+      stats_[static_cast<std::size_t>(event.pid)].crashed = true;
+      continue;
+    }
+    TFR_INVARIANT(event.when >= now_);
+    now_ = event.when;
+    event.handle.resume();
+    if (pending_exception_) {
+      std::exception_ptr e = std::exchange(pending_exception_, nullptr);
+      std::rethrow_exception(e);
+    }
+    if (stop && stop()) return RunResult::Stopped;
+  }
+  return RunResult::Idle;
+}
+
+void Simulation::crash_at(Pid pid, Time t) {
+  TFR_REQUIRE(pid >= 0 && static_cast<std::size_t>(pid) < processes_.size());
+  TFR_REQUIRE(t >= 0);
+  crash_time_[static_cast<std::size_t>(pid)] = t;
+}
+
+void Simulation::crash_after_accesses(Pid pid, std::uint64_t k) {
+  TFR_REQUIRE(pid >= 0 && static_cast<std::size_t>(pid) < processes_.size());
+  crash_access_limit_[static_cast<std::size_t>(pid)] = k;
+}
+
+const ProcessStats& Simulation::stats(Pid pid) const {
+  TFR_REQUIRE(pid >= 0 && static_cast<std::size_t>(pid) < stats_.size());
+  return stats_[static_cast<std::size_t>(pid)];
+}
+
+bool Simulation::all_done() const {
+  for (const ProcessStats& s : stats_) {
+    if (!s.done() && !s.crashed) return false;
+  }
+  return true;
+}
+
+std::vector<std::pair<Time, Pid>> Simulation::pending_events() const {
+  auto copy = queue_;
+  std::vector<std::pair<Time, Pid>> events;
+  while (!copy.empty()) {
+    events.emplace_back(copy.top().when, copy.top().pid);
+    copy.pop();
+  }
+  return events;
+}
+
+std::uint64_t Simulation::trace_hash() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (const TraceEvent& e : trace_) {
+    mix(static_cast<std::uint64_t>(e.when));
+    mix(static_cast<std::uint64_t>(e.pid));
+    mix(static_cast<std::uint64_t>(e.kind));
+  }
+  return h;
+}
+
+void Simulation::schedule_access(Pid pid, std::coroutine_handle<> h) {
+  auto& limit = crash_access_limit_[static_cast<std::size_t>(pid)];
+  if (stats_[static_cast<std::size_t>(pid)].accesses() >= limit) {
+    // crash_after_accesses: the process silently stops before this access.
+    stats_[static_cast<std::size_t>(pid)].crashed = true;
+    crash_time_[static_cast<std::size_t>(pid)] = now_;
+    return;  // never schedule; handle stays suspended until teardown
+  }
+  const Duration cost = timing_->access_cost(pid, now_, rng_);
+  TFR_INVARIANT(cost >= 1);
+  push_event(now_ + cost, pid, h);
+}
+
+void Simulation::schedule_delay(Pid pid, Duration d, std::coroutine_handle<> h) {
+  // delay(d) takes exactly d time units (paper §1.2 accounting).
+  push_event(now_ + d, pid, h);
+}
+
+void Simulation::on_process_done(Pid pid, std::exception_ptr exception) noexcept {
+  stats_[static_cast<std::size_t>(pid)].done_at = now_;
+  if (exception && !pending_exception_) pending_exception_ = exception;
+}
+
+void Simulation::note_read(Pid pid, bool remote) {
+  auto& s = stats_[static_cast<std::size_t>(pid)];
+  ++s.reads;
+  if (remote) ++s.rmr;
+  note_trace(pid, 'r');
+}
+
+void Simulation::note_write(Pid pid) {
+  auto& s = stats_[static_cast<std::size_t>(pid)];
+  ++s.writes;
+  ++s.rmr;  // writes are always remote in the CC accounting
+  note_trace(pid, 'w');
+}
+
+void Simulation::note_delay(Pid pid, Duration d) {
+  auto& s = stats_[static_cast<std::size_t>(pid)];
+  ++s.delays;
+  s.delay_time += d;
+  note_trace(pid, 'd');
+}
+
+void Simulation::note_trace(Pid pid, char kind) {
+  if (options_.trace) trace_.push_back(TraceEvent{now_, pid, kind});
+}
+
+void Simulation::push_event(Time when, Pid pid, std::coroutine_handle<> h) {
+  queue_.push(Event{when, next_seq_++, pid, h});
+}
+
+}  // namespace tfr::sim

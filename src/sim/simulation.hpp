@@ -1,0 +1,338 @@
+// The discrete-event simulator for timing-based shared-memory systems.
+//
+// Model (paper §1.2): processes are sequential programs whose statements
+// access at most one shared register.  Each access issued at time t
+// linearizes at t + cost, where cost is chosen by the TimingModel; a
+// failure-free model keeps cost <= Δ, a FailureInjector may exceed Δ (that
+// *is* a timing failure).  delay(d) completes after exactly d ticks.  Local
+// computation is free, matching the paper's time-complexity accounting
+// (only shared accesses and delays cost time).
+//
+// Processes are C++20 coroutines: algorithm code reads like the paper's
+// pseudocode, with `co_await env.read(reg)` / `co_await env.write(reg, v)`
+// / `co_await env.delay(d)` at each numbered statement.  The simulator is
+// single-threaded and, given (timing model, seed), fully deterministic.
+
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "tfr/common/contracts.hpp"
+#include "tfr/common/rng.hpp"
+#include "tfr/sim/register.hpp"
+#include "tfr/sim/timing.hpp"
+#include "tfr/sim/types.hpp"
+
+namespace tfr::sim {
+
+class Simulation;
+
+/// The outermost coroutine of one simulated process.  Created by a spawn
+/// factory; owned and driven by the Simulation.
+class Process {
+ public:
+  struct promise_type {
+    Simulation* sim = nullptr;
+    Pid pid = -1;
+    std::exception_ptr exception{};
+
+    Process get_return_object() {
+      return Process(
+          std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> h) noexcept;
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept {
+      exception = std::current_exception();
+    }
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Process(Process&& other) noexcept
+      : handle_(std::exchange(other.handle_, {})) {}
+  Process& operator=(Process&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+  ~Process() { destroy(); }
+
+  Handle handle() const { return handle_; }
+
+ private:
+  explicit Process(Handle handle) : handle_(handle) {}
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+  Handle handle_{};
+};
+
+/// Per-process accounting: how many shared-memory steps and delays the
+/// process took — the quantities the paper's theorems bound (e.g. "decides
+/// after 7 steps").
+struct ProcessStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t delays = 0;
+  /// Remote memory references (cache-coherent model; see Register RMR
+  /// notes): reads that missed the cache plus all writes.
+  std::uint64_t rmr = 0;
+  Duration delay_time = 0;
+  Time done_at = -1;     ///< completion time; -1 while running
+  bool crashed = false;  ///< killed by fault injection
+
+  std::uint64_t accesses() const { return reads + writes; }
+  bool done() const { return done_at >= 0; }
+};
+
+/// Handle through which a simulated process touches the world.  Cheap to
+/// copy; passed by value into process coroutines.
+class Env {
+ public:
+  Env() = default;
+
+  Pid pid() const { return pid_; }
+  Time now() const;
+  Rng& rng() const;
+  Simulation& sim() const { return *sim_; }
+
+  /// Awaitable timed read of a shared register.
+  template <class T>
+  auto read(const Register<T>& reg) const;
+
+  /// Awaitable timed write of a shared register.
+  template <class T>
+  auto write(Register<T>& reg, T value) const;
+
+  /// Awaitable delay(d) statement: completes after exactly d ticks.
+  auto delay(Duration d) const;
+
+ private:
+  friend class Simulation;
+  Env(Simulation* sim, Pid pid) : sim_(sim), pid_(pid) {}
+
+  Simulation* sim_ = nullptr;
+  Pid pid_ = -1;
+};
+
+struct SimulationOptions {
+  std::uint64_t seed = 1;
+  bool trace = false;  ///< record a linearization trace (determinism tests)
+};
+
+class Simulation {
+ public:
+  using Options = SimulationOptions;
+
+  explicit Simulation(std::unique_ptr<TimingModel> timing,
+                      Options options = Options{});
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Spawns a process.  `factory` is invoked with the process's Env and
+  /// must return its Process coroutine.  The process takes its first step
+  /// at time `start`.  Returns the new pid (dense, from 0).
+  template <class Factory>
+  Pid spawn(Factory&& factory, Time start = 0) {
+    const Pid pid = static_cast<Pid>(processes_.size());
+    stats_.emplace_back();
+    crash_time_.push_back(kTimeNever);
+    crash_access_limit_.push_back(std::uint64_t(-1));
+    Env env(this, pid);
+    processes_.push_back(std::forward<Factory>(factory)(env));
+    Process::Handle h = processes_.back().handle();
+    TFR_REQUIRE(h);
+    h.promise().sim = this;
+    h.promise().pid = pid;
+    push_event(start, pid, h);
+    return pid;
+  }
+
+  Time now() const { return now_; }
+  Rng& rng() { return rng_; }
+  TimingModel& timing() { return *timing_; }
+  RegisterSpace& space() { return space_; }
+
+  enum class RunResult {
+    Idle,       ///< no events left: every process finished or crashed
+    TimeLimit,  ///< next event lies beyond the limit; run() may be re-invoked
+    Stopped,    ///< the stop predicate fired
+  };
+
+  /// Drives the event loop.  Processes events with time <= limit; after
+  /// each event evaluates `stop` (if given).  Exceptions escaping a process
+  /// (including contract violations in algorithm code) are rethrown here.
+  RunResult run(Time limit = kTimeNever,
+                const std::function<bool()>& stop = {});
+
+  /// Kills `pid` at time t: accesses linearizing at or after t never happen.
+  void crash_at(Pid pid, Time t);
+
+  /// Kills `pid` after it has performed exactly `k` shared-memory accesses.
+  void crash_after_accesses(Pid pid, std::uint64_t k);
+
+  std::size_t process_count() const { return processes_.size(); }
+  const ProcessStats& stats(Pid pid) const;
+  /// True when every process has finished or crashed.
+  bool all_done() const;
+
+  /// Snapshot of pending (time, pid) events — diagnosis and tests.
+  std::vector<std::pair<Time, Pid>> pending_events() const;
+
+  /// FNV-1a hash of the linearization trace (requires Options::trace).
+  std::uint64_t trace_hash() const;
+  std::size_t trace_length() const { return trace_.size(); }
+
+  // --- internal API used by awaiters and Process (do not call directly) ---
+  void schedule_access(Pid pid, std::coroutine_handle<> h);
+  void schedule_delay(Pid pid, Duration d, std::coroutine_handle<> h);
+  void on_process_done(Pid pid, std::exception_ptr exception) noexcept;
+  void note_read(Pid pid, bool remote);
+  void note_write(Pid pid);
+  void note_delay(Pid pid, Duration d);
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t seq;  ///< FIFO tie-break => full determinism
+    Pid pid;
+    std::coroutine_handle<> handle;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void push_event(Time when, Pid pid, std::coroutine_handle<> h);
+  bool crashed_by(Pid pid, Time when) const {
+    return crash_time_[static_cast<std::size_t>(pid)] <= when;
+  }
+  void note_trace(Pid pid, char kind);
+
+  std::unique_ptr<TimingModel> timing_;
+  Options options_;
+  Rng rng_;
+  RegisterSpace space_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::vector<Process> processes_;
+  std::vector<ProcessStats> stats_;
+  std::vector<Time> crash_time_;
+  std::vector<std::uint64_t> crash_access_limit_;
+  std::exception_ptr pending_exception_{};
+  struct TraceEvent {
+    Time when;
+    Pid pid;
+    char kind;
+  };
+  std::vector<TraceEvent> trace_;
+};
+
+// ---------------------------------------------------------------------------
+// Awaiter implementations.
+
+namespace detail {
+
+template <class T>
+struct ReadAwaiter {
+  Simulation* sim;
+  Pid pid;
+  const Register<T>* reg;
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) const {
+    sim->schedule_access(pid, h);
+  }
+  T await_resume() const {
+    sim->note_read(pid, reg->note_read_rmr(pid));
+    return reg->load_linearized();
+  }
+};
+
+template <class T>
+struct WriteAwaiter {
+  Simulation* sim;
+  Pid pid;
+  Register<T>* reg;
+  T value;
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) const {
+    sim->schedule_access(pid, h);
+  }
+  void await_resume() {
+    sim->note_write(pid);
+    reg->note_write_rmr(pid);
+    reg->store_linearized(std::move(value));
+  }
+};
+
+struct DelayAwaiter {
+  Simulation* sim;
+  Pid pid;
+  Duration d;
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) const {
+    sim->schedule_delay(pid, d, h);
+  }
+  void await_resume() const { sim->note_delay(pid, d); }
+};
+
+}  // namespace detail
+
+template <class T>
+auto Env::read(const Register<T>& reg) const {
+  TFR_REQUIRE(sim_ != nullptr);
+  return detail::ReadAwaiter<T>{sim_, pid_, &reg};
+}
+
+template <class T>
+auto Env::write(Register<T>& reg, T value) const {
+  TFR_REQUIRE(sim_ != nullptr);
+  return detail::WriteAwaiter<T>{sim_, pid_, &reg, std::move(value)};
+}
+
+inline auto Env::delay(Duration d) const {
+  TFR_REQUIRE(sim_ != nullptr);
+  TFR_REQUIRE(d >= 0);
+  return detail::DelayAwaiter{sim_, pid_, d};
+}
+
+inline Time Env::now() const { return sim_->now(); }
+inline Rng& Env::rng() const { return sim_->rng(); }
+
+inline void Process::promise_type::FinalAwaiter::await_suspend(
+    std::coroutine_handle<promise_type> h) noexcept {
+  promise_type& p = h.promise();
+  p.sim->on_process_done(p.pid, p.exception);
+}
+
+}  // namespace tfr::sim

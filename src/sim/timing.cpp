@@ -1,0 +1,157 @@
+#include "tfr/sim/timing.hpp"
+
+#include <algorithm>
+
+#include "tfr/common/contracts.hpp"
+
+namespace tfr::sim {
+
+FixedTiming::FixedTiming(Duration cost) : cost_(cost) {
+  TFR_REQUIRE(cost >= 1);
+}
+
+UniformTiming::UniformTiming(Duration lo, Duration hi) : lo_(lo), hi_(hi) {
+  TFR_REQUIRE(lo >= 1);
+  TFR_REQUIRE(hi >= lo);
+}
+
+Duration UniformTiming::access_cost(Pid, Time, Rng& rng) {
+  return rng.uniform(lo_, hi_);
+}
+
+PerProcessTiming::PerProcessTiming(std::vector<Duration> speeds,
+                                   Duration fallback)
+    : speeds_(std::move(speeds)), fallback_(fallback) {
+  TFR_REQUIRE(fallback >= 1);
+  for (Duration s : speeds_) TFR_REQUIRE(s >= 1);
+}
+
+Duration PerProcessTiming::access_cost(Pid pid, Time, Rng&) {
+  if (pid >= 0 && static_cast<std::size_t>(pid) < speeds_.size())
+    return speeds_[static_cast<std::size_t>(pid)];
+  return fallback_;
+}
+
+ScriptedTiming::ScriptedTiming(std::unique_ptr<TimingModel> base)
+    : base_(std::move(base)) {
+  TFR_REQUIRE(base_ != nullptr);
+}
+
+void ScriptedTiming::push(Pid pid, Duration cost) {
+  TFR_REQUIRE(pid >= 0);
+  TFR_REQUIRE(cost >= 1);
+  if (static_cast<std::size_t>(pid) >= scripts_.size())
+    scripts_.resize(static_cast<std::size_t>(pid) + 1);
+  scripts_[static_cast<std::size_t>(pid)].push_back(cost);
+}
+
+void ScriptedTiming::push(Pid pid, Duration cost, int repeat) {
+  TFR_REQUIRE(repeat >= 0);
+  for (int i = 0; i < repeat; ++i) push(pid, cost);
+}
+
+Duration ScriptedTiming::access_cost(Pid pid, Time now, Rng& rng) {
+  if (pid >= 0 && static_cast<std::size_t>(pid) < scripts_.size()) {
+    auto& queue = scripts_[static_cast<std::size_t>(pid)];
+    if (!queue.empty()) {
+      const Duration cost = queue.front();
+      queue.pop_front();
+      return cost;
+    }
+  }
+  return base_->access_cost(pid, now, rng);
+}
+
+bool FailureWindow::applies(Pid pid, Time now) const {
+  if (now < begin || now >= end) return false;
+  if (victims.empty()) return true;
+  return std::find(victims.begin(), victims.end(), pid) != victims.end();
+}
+
+FailureInjector::FailureInjector(std::unique_ptr<TimingModel> base,
+                                 Duration delta)
+    : base_(std::move(base)), delta_(delta) {
+  TFR_REQUIRE(base_ != nullptr);
+  TFR_REQUIRE(delta >= 1);
+}
+
+void FailureInjector::add_window(FailureWindow window) {
+  TFR_REQUIRE(window.begin <= window.end);
+  TFR_REQUIRE(window.stretched > delta_);
+  windows_.push_back(std::move(window));
+}
+
+void FailureInjector::set_random_failures(double p, Duration stretch_max) {
+  TFR_REQUIRE(p >= 0.0 && p <= 1.0);
+  if (p > 0.0) TFR_REQUIRE(stretch_max > delta_);
+  random_p_ = p;
+  random_stretch_max_ = stretch_max;
+}
+
+Duration FailureInjector::access_cost(Pid pid, Time now, Rng& rng) {
+  for (const FailureWindow& w : windows_) {
+    if (w.applies(pid, now)) {
+      ++failures_injected_;
+      last_failure_completion_ =
+          std::max(last_failure_completion_, now + w.stretched);
+      return w.stretched;
+    }
+  }
+  if (random_p_ > 0.0 && rng.bernoulli(random_p_)) {
+    const Duration cost = rng.uniform(delta_ + 1, random_stretch_max_);
+    ++failures_injected_;
+    last_failure_completion_ = std::max(last_failure_completion_, now + cost);
+    return cost;
+  }
+  return base_->access_cost(pid, now, rng);
+}
+
+QuantumTiming::QuantumTiming(int n, Duration quantum, Duration step)
+    : n_(n), quantum_(quantum), step_(step) {
+  TFR_REQUIRE(n >= 1);
+  TFR_REQUIRE(quantum >= 1);
+  TFR_REQUIRE(step >= 1 && step <= quantum);
+}
+
+void QuantumTiming::confiscate(Pid victim, Time begin, Time end) {
+  TFR_REQUIRE(begin <= end);
+  windows_.push_back(Window{victim, begin, end});
+}
+
+bool QuantumTiming::confiscated(Pid pid, Time quantum_start) const {
+  for (const Window& w : windows_) {
+    if (w.victim == pid && quantum_start >= w.begin && quantum_start < w.end)
+      return true;
+  }
+  return false;
+}
+
+Duration QuantumTiming::access_cost(Pid pid, Time now, Rng&) {
+  const auto owner_of = [this](Time t) {
+    return static_cast<Pid>((t / quantum_) % n_);
+  };
+  // Fast path: we own the current quantum, it is not confiscated, and the
+  // step completes before the quantum ends.
+  const Time quantum_start = (now / quantum_) * quantum_;
+  if (owner_of(now) == pid && !confiscated(pid, quantum_start) &&
+      now + step_ <= quantum_start + quantum_) {
+    return step_;
+  }
+  // Otherwise wait for our next usable quantum.
+  Time start = quantum_start + quantum_;
+  while (owner_of(start) != pid || confiscated(pid, start)) {
+    if (confiscated(pid, start) && owner_of(start) == pid) ++postponements_;
+    start += quantum_;
+  }
+  return (start - now) + step_;
+}
+
+std::unique_ptr<TimingModel> make_fixed_timing(Duration cost) {
+  return std::make_unique<FixedTiming>(cost);
+}
+
+std::unique_ptr<TimingModel> make_uniform_timing(Duration lo, Duration hi) {
+  return std::make_unique<UniformTiming>(lo, hi);
+}
+
+}  // namespace tfr::sim

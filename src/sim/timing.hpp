@@ -1,0 +1,183 @@
+// Timing models: how long each shared-memory statement takes, and how
+// timing failures are injected.
+//
+// The paper's model (§1.2): there is a known bound Δ such that every
+// statement involving a single shared-memory access takes at most Δ time
+// units.  A *timing failure* is precisely a statement that takes longer
+// than Δ.  A TimingModel assigns a cost to each access; the FailureInjector
+// decorator stretches selected accesses past Δ, which is the only way a
+// timing failure can occur in the simulator — so experiments control
+// failures exactly.
+
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "tfr/common/rng.hpp"
+#include "tfr/sim/types.hpp"
+
+namespace tfr::sim {
+
+/// Strategy interface: cost of the next shared-memory access of `pid`
+/// issued at virtual time `now`.  Deterministic given the Rng stream.
+class TimingModel {
+ public:
+  virtual ~TimingModel() = default;
+
+  /// Returns the duration of the access.  Must be >= 1.
+  virtual Duration access_cost(Pid pid, Time now, Rng& rng) = 0;
+};
+
+/// Every access costs exactly `cost` ticks.  With cost == Δ this yields the
+/// adversary's slowest legal schedule ("lock step at Δ").
+class FixedTiming final : public TimingModel {
+ public:
+  explicit FixedTiming(Duration cost);
+  Duration access_cost(Pid, Time, Rng&) override { return cost_; }
+
+ private:
+  Duration cost_;
+};
+
+/// Access cost uniform in [lo, hi]; with hi <= Δ this is a legal
+/// (failure-free) timing-based execution with arbitrary interleaving.
+class UniformTiming final : public TimingModel {
+ public:
+  UniformTiming(Duration lo, Duration hi);
+  Duration access_cost(Pid, Time, Rng& rng) override;
+
+ private:
+  Duration lo_;
+  Duration hi_;
+};
+
+/// Fixed per-process speeds: process i's accesses cost speeds[i] (processes
+/// beyond the list use `fallback`).  Models persistently fast/slow
+/// processes — a legal schedule as long as every speed <= Δ.  Used for the
+/// starvation adversaries of E8.
+class PerProcessTiming final : public TimingModel {
+ public:
+  PerProcessTiming(std::vector<Duration> speeds, Duration fallback);
+  Duration access_cost(Pid pid, Time, Rng&) override;
+
+ private:
+  std::vector<Duration> speeds_;
+  Duration fallback_;
+};
+
+/// Fully scripted: per-process queue of explicit costs for its successive
+/// accesses; once a queue runs dry the base model takes over.  Lets tests
+/// construct exact interleavings (e.g. the canonical Fischer violation).
+class ScriptedTiming final : public TimingModel {
+ public:
+  explicit ScriptedTiming(std::unique_ptr<TimingModel> base);
+
+  /// Appends a cost for pid's next unscripted access.
+  void push(Pid pid, Duration cost);
+  /// Appends a run of identical costs.
+  void push(Pid pid, Duration cost, int repeat);
+
+  Duration access_cost(Pid pid, Time now, Rng& rng) override;
+
+ private:
+  std::unique_ptr<TimingModel> base_;
+  std::vector<std::deque<Duration>> scripts_;
+};
+
+/// A window of real (virtual) time during which selected processes suffer
+/// timing failures: their accesses cost `stretched` (> Δ) ticks.
+struct FailureWindow {
+  Time begin = 0;
+  Time end = 0;  // exclusive
+  /// Victim pids; empty means every process is a victim.
+  std::vector<Pid> victims{};
+  Duration stretched = 0;
+
+  bool applies(Pid pid, Time now) const;
+};
+
+/// Decorator that injects timing failures on top of a base model, by
+/// windows and/or an independent per-access probability.  Records when the
+/// last failed access completes, so experiments can measure convergence
+/// relative to the true "failures have ceased" instant.
+class FailureInjector final : public TimingModel {
+ public:
+  /// `delta` is the model's Δ; injected costs must exceed it (checked).
+  FailureInjector(std::unique_ptr<TimingModel> base, Duration delta);
+
+  void add_window(FailureWindow window);
+
+  /// Each access (of any process) independently fails with probability `p`,
+  /// costing a uniform duration in [Δ+1, stretch_max].
+  void set_random_failures(double p, Duration stretch_max);
+
+  Duration access_cost(Pid pid, Time now, Rng& rng) override;
+
+  /// Completion time of the latest failed access so far; kTimeNever never
+  /// means "none yet" (returns -1 when no failure has been injected).
+  Time last_failure_completion() const { return last_failure_completion_; }
+  std::uint64_t failures_injected() const { return failures_injected_; }
+  Duration delta() const { return delta_; }
+
+ private:
+  std::unique_ptr<TimingModel> base_;
+  Duration delta_;
+  std::vector<FailureWindow> windows_;
+  double random_p_ = 0.0;
+  Duration random_stretch_max_ = 0;
+  Time last_failure_completion_ = -1;
+  std::uint64_t failures_injected_ = 0;
+};
+
+/// Quantum-based scheduling (paper §4 "scheduling failures"; cf. the
+/// quantum/priority scheduling of Anderson-Moir [9, 10]): virtual time is
+/// sliced into quanta of length `quantum`, slot q belongs to process
+/// (q mod n), and a process's access runs only inside its own quantum
+/// (costing `step` <= quantum).  An access issued outside the owner's
+/// quantum waits for the next one — so the model guarantees every process
+/// a step within n·quantum, which plays the role of Δ.
+///
+/// A *scheduling failure* confiscates a victim's quanta inside a window
+/// (priority inversion, a misbehaving scheduler): its steps are postponed
+/// beyond the model's promise.  Time-resilient algorithms must stay safe
+/// through confiscation and resume their guarantees afterwards —
+/// "resiliency in the presence of scheduling failures is defined in the
+/// obvious way" (§4).
+class QuantumTiming final : public TimingModel {
+ public:
+  QuantumTiming(int n, Duration quantum, Duration step);
+
+  /// Confiscates victim's quanta whose start lies in [begin, end).
+  void confiscate(Pid victim, Time begin, Time end);
+
+  Duration access_cost(Pid pid, Time now, Rng&) override;
+
+  /// The bound the model promises between a process's consecutive
+  /// scheduling opportunities (absent scheduling failures).
+  Duration delta_equivalent() const {
+    return static_cast<Duration>(n_) * quantum_;
+  }
+  std::uint64_t postponements() const { return postponements_; }
+
+ private:
+  bool confiscated(Pid pid, Time quantum_start) const;
+
+  int n_;
+  Duration quantum_;
+  Duration step_;
+  struct Window {
+    Pid victim;
+    Time begin;
+    Time end;
+  };
+  std::vector<Window> windows_;
+  std::uint64_t postponements_ = 0;
+};
+
+/// Convenience factories for the common models.
+std::unique_ptr<TimingModel> make_fixed_timing(Duration cost);
+std::unique_ptr<TimingModel> make_uniform_timing(Duration lo, Duration hi);
+
+}  // namespace tfr::sim

@@ -1,0 +1,32 @@
+// Basic vocabulary types of the timing-based shared-memory simulator.
+//
+// The simulator realises the paper's model (§1.2): virtual time advances in
+// abstract ticks; every statement that accesses shared memory takes at most
+// Δ ticks unless a *timing failure* stretches it; an explicit delay(d)
+// statement takes exactly d ticks.  Time is virtual and deterministic, so
+// the paper's bounds ("decides within 15·Δ") can be checked exactly.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace tfr::sim {
+
+/// Virtual time, in abstract ticks.
+using Time = std::int64_t;
+
+/// A span of virtual time, in abstract ticks.
+using Duration = std::int64_t;
+
+/// Process identifier; processes are numbered 0..n-1 by spawn order.
+using Pid = int;
+
+/// Sentinel for "never".
+inline constexpr Time kTimeNever = std::numeric_limits<Time>::max();
+
+/// The ⊥ (bottom / unset) value used by registers holding {⊥, 0, 1} and
+/// similar domains throughout the paper's algorithms.
+inline constexpr int kBot = -1;
+
+}  // namespace tfr::sim

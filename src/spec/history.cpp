@@ -1,0 +1,46 @@
+#include "tfr/spec/history.hpp"
+
+#include "tfr/common/contracts.hpp"
+
+namespace tfr::spec {
+
+std::size_t History::invoke(int thread, std::string op, std::int64_t arg,
+                            std::int64_t now) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  Entry entry;
+  entry.op.thread = thread;
+  entry.op.op = std::move(op);
+  entry.op.arg = arg;
+  entry.op.invoked_at = now;
+  entries_.push_back(std::move(entry));
+  return entries_.size() - 1;
+}
+
+void History::respond(std::size_t token, std::int64_t result,
+                      std::int64_t now) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  TFR_REQUIRE(token < entries_.size());
+  Entry& entry = entries_[token];
+  TFR_REQUIRE(!entry.done);
+  TFR_REQUIRE(now >= entry.op.invoked_at);
+  entry.op.result = result;
+  entry.op.responded_at = now;
+  entry.done = true;
+}
+
+std::vector<Operation> History::completed() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  std::vector<Operation> ops;
+  ops.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    if (e.done) ops.push_back(e.op);
+  }
+  return ops;
+}
+
+std::size_t History::size() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return entries_.size();
+}
+
+}  // namespace tfr::spec

@@ -1,0 +1,52 @@
+// Operation histories for linearizability checking.
+//
+// A History records invoke/response pairs with timestamps (virtual time in
+// the simulator, steady-clock nanoseconds on real threads — the checker
+// only needs a consistent total order of instants).  Recording is
+// thread-safe so real-thread tests can share one history.
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tfr::spec {
+
+/// One completed operation.
+struct Operation {
+  int thread = 0;
+  std::string op;          ///< operation name, e.g. "enqueue"
+  std::int64_t arg = 0;
+  std::int64_t result = 0;
+  std::int64_t invoked_at = 0;
+  std::int64_t responded_at = 0;
+};
+
+class History {
+ public:
+  /// Records an invocation; returns a token to pass to respond().
+  std::size_t invoke(int thread, std::string op, std::int64_t arg,
+                     std::int64_t now);
+
+  /// Completes the operation identified by `token`.
+  void respond(std::size_t token, std::int64_t result, std::int64_t now);
+
+  /// All completed operations.  Call after the run (not thread-safe with
+  /// concurrent recording).
+  std::vector<Operation> completed() const;
+
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    Operation op;
+    bool done = false;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace tfr::spec

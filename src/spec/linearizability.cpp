@@ -1,0 +1,158 @@
+#include "tfr/spec/linearizability.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <utility>
+
+#include "tfr/common/contracts.hpp"
+#include "tfr/common/rng.hpp"
+
+namespace tfr::spec {
+
+namespace {
+
+class Checker {
+ public:
+  Checker(const std::vector<Operation>& ops, const SequentialModel& model)
+      : ops_(ops), chosen_(ops.size(), false) {
+    root_ = model.clone();
+  }
+
+  LinearizabilityResult run() {
+    LinearizabilityResult result;
+    result.linearizable = dfs(*root_);
+    result.states_explored = explored_;
+    if (result.linearizable) result.witness = order_;
+    return result;
+  }
+
+ private:
+  bool dfs(SequentialModel& model) {
+    ++explored_;
+    if (order_.size() == ops_.size()) return true;
+
+    // Real-time constraint: an operation may be linearized next only if no
+    // *unchosen* operation completed before it was invoked.
+    std::int64_t min_response = std::numeric_limits<std::int64_t>::max();
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if (!chosen_[i]) min_response = std::min(min_response, ops_[i].responded_at);
+    }
+
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if (chosen_[i]) continue;
+      if (ops_[i].invoked_at > min_response) continue;  // not minimal
+      auto next = model.clone();
+      const std::int64_t produced = next->apply(ops_[i].op, ops_[i].arg);
+      if (produced != ops_[i].result) continue;  // model disagrees
+      if (ops_.size() <= 64) {
+        const std::uint64_t mask = chosen_mask() | (std::uint64_t{1} << i);
+        if (!seen_.insert({mask, next->fingerprint()}).second) continue;
+      }
+      chosen_[i] = true;
+      order_.push_back(i);
+      if (dfs(*next)) return true;
+      order_.pop_back();
+      chosen_[i] = false;
+    }
+    return false;
+  }
+
+  std::uint64_t chosen_mask() const {
+    std::uint64_t mask = 0;
+    for (std::size_t i = 0; i < chosen_.size(); ++i)
+      if (chosen_[i]) mask |= std::uint64_t{1} << i;
+    return mask;
+  }
+
+  const std::vector<Operation>& ops_;
+  std::unique_ptr<SequentialModel> root_;
+  std::vector<bool> chosen_;
+  std::vector<std::size_t> order_;
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seen_;
+  std::uint64_t explored_ = 0;
+};
+
+}  // namespace
+
+LinearizabilityResult check_linearizable(const std::vector<Operation>& history,
+                                         const SequentialModel& model) {
+  Checker checker(history, model);
+  return checker.run();
+}
+
+// --------------------------------------------------------------------------
+// Models
+
+std::unique_ptr<SequentialModel> TasModel::clone() const {
+  return std::make_unique<TasModel>(*this);
+}
+
+std::int64_t TasModel::apply(const std::string& op, std::int64_t) {
+  if (op == "tas") {
+    if (bit_) return 1;
+    bit_ = true;
+    return 0;
+  }
+  if (op == "read") return bit_ ? 1 : 0;
+  TFR_REQUIRE(!"unknown TAS operation");
+  return -1;
+}
+
+std::unique_ptr<SequentialModel> CounterModel::clone() const {
+  return std::make_unique<CounterModel>(*this);
+}
+
+std::int64_t CounterModel::apply(const std::string& op, std::int64_t arg) {
+  if (op == "add") {
+    value_ += arg;
+    return value_;
+  }
+  if (op == "get") return value_;
+  TFR_REQUIRE(!"unknown counter operation");
+  return -1;
+}
+
+std::unique_ptr<SequentialModel> QueueModel::clone() const {
+  return std::make_unique<QueueModel>(*this);
+}
+
+std::int64_t QueueModel::apply(const std::string& op, std::int64_t arg) {
+  if (op == "enqueue") {
+    items_.push_back(arg);
+    return static_cast<std::int64_t>(items_.size());
+  }
+  if (op == "dequeue") {
+    if (items_.empty()) return -1;
+    const std::int64_t front = items_.front();
+    items_.erase(items_.begin());
+    return front;
+  }
+  TFR_REQUIRE(!"unknown queue operation");
+  return -1;
+}
+
+std::uint64_t QueueModel::fingerprint() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::int64_t v : items_) {
+    h ^= static_cast<std::uint64_t>(v) + 0x9e3779b97f4a7c15ULL;
+    h *= 0x100000001b3ULL;
+  }
+  return h ^ items_.size();
+}
+
+std::unique_ptr<SequentialModel> RegisterModel::clone() const {
+  return std::make_unique<RegisterModel>(*this);
+}
+
+std::int64_t RegisterModel::apply(const std::string& op, std::int64_t arg) {
+  if (op == "write") {
+    value_ = arg;
+    return arg;
+  }
+  if (op == "read") return value_;
+  TFR_REQUIRE(!"unknown register operation");
+  return -1;
+}
+
+}  // namespace tfr::spec

@@ -1,0 +1,98 @@
+// Tests for the unknown-bound (Alur-Attiya-Taubenfeld style) consensus
+// baseline: correctness, and the estimate-doubling behaviour that E5
+// contrasts against the paper's known-bound Algorithm 1.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "tfr/baseline/unknown_bound_sim.hpp"
+#include "tfr/core/consensus_sim.hpp"
+#include "tfr/sim/timing.hpp"
+
+namespace tfr::baseline {
+namespace {
+
+using sim::Duration;
+using sim::make_fixed_timing;
+using sim::make_uniform_timing;
+
+std::vector<int> split_inputs(std::size_t n) {
+  std::vector<int> inputs(n);
+  for (std::size_t i = 0; i < n; ++i) inputs[i] = static_cast<int>(i % 2);
+  return inputs;
+}
+
+TEST(UnknownBound, ValidityAndAgreement) {
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const auto out = run_unknown_bound_consensus(
+        split_inputs(4), /*initial_estimate=*/1, make_uniform_timing(1, 100),
+        seed, 10'000'000);
+    ASSERT_TRUE(out.all_decided) << "seed=" << seed;
+    EXPECT_TRUE(out.value == 0 || out.value == 1);
+  }
+}
+
+TEST(UnknownBound, SoloProcessFastPath) {
+  const auto out = run_unknown_bound_consensus({1}, 1, make_fixed_timing(100));
+  EXPECT_TRUE(out.all_decided);
+  EXPECT_EQ(out.value, 1);
+  EXPECT_EQ(out.steps[0], 7u);  // same fast path as Algorithm 1
+}
+
+TEST(UnknownBound, RoundDelayDoubles) {
+  sim::RegisterSpace space;
+  SimUnknownBoundConsensus consensus(space, 3);
+  EXPECT_EQ(consensus.round_delay(0), 3);
+  EXPECT_EQ(consensus.round_delay(1), 6);
+  EXPECT_EQ(consensus.round_delay(4), 48);
+}
+
+TEST(UnknownBound, RoundDelaySaturatesInsteadOfOverflowing) {
+  sim::RegisterSpace space;
+  SimUnknownBoundConsensus consensus(space, 1);
+  EXPECT_EQ(consensus.round_delay(60), sim::Duration{1} << 40);
+  EXPECT_EQ(consensus.round_delay(200), sim::Duration{1} << 40);
+}
+
+TEST(UnknownBound, TerminatesOnceEstimateReachesTrueBound) {
+  // True bound 128, initial estimate 1: under a lockstep schedule the
+  // protocol must decide deterministically once 2^r >= 128, i.e. within a
+  // bounded number of rounds.
+  const auto out = run_unknown_bound_consensus(
+      split_inputs(3), 1, make_fixed_timing(128), 1, 1'000'000'000);
+  ASSERT_TRUE(out.all_decided);
+  EXPECT_LE(out.max_round, 9u);
+}
+
+TEST(UnknownBound, PaysMoreRoundsThanKnownBoundAlgorithm) {
+  // The quantitative point of E5: with the true bound Delta known,
+  // Algorithm 1 always finishes within two rounds when no step exceeds
+  // Delta.  The unknown-bound algorithm's early rounds delay far less than
+  // Delta, so a straggler's y-write regularly lands after the others'
+  // post-delay reads — a round behaves as if a timing failure occurred —
+  // and it burns extra rounds ramping its estimate.  (Lockstep schedules
+  // hide the effect; a jittery schedule within the bound exposes it.)
+  const Duration true_bound = 512;
+  std::size_t known_total = 0;
+  std::size_t unknown_total = 0;
+  const std::uint64_t trials = 30;
+  for (std::uint64_t seed = 0; seed < trials; ++seed) {
+    const auto known =
+        core::run_consensus(split_inputs(4), true_bound,
+                            make_uniform_timing(1, true_bound), seed);
+    const auto unknown = run_unknown_bound_consensus(
+        split_inputs(4), 1, make_uniform_timing(1, true_bound), seed,
+        1'000'000'000);
+    ASSERT_TRUE(known.all_decided);
+    ASSERT_TRUE(unknown.all_decided);
+    EXPECT_LE(known.max_round, 1u) << "seed=" << seed;  // Theorem 2.1
+    known_total += known.max_round;
+    unknown_total += unknown.max_round;
+  }
+  EXPECT_GT(unknown_total, known_total);
+}
+
+}  // namespace
+}  // namespace tfr::baseline

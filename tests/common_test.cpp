@@ -1,0 +1,223 @@
+// Unit tests for the common utilities: RNG, statistics, tables, contracts.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "tfr/common/contracts.hpp"
+#include "tfr/common/rng.hpp"
+#include "tfr/common/stats.hpp"
+#include "tfr/common/table.hpp"
+
+namespace tfr {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(Rng, UniformSingletonRange) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform(3, 3), 3);
+}
+
+TEST(Rng, UniformRejectsInvertedRange) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform(2, 1), ContractViolation);
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(11);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 10000; ++i) seen[static_cast<std::size_t>(rng.uniform(0, 9))]++;
+  for (int count : seen) EXPECT_GT(count, 700);  // each bucket near 1000
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliDegenerate) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, IndexRequiresNonEmpty) {
+  Rng rng(1);
+  EXPECT_THROW(rng.index(0), ContractViolation);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(9);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SplitIndependentStreams) {
+  Rng parent(13);
+  Rng child1 = parent.split();
+  Rng child2 = parent.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (child1() == child2());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Stats, AccumulatorBasics) {
+  StatAccumulator acc;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) acc.add(v);
+  EXPECT_EQ(acc.count(), 4u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+  EXPECT_NEAR(acc.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(acc.sum(), 10.0, 1e-12);
+}
+
+TEST(Stats, AccumulatorEmpty) {
+  StatAccumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(Stats, AccumulatorMergeMatchesSequential) {
+  StatAccumulator whole, left, right;
+  Rng rng(21);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.uniform01() * 10;
+    whole.add(v);
+    (i % 2 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Stats, SamplesPercentiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(90), 90.1, 1e-9);
+  EXPECT_NEAR(s.mean(), 50.5, 1e-9);
+}
+
+TEST(Stats, SamplesSingleValue) {
+  Samples s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 42.0);
+}
+
+TEST(Stats, PercentileRequiresData) {
+  Samples s;
+  EXPECT_THROW(s.percentile(50), ContractViolation);
+}
+
+TEST(Stats, HistogramBuckets) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);
+  h.add(-1.0);
+  h.add(42.0);
+  EXPECT_EQ(h.total(), 12u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(h.bucket(i), 1u);
+  EXPECT_DOUBLE_EQ(h.edge(3), 3.0);
+}
+
+TEST(Table, PrintsAlignedRows) {
+  Table t("demo");
+  t.header({"a", "long-column"});
+  t.row({"1", "2"});
+  t.row({"333", "4"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("long-column"), std::string::npos);
+  EXPECT_NE(out.find("333"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t;
+  t.header({"x", "y"});
+  t.row({"plain", "with,comma"});
+  t.row({"with\"quote", "z"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "x,y\nplain,\"with,comma\"\n\"with\"\"quote\",z\n");
+}
+
+TEST(Table, RowWidthEnforced) {
+  Table t;
+  t.header({"a", "b"});
+  EXPECT_THROW(t.row({"only-one"}), ContractViolation);
+}
+
+TEST(Table, NumericFormatting) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(static_cast<long long>(-7)), "-7");
+  EXPECT_EQ(Table::fmt(static_cast<std::size_t>(12)), "12");
+}
+
+TEST(Contracts, RequireThrowsWithLocation) {
+  try {
+    TFR_REQUIRE(1 == 2);
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("precondition"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("common_test.cpp"),
+              std::string::npos);
+  }
+}
+
+TEST(Contracts, EnsureAndInvariant) {
+  EXPECT_THROW(TFR_ENSURE(false), ContractViolation);
+  EXPECT_THROW(TFR_INVARIANT(false), ContractViolation);
+  EXPECT_NO_THROW(TFR_REQUIRE(true));
+}
+
+}  // namespace
+}  // namespace tfr

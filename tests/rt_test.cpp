@@ -1,0 +1,496 @@
+// Real-thread tests: atomic register substrate, consensus (Algorithm 1),
+// the mutex family, and the derived objects, all on std::thread with
+// wall-clock optimistic(Delta) and preemption-style fault injection.
+//
+// The host may have a single core, so thread counts stay small and spin
+// loops yield; timing assertions are shape-level only (safety assertions
+// are exact).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "tfr/common/contracts.hpp"
+#include "tfr/core/consensus_rt.hpp"
+#include "tfr/core/delta.hpp"
+#include "tfr/derived/derived_rt.hpp"
+#include "tfr/mutex/mutex_rt.hpp"
+#include "tfr/registers/atomic_register.hpp"
+#include "tfr/registers/fault_injector.hpp"
+#include "tfr/registers/register_array.hpp"
+#include "tfr/spec/history.hpp"
+#include "tfr/spec/linearizability.hpp"
+
+namespace tfr::rt {
+namespace {
+
+constexpr Nanos kDelta{200'000};  // 200 us: generous for CI machines
+
+// --- Registers ---------------------------------------------------------------
+
+TEST(RtRegisters, AtomicRegisterBasics) {
+  AtomicRegister<int> r(7);
+  EXPECT_EQ(r.read(), 7);
+  r.write(42);
+  EXPECT_EQ(r.read(), 42);
+  EXPECT_TRUE(r.is_lock_free());
+}
+
+TEST(RtRegisters, ArrayInitialValueAndGrowth) {
+  RegisterArray<int> arr(-1);
+  EXPECT_EQ(arr.at(0).read(), -1);
+  EXPECT_EQ(arr.at(5000).read(), -1);  // second segment
+  arr.at(5000).write(9);
+  EXPECT_EQ(arr.at(5000).read(), 9);
+  EXPECT_EQ(arr.segments_allocated(), 2u);
+}
+
+TEST(RtRegisters, PeekDoesNotAllocate) {
+  RegisterArray<int> arr(-1);
+  EXPECT_EQ(arr.peek(123456, -1), -1);
+  EXPECT_EQ(arr.segments_allocated(), 0u);
+  arr.at(0).write(5);
+  EXPECT_EQ(arr.peek(0, -1), 5);
+}
+
+TEST(RtRegisters, ConcurrentGrowthPublishesOneSegment) {
+  RegisterArray<std::int64_t> arr(0);
+  std::vector<std::thread> threads;
+  std::atomic<int> ready{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&arr, &ready] {
+      ready.fetch_add(1);
+      while (ready.load() < 4) std::this_thread::yield();
+      for (std::size_t i = 0; i < 4096; ++i) arr.at(i);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(arr.segments_allocated(), 4u);  // 4096 / 1024, no duplicates
+}
+
+TEST(RtRegisters, SmallArrayVariantRespectsCaps) {
+  RegisterArray<int, 16, 4> arr(0);
+  arr.at(63).write(1);
+  EXPECT_EQ(arr.segments_allocated(), 1u);
+  EXPECT_THROW(arr.at(64), ContractViolation);
+}
+
+// --- Fault injector ------------------------------------------------------------
+
+TEST(RtFaults, TargetedVisitFires) {
+  FaultInjector faults;
+  faults.configure("p", {.stall = Nanos{1000}, .always_on_visit = 3});
+  EXPECT_FALSE(faults.maybe_stall("p"));
+  EXPECT_FALSE(faults.maybe_stall("p"));
+  EXPECT_TRUE(faults.maybe_stall("p"));
+  EXPECT_FALSE(faults.maybe_stall("p"));
+  EXPECT_EQ(faults.stalls(), 1u);
+}
+
+TEST(RtFaults, UnknownPointIsNoop) {
+  FaultInjector faults;
+  EXPECT_FALSE(faults.maybe_stall("never-configured"));
+  EXPECT_FALSE(maybe_stall(nullptr, "anything"));
+}
+
+// --- Consensus -------------------------------------------------------------------
+
+TEST(RtConsensusTest, SoloFastPath) {
+  RtConsensus consensus({.delta = kDelta});
+  const auto result = consensus.propose(1);
+  EXPECT_EQ(result.value, 1);
+  EXPECT_EQ(result.steps, 7u);
+  EXPECT_EQ(result.delays, 0u);
+}
+
+TEST(RtConsensusTest, AgreementAcrossThreadsRepeated) {
+  for (int round = 0; round < 30; ++round) {
+    RtConsensus consensus({.delta = Nanos{2000}});
+    const int n = 4;
+    std::vector<int> decided(n, -1);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < n; ++i) {
+      threads.emplace_back([&consensus, &decided, i] {
+        decided[static_cast<std::size_t>(i)] =
+            consensus.propose_value(i % 2);
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (int v : decided) {
+      EXPECT_EQ(v, decided[0]) << "round " << round;
+      EXPECT_TRUE(v == 0 || v == 1);
+    }
+  }
+}
+
+TEST(RtConsensusTest, SafeWithTinyOptimisticDelta) {
+  // delta = 0: every contended round is a "timing failure"; safety must
+  // hold and termination still arrives (threads eventually align).
+  for (int round = 0; round < 20; ++round) {
+    RtConsensus consensus({.delta = Nanos{0}});
+    std::vector<int> decided(3, -1);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < 3; ++i) {
+      threads.emplace_back([&consensus, &decided, i] {
+        decided[static_cast<std::size_t>(i)] = consensus.propose_value(i % 2);
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (int v : decided) EXPECT_EQ(v, decided[0]) << "round " << round;
+  }
+}
+
+TEST(RtConsensusTest, InjectedStallsCannotBreakAgreement) {
+  for (int round = 0; round < 10; ++round) {
+    FaultInjector faults(round);
+    faults.configure("consensus.after_flag",
+                     {.probability = 0.3, .stall = 5 * kDelta});
+    faults.configure("consensus.after_read_y",
+                     {.probability = 0.3, .stall = 5 * kDelta});
+    RtConsensus consensus({.delta = Nanos{1000}, .faults = &faults});
+    std::vector<int> decided(3, -1);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < 3; ++i) {
+      threads.emplace_back([&consensus, &decided, i] {
+        decided[static_cast<std::size_t>(i)] = consensus.propose_value(i % 2);
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (int v : decided) EXPECT_EQ(v, decided[0]) << "round " << round;
+  }
+}
+
+// --- Mutexes ----------------------------------------------------------------------
+
+TEST(RtMutexTest, TfrMutexExcludesAndCompletes) {
+  auto mutex = make_tfr_mutex_rt(3, kDelta);
+  const auto result = run_rt_mutex_workload(
+      *mutex, {.threads = 3, .sessions = 60, .cs_time = Nanos{2000},
+               .ncs_time = Nanos{1000}});
+  EXPECT_EQ(result.violations, 0u);
+  EXPECT_EQ(result.cs_entries, 180u);
+}
+
+// Parameters chosen for single-core hosts too: the injected stall (30 ms)
+// dwarfs a scheduler quantum, so while a stalled thread spins in the gate
+// the other one runs, passes the gate, and is eventually preempted *inside*
+// its 5 ms critical section — at which point the stalled thread resumes,
+// finds x unchanged since its (pre-stall) read, and walks in.
+constexpr RtWorkloadConfig kPreemptionWorkload{
+    .threads = 2,
+    .sessions = 30,
+    .cs_time = Nanos{5'000'000},
+    .ncs_time = Nanos{0},
+};
+constexpr Nanos kPreemptionDelta{20'000};
+constexpr Nanos kPreemptionStall{30'000'000};
+
+TEST(RtMutexTest, FischerViolatesUnderInjectedPreemption) {
+  FaultInjector faults(7);
+  faults.configure("fischer.gate",
+                   {.probability = 0.2, .stall = kPreemptionStall});
+  FischerRt fischer(kPreemptionDelta, &faults);
+  const auto result = run_rt_mutex_workload(fischer, kPreemptionWorkload);
+  EXPECT_GT(faults.stalls(), 0u);
+  EXPECT_GT(result.violations, 0u);
+}
+
+TEST(RtMutexTest, TfrMutexSurvivesInjectedPreemption) {
+  FaultInjector faults(7);
+  faults.configure("fischer.gate",
+                   {.probability = 0.2, .stall = kPreemptionStall});
+  auto mutex = make_tfr_mutex_rt(2, kPreemptionDelta, &faults);
+  const auto result = run_rt_mutex_workload(*mutex, kPreemptionWorkload);
+  EXPECT_GT(faults.stalls(), 0u);
+  EXPECT_EQ(result.violations, 0u);
+  EXPECT_EQ(result.cs_entries, 60u);
+}
+
+class RtMutexMatrix : public ::testing::TestWithParam<int> {
+ public:
+  static std::unique_ptr<RtMutex> make(int algo, int n) {
+    switch (algo) {
+      case 0: return std::make_unique<FischerRt>(kDelta);
+      case 1: return std::make_unique<LamportFastRt>(n);
+      case 2: return std::make_unique<BakeryRt>(n);
+      case 3: return std::make_unique<BlackWhiteBakeryRt>(n);
+      case 4:
+        return std::make_unique<StarvationFreeRt>(
+            n, std::make_unique<LamportFastRt>(n));
+      default: return make_tfr_mutex_rt(n, kDelta);
+    }
+  }
+};
+
+TEST_P(RtMutexMatrix, MutualExclusionHolds) {
+  const int n = 3;
+  auto mutex = make(GetParam(), n);
+  const auto result = run_rt_mutex_workload(
+      *mutex, {.threads = n, .sessions = 50, .cs_time = Nanos{1000},
+               .ncs_time = Nanos{500}});
+  EXPECT_EQ(result.violations, 0u);
+  EXPECT_EQ(result.cs_entries, static_cast<std::uint64_t>(n) * 50);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, RtMutexMatrix,
+                         ::testing::Values(0, 1, 2, 3, 4, 5));
+
+// --- Derived objects -----------------------------------------------------------------
+
+TEST(RtDerived, MultiValueAgreement) {
+  for (int round = 0; round < 10; ++round) {
+    RtMultiConsensus mc({.delta = Nanos{2000}, .bits = 31});
+    const std::vector<std::int64_t> inputs{1000001, 999, 31337};
+    std::vector<std::int64_t> out(inputs.size(), -1);
+    std::vector<std::thread> threads;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      threads.emplace_back([&mc, &out, &inputs, i] {
+        out[i] = mc.propose(inputs[i]);
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (auto v : out) {
+      EXPECT_EQ(v, out[0]) << "round " << round;
+      EXPECT_TRUE(std::count(inputs.begin(), inputs.end(), v) > 0);
+    }
+    EXPECT_EQ(mc.decided(), out[0]);
+  }
+}
+
+TEST(RtDerived, ElectionSingleLeader) {
+  for (int round = 0; round < 10; ++round) {
+    RtElection election(Nanos{2000});
+    std::vector<int> winner(4, -1);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < 4; ++i) {
+      threads.emplace_back([&election, &winner, i] {
+        winner[static_cast<std::size_t>(i)] = election.elect(i);
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (int w : winner) EXPECT_EQ(w, winner[0]);
+    EXPECT_EQ(election.leader(), winner[0]);
+  }
+}
+
+TEST(RtDerived, TestAndSetOneWinner) {
+  for (int round = 0; round < 10; ++round) {
+    RtTestAndSet tas(Nanos{2000});
+    std::vector<int> got(4, -1);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < 4; ++i) {
+      threads.emplace_back([&tas, &got, i] {
+        got[static_cast<std::size_t>(i)] = tas.test_and_set(i);
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(std::count(got.begin(), got.end(), 0), 1) << "round " << round;
+    EXPECT_EQ(std::count(got.begin(), got.end(), 1), 3) << "round " << round;
+  }
+}
+
+TEST(RtDerived, RenamingUniqueTightNames) {
+  for (int round = 0; round < 8; ++round) {
+    const int n = 4;
+    RtRenaming renaming(Nanos{2000}, n);
+    std::vector<int> name(n, -1);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < n; ++i) {
+      threads.emplace_back([&renaming, &name, i] {
+        name[static_cast<std::size_t>(i)] = renaming.acquire(i);
+      });
+    }
+    for (auto& t : threads) t.join();
+    std::set<int> unique(name.begin(), name.end());
+    EXPECT_EQ(unique.size(), static_cast<std::size_t>(n)) << "round " << round;
+    for (int v : name) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, n);
+    }
+  }
+}
+
+TEST(RtDerived, SetConsensusAtMostKValues) {
+  for (int round = 0; round < 8; ++round) {
+    const int n = 6;
+    const int k = 2;
+    RtSetConsensus sc(Nanos{2000}, k);
+    std::vector<std::int64_t> out(n, -1);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < n; ++i) {
+      threads.emplace_back([&sc, &out, i] {
+        out[static_cast<std::size_t>(i)] = sc.propose(i, 100 + i);
+      });
+    }
+    for (auto& t : threads) t.join();
+    std::set<std::int64_t> decided(out.begin(), out.end());
+    EXPECT_LE(decided.size(), static_cast<std::size_t>(k))
+        << "round " << round;
+    for (auto v : out) {
+      EXPECT_GE(v, 100);
+      EXPECT_LT(v, 100 + n);
+    }
+  }
+}
+
+TEST(RtDerived, LongLivedTasOneWinnerPerGeneration) {
+  RtLongLivedTestAndSet tas(Nanos{2000}, 4);
+  std::vector<int> got(4, -1);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&tas, &got, i] {
+      got[static_cast<std::size_t>(i)] = tas.test_and_set(i);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(std::count(got.begin(), got.end(), 0), 1);
+  EXPECT_EQ(std::count(got.begin(), got.end(), 1), 3);
+}
+
+TEST(RtDerived, LongLivedTasWorksAsLock) {
+  const int n = 3;
+  const int sessions = 20;
+  RtLongLivedTestAndSet tas(Nanos{2000}, n);
+  std::atomic<int> occupancy{0};
+  std::atomic<std::uint64_t> violations{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < n; ++i) {
+    threads.emplace_back([&, i] {
+      for (int s = 0; s < sessions;) {
+        if (tas.test_and_set(i) != 0) {
+          std::this_thread::yield();
+          continue;
+        }
+        if (occupancy.fetch_add(1) != 0) violations.fetch_add(1);
+        spin_for(Nanos{500});
+        occupancy.fetch_sub(1);
+        tas.reset(i);
+        ++s;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_GE(tas.generations(), static_cast<std::size_t>(n * sessions));
+}
+
+TEST(RtDerived, LongLivedTasResetByNonWinnerRejected) {
+  RtLongLivedTestAndSet tas(Nanos{1000}, 2);
+  EXPECT_EQ(tas.test_and_set(0), 0);
+  EXPECT_THROW(tas.reset(1), ContractViolation);
+  tas.reset(0);  // the winner may
+}
+
+TEST(RtDerived, UniversalCounterLinearizable) {
+  RtUniversal universal(Nanos{2000}, 3,
+                        [] { return std::make_unique<derived::CounterReplica>(); });
+  spec::History history;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto now_ns = [&t0] {
+    return std::chrono::duration_cast<Nanos>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 3; ++i) {
+    threads.emplace_back([&, i] {
+      for (int k = 0; k < 3; ++k) {
+        const auto token = history.invoke(i, "add", 1, now_ns());
+        const auto r =
+            universal.invoke(i, derived::CounterReplica::kAdd, 1);
+        history.respond(token, r, now_ns());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto ops = history.completed();
+  ASSERT_EQ(ops.size(), 9u);
+  const auto verdict = spec::check_linearizable(ops, spec::CounterModel{});
+  EXPECT_TRUE(verdict.linearizable);
+  EXPECT_EQ(universal.log_length(), 9u);
+}
+
+TEST(RtDerived, UniversalQueueSemantics) {
+  RtUniversal universal(Nanos{2000}, 2,
+                        [] { return std::make_unique<derived::QueueReplica>(); });
+  // Thread 0 enqueues 1..5; thread 1 dequeues until it has five values.
+  std::vector<std::int64_t> dequeued;
+  std::thread producer([&universal] {
+    for (int v = 1; v <= 5; ++v)
+      universal.invoke(0, derived::QueueReplica::kEnqueue, v);
+  });
+  std::thread consumer([&universal, &dequeued] {
+    while (dequeued.size() < 5) {
+      const auto v = universal.invoke(1, derived::QueueReplica::kDequeue, 0);
+      if (v >= 0) {
+        dequeued.push_back(v);
+      } else {
+        // Empty: yield rather than burning log slots in a tight loop.
+        std::this_thread::yield();
+      }
+    }
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_EQ(dequeued, (std::vector<std::int64_t>{1, 2, 3, 4, 5}));
+}
+
+// --- OptimisticDelta --------------------------------------------------------------------
+
+TEST(OptimisticDeltaTest, GrowsOnRetryShrinksOnStableProgress) {
+  core::OptimisticDelta est({.initial = 8,
+                             .min = 1,
+                             .max = 1024,
+                             .grow_factor = 2.0,
+                             .shrink_step = 1,
+                             .stable_threshold = 3});
+  EXPECT_EQ(est.current(), 8);
+  est.on_retry();
+  EXPECT_EQ(est.current(), 16);
+  est.on_retry();
+  EXPECT_EQ(est.current(), 32);
+  for (int i = 0; i < 3; ++i) est.on_progress();
+  EXPECT_EQ(est.current(), 31);
+  for (int i = 0; i < 2; ++i) est.on_progress();
+  EXPECT_EQ(est.current(), 31);  // threshold not yet reached again
+  est.on_progress();
+  EXPECT_EQ(est.current(), 30);
+}
+
+TEST(OptimisticDeltaTest, RespectsBounds) {
+  core::OptimisticDelta est({.initial = 2,
+                             .min = 2,
+                             .max = 4,
+                             .grow_factor = 10.0,
+                             .shrink_step = 5,
+                             .stable_threshold = 1});
+  est.on_retry();
+  EXPECT_EQ(est.current(), 4);  // capped
+  est.on_retry();
+  EXPECT_EQ(est.current(), 4);
+  est.on_progress();
+  EXPECT_EQ(est.current(), 4);  // shrink below min rejected
+}
+
+TEST(OptimisticDeltaTest, RetryResetsStableRun) {
+  core::OptimisticDelta est({.initial = 10,
+                             .min = 1,
+                             .max = 100,
+                             .grow_factor = 2.0,
+                             .shrink_step = 1,
+                             .stable_threshold = 2});
+  est.on_progress();
+  est.on_retry();       // stable run resets, estimate 20
+  est.on_progress();
+  EXPECT_EQ(est.current(), 20);  // one progress after reset: no shrink yet
+  est.on_progress();
+  EXPECT_EQ(est.current(), 19);
+}
+
+}  // namespace
+}  // namespace tfr::rt
