@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_consensus_convergence.dir/bench_consensus_convergence.cpp.o"
+  "CMakeFiles/bench_consensus_convergence.dir/bench_consensus_convergence.cpp.o.d"
+  "bench_consensus_convergence"
+  "bench_consensus_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_consensus_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

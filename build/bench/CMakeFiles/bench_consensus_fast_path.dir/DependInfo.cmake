@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_consensus_fast_path.cpp" "bench/CMakeFiles/bench_consensus_fast_path.dir/bench_consensus_fast_path.cpp.o" "gcc" "bench/CMakeFiles/bench_consensus_fast_path.dir/bench_consensus_fast_path.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tfr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tfr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tfr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tfr_mutex.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tfr_derived.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tfr_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tfr_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tfr_msg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

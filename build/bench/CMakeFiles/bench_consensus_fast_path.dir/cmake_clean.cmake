@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_consensus_fast_path.dir/bench_consensus_fast_path.cpp.o"
+  "CMakeFiles/bench_consensus_fast_path.dir/bench_consensus_fast_path.cpp.o.d"
+  "bench_consensus_fast_path"
+  "bench_consensus_fast_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_consensus_fast_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_consensus_time.dir/bench_consensus_time.cpp.o"
+  "CMakeFiles/bench_consensus_time.dir/bench_consensus_time.cpp.o.d"
+  "bench_consensus_time"
+  "bench_consensus_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_consensus_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

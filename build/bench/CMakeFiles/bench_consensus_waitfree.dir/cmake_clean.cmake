@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_consensus_waitfree.dir/bench_consensus_waitfree.cpp.o"
+  "CMakeFiles/bench_consensus_waitfree.dir/bench_consensus_waitfree.cpp.o.d"
+  "bench_consensus_waitfree"
+  "bench_consensus_waitfree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_consensus_waitfree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_derived_objects.dir/bench_derived_objects.cpp.o"
+  "CMakeFiles/bench_derived_objects.dir/bench_derived_objects.cpp.o.d"
+  "bench_derived_objects"
+  "bench_derived_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_derived_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memory_failures.dir/bench_memory_failures.cpp.o"
+  "CMakeFiles/bench_memory_failures.dir/bench_memory_failures.cpp.o.d"
+  "bench_memory_failures"
+  "bench_memory_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memory_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_msg_consensus.dir/bench_msg_consensus.cpp.o"
+  "CMakeFiles/bench_msg_consensus.dir/bench_msg_consensus.cpp.o.d"
+  "bench_msg_consensus"
+  "bench_msg_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_msg_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mutex_convergence.dir/bench_mutex_convergence.cpp.o"
+  "CMakeFiles/bench_mutex_convergence.dir/bench_mutex_convergence.cpp.o.d"
+  "bench_mutex_convergence"
+  "bench_mutex_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mutex_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mutex_space.dir/bench_mutex_space.cpp.o"
+  "CMakeFiles/bench_mutex_space.dir/bench_mutex_space.cpp.o.d"
+  "bench_mutex_space"
+  "bench_mutex_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mutex_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mutex_time.dir/bench_mutex_time.cpp.o"
+  "CMakeFiles/bench_mutex_time.dir/bench_mutex_time.cpp.o.d"
+  "bench_mutex_time"
+  "bench_mutex_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mutex_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optimistic_delta.dir/bench_optimistic_delta.cpp.o"
+  "CMakeFiles/bench_optimistic_delta.dir/bench_optimistic_delta.cpp.o.d"
+  "bench_optimistic_delta"
+  "bench_optimistic_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimistic_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rmr.dir/bench_rmr.cpp.o"
+  "CMakeFiles/bench_rmr.dir/bench_rmr.cpp.o.d"
+  "bench_rmr"
+  "bench_rmr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rmr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rt_consensus.dir/bench_rt_consensus.cpp.o"
+  "CMakeFiles/bench_rt_consensus.dir/bench_rt_consensus.cpp.o.d"
+  "bench_rt_consensus"
+  "bench_rt_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rt_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

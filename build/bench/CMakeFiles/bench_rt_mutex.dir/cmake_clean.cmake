@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rt_mutex.dir/bench_rt_mutex.cpp.o"
+  "CMakeFiles/bench_rt_mutex.dir/bench_rt_mutex.cpp.o.d"
+  "bench_rt_mutex"
+  "bench_rt_mutex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rt_mutex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

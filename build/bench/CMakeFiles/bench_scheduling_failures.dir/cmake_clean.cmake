@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scheduling_failures.dir/bench_scheduling_failures.cpp.o"
+  "CMakeFiles/bench_scheduling_failures.dir/bench_scheduling_failures.cpp.o.d"
+  "bench_scheduling_failures"
+  "bench_scheduling_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scheduling_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

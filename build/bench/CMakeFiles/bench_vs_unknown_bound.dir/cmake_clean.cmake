@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vs_unknown_bound.dir/bench_vs_unknown_bound.cpp.o"
+  "CMakeFiles/bench_vs_unknown_bound.dir/bench_vs_unknown_bound.cpp.o.d"
+  "bench_vs_unknown_bound"
+  "bench_vs_unknown_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vs_unknown_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

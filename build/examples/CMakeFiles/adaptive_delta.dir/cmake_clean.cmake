@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_delta.dir/adaptive_delta.cpp.o"
+  "CMakeFiles/adaptive_delta.dir/adaptive_delta.cpp.o.d"
+  "adaptive_delta"
+  "adaptive_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

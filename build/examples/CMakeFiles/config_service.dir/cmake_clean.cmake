@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_service.dir/config_service.cpp.o"
+  "CMakeFiles/config_service.dir/config_service.cpp.o.d"
+  "config_service"
+  "config_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

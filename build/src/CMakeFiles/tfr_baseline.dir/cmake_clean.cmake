@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfr_baseline.dir/baseline/unknown_bound_sim.cpp.o"
+  "CMakeFiles/tfr_baseline.dir/baseline/unknown_bound_sim.cpp.o.d"
+  "libtfr_baseline.a"
+  "libtfr_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfr_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

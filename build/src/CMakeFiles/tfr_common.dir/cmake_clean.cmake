@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfr_common.dir/common/rng.cpp.o"
+  "CMakeFiles/tfr_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/tfr_common.dir/common/stats.cpp.o"
+  "CMakeFiles/tfr_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/tfr_common.dir/common/table.cpp.o"
+  "CMakeFiles/tfr_common.dir/common/table.cpp.o.d"
+  "libtfr_common.a"
+  "libtfr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/consensus_ablation_sim.cpp" "src/CMakeFiles/tfr_core.dir/core/consensus_ablation_sim.cpp.o" "gcc" "src/CMakeFiles/tfr_core.dir/core/consensus_ablation_sim.cpp.o.d"
+  "/root/repo/src/core/consensus_rt.cpp" "src/CMakeFiles/tfr_core.dir/core/consensus_rt.cpp.o" "gcc" "src/CMakeFiles/tfr_core.dir/core/consensus_rt.cpp.o.d"
+  "/root/repo/src/core/consensus_sim.cpp" "src/CMakeFiles/tfr_core.dir/core/consensus_sim.cpp.o" "gcc" "src/CMakeFiles/tfr_core.dir/core/consensus_sim.cpp.o.d"
+  "/root/repo/src/core/delta.cpp" "src/CMakeFiles/tfr_core.dir/core/delta.cpp.o" "gcc" "src/CMakeFiles/tfr_core.dir/core/delta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tfr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tfr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

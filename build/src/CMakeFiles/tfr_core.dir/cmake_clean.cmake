@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfr_core.dir/core/consensus_ablation_sim.cpp.o"
+  "CMakeFiles/tfr_core.dir/core/consensus_ablation_sim.cpp.o.d"
+  "CMakeFiles/tfr_core.dir/core/consensus_rt.cpp.o"
+  "CMakeFiles/tfr_core.dir/core/consensus_rt.cpp.o.d"
+  "CMakeFiles/tfr_core.dir/core/consensus_sim.cpp.o"
+  "CMakeFiles/tfr_core.dir/core/consensus_sim.cpp.o.d"
+  "CMakeFiles/tfr_core.dir/core/delta.cpp.o"
+  "CMakeFiles/tfr_core.dir/core/delta.cpp.o.d"
+  "libtfr_core.a"
+  "libtfr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

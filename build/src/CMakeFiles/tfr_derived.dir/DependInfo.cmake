@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/derived/derived_rt.cpp" "src/CMakeFiles/tfr_derived.dir/derived/derived_rt.cpp.o" "gcc" "src/CMakeFiles/tfr_derived.dir/derived/derived_rt.cpp.o.d"
+  "/root/repo/src/derived/election_sim.cpp" "src/CMakeFiles/tfr_derived.dir/derived/election_sim.cpp.o" "gcc" "src/CMakeFiles/tfr_derived.dir/derived/election_sim.cpp.o.d"
+  "/root/repo/src/derived/long_lived_tas_sim.cpp" "src/CMakeFiles/tfr_derived.dir/derived/long_lived_tas_sim.cpp.o" "gcc" "src/CMakeFiles/tfr_derived.dir/derived/long_lived_tas_sim.cpp.o.d"
+  "/root/repo/src/derived/multivalue_sim.cpp" "src/CMakeFiles/tfr_derived.dir/derived/multivalue_sim.cpp.o" "gcc" "src/CMakeFiles/tfr_derived.dir/derived/multivalue_sim.cpp.o.d"
+  "/root/repo/src/derived/renaming_sim.cpp" "src/CMakeFiles/tfr_derived.dir/derived/renaming_sim.cpp.o" "gcc" "src/CMakeFiles/tfr_derived.dir/derived/renaming_sim.cpp.o.d"
+  "/root/repo/src/derived/set_consensus_sim.cpp" "src/CMakeFiles/tfr_derived.dir/derived/set_consensus_sim.cpp.o" "gcc" "src/CMakeFiles/tfr_derived.dir/derived/set_consensus_sim.cpp.o.d"
+  "/root/repo/src/derived/test_and_set_sim.cpp" "src/CMakeFiles/tfr_derived.dir/derived/test_and_set_sim.cpp.o" "gcc" "src/CMakeFiles/tfr_derived.dir/derived/test_and_set_sim.cpp.o.d"
+  "/root/repo/src/derived/universal_sim.cpp" "src/CMakeFiles/tfr_derived.dir/derived/universal_sim.cpp.o" "gcc" "src/CMakeFiles/tfr_derived.dir/derived/universal_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tfr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tfr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tfr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

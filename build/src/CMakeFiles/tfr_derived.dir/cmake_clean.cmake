@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfr_derived.dir/derived/derived_rt.cpp.o"
+  "CMakeFiles/tfr_derived.dir/derived/derived_rt.cpp.o.d"
+  "CMakeFiles/tfr_derived.dir/derived/election_sim.cpp.o"
+  "CMakeFiles/tfr_derived.dir/derived/election_sim.cpp.o.d"
+  "CMakeFiles/tfr_derived.dir/derived/long_lived_tas_sim.cpp.o"
+  "CMakeFiles/tfr_derived.dir/derived/long_lived_tas_sim.cpp.o.d"
+  "CMakeFiles/tfr_derived.dir/derived/multivalue_sim.cpp.o"
+  "CMakeFiles/tfr_derived.dir/derived/multivalue_sim.cpp.o.d"
+  "CMakeFiles/tfr_derived.dir/derived/renaming_sim.cpp.o"
+  "CMakeFiles/tfr_derived.dir/derived/renaming_sim.cpp.o.d"
+  "CMakeFiles/tfr_derived.dir/derived/set_consensus_sim.cpp.o"
+  "CMakeFiles/tfr_derived.dir/derived/set_consensus_sim.cpp.o.d"
+  "CMakeFiles/tfr_derived.dir/derived/test_and_set_sim.cpp.o"
+  "CMakeFiles/tfr_derived.dir/derived/test_and_set_sim.cpp.o.d"
+  "CMakeFiles/tfr_derived.dir/derived/universal_sim.cpp.o"
+  "CMakeFiles/tfr_derived.dir/derived/universal_sim.cpp.o.d"
+  "libtfr_derived.a"
+  "libtfr_derived.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfr_derived.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

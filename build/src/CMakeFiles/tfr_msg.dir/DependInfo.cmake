@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/msg/abd.cpp" "src/CMakeFiles/tfr_msg.dir/msg/abd.cpp.o" "gcc" "src/CMakeFiles/tfr_msg.dir/msg/abd.cpp.o.d"
+  "/root/repo/src/msg/consensus_msg.cpp" "src/CMakeFiles/tfr_msg.dir/msg/consensus_msg.cpp.o" "gcc" "src/CMakeFiles/tfr_msg.dir/msg/consensus_msg.cpp.o.d"
+  "/root/repo/src/msg/election_msg.cpp" "src/CMakeFiles/tfr_msg.dir/msg/election_msg.cpp.o" "gcc" "src/CMakeFiles/tfr_msg.dir/msg/election_msg.cpp.o.d"
+  "/root/repo/src/msg/network.cpp" "src/CMakeFiles/tfr_msg.dir/msg/network.cpp.o" "gcc" "src/CMakeFiles/tfr_msg.dir/msg/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tfr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tfr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

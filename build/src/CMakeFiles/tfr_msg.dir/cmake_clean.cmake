@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfr_msg.dir/msg/abd.cpp.o"
+  "CMakeFiles/tfr_msg.dir/msg/abd.cpp.o.d"
+  "CMakeFiles/tfr_msg.dir/msg/consensus_msg.cpp.o"
+  "CMakeFiles/tfr_msg.dir/msg/consensus_msg.cpp.o.d"
+  "CMakeFiles/tfr_msg.dir/msg/election_msg.cpp.o"
+  "CMakeFiles/tfr_msg.dir/msg/election_msg.cpp.o.d"
+  "CMakeFiles/tfr_msg.dir/msg/network.cpp.o"
+  "CMakeFiles/tfr_msg.dir/msg/network.cpp.o.d"
+  "libtfr_msg.a"
+  "libtfr_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfr_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

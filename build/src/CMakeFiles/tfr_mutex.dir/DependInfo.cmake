@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mutex/bakery_sim.cpp" "src/CMakeFiles/tfr_mutex.dir/mutex/bakery_sim.cpp.o" "gcc" "src/CMakeFiles/tfr_mutex.dir/mutex/bakery_sim.cpp.o.d"
+  "/root/repo/src/mutex/black_white_bakery_sim.cpp" "src/CMakeFiles/tfr_mutex.dir/mutex/black_white_bakery_sim.cpp.o" "gcc" "src/CMakeFiles/tfr_mutex.dir/mutex/black_white_bakery_sim.cpp.o.d"
+  "/root/repo/src/mutex/fischer_sim.cpp" "src/CMakeFiles/tfr_mutex.dir/mutex/fischer_sim.cpp.o" "gcc" "src/CMakeFiles/tfr_mutex.dir/mutex/fischer_sim.cpp.o.d"
+  "/root/repo/src/mutex/lamport_fast_sim.cpp" "src/CMakeFiles/tfr_mutex.dir/mutex/lamport_fast_sim.cpp.o" "gcc" "src/CMakeFiles/tfr_mutex.dir/mutex/lamport_fast_sim.cpp.o.d"
+  "/root/repo/src/mutex/mutex_rt.cpp" "src/CMakeFiles/tfr_mutex.dir/mutex/mutex_rt.cpp.o" "gcc" "src/CMakeFiles/tfr_mutex.dir/mutex/mutex_rt.cpp.o.d"
+  "/root/repo/src/mutex/starvation_free_sim.cpp" "src/CMakeFiles/tfr_mutex.dir/mutex/starvation_free_sim.cpp.o" "gcc" "src/CMakeFiles/tfr_mutex.dir/mutex/starvation_free_sim.cpp.o.d"
+  "/root/repo/src/mutex/tfr_mutex_sim.cpp" "src/CMakeFiles/tfr_mutex.dir/mutex/tfr_mutex_sim.cpp.o" "gcc" "src/CMakeFiles/tfr_mutex.dir/mutex/tfr_mutex_sim.cpp.o.d"
+  "/root/repo/src/mutex/workload_sim.cpp" "src/CMakeFiles/tfr_mutex.dir/mutex/workload_sim.cpp.o" "gcc" "src/CMakeFiles/tfr_mutex.dir/mutex/workload_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tfr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tfr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tfr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

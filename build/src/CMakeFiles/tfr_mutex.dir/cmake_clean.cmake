@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfr_mutex.dir/mutex/bakery_sim.cpp.o"
+  "CMakeFiles/tfr_mutex.dir/mutex/bakery_sim.cpp.o.d"
+  "CMakeFiles/tfr_mutex.dir/mutex/black_white_bakery_sim.cpp.o"
+  "CMakeFiles/tfr_mutex.dir/mutex/black_white_bakery_sim.cpp.o.d"
+  "CMakeFiles/tfr_mutex.dir/mutex/fischer_sim.cpp.o"
+  "CMakeFiles/tfr_mutex.dir/mutex/fischer_sim.cpp.o.d"
+  "CMakeFiles/tfr_mutex.dir/mutex/lamport_fast_sim.cpp.o"
+  "CMakeFiles/tfr_mutex.dir/mutex/lamport_fast_sim.cpp.o.d"
+  "CMakeFiles/tfr_mutex.dir/mutex/mutex_rt.cpp.o"
+  "CMakeFiles/tfr_mutex.dir/mutex/mutex_rt.cpp.o.d"
+  "CMakeFiles/tfr_mutex.dir/mutex/starvation_free_sim.cpp.o"
+  "CMakeFiles/tfr_mutex.dir/mutex/starvation_free_sim.cpp.o.d"
+  "CMakeFiles/tfr_mutex.dir/mutex/tfr_mutex_sim.cpp.o"
+  "CMakeFiles/tfr_mutex.dir/mutex/tfr_mutex_sim.cpp.o.d"
+  "CMakeFiles/tfr_mutex.dir/mutex/workload_sim.cpp.o"
+  "CMakeFiles/tfr_mutex.dir/mutex/workload_sim.cpp.o.d"
+  "libtfr_mutex.a"
+  "libtfr_mutex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfr_mutex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

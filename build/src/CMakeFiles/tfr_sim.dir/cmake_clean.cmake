@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfr_sim.dir/sim/monitor.cpp.o"
+  "CMakeFiles/tfr_sim.dir/sim/monitor.cpp.o.d"
+  "CMakeFiles/tfr_sim.dir/sim/scheduler.cpp.o"
+  "CMakeFiles/tfr_sim.dir/sim/scheduler.cpp.o.d"
+  "CMakeFiles/tfr_sim.dir/sim/timing.cpp.o"
+  "CMakeFiles/tfr_sim.dir/sim/timing.cpp.o.d"
+  "libtfr_sim.a"
+  "libtfr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

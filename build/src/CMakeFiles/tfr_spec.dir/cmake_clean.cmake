@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfr_spec.dir/spec/history.cpp.o"
+  "CMakeFiles/tfr_spec.dir/spec/history.cpp.o.d"
+  "CMakeFiles/tfr_spec.dir/spec/linearizability.cpp.o"
+  "CMakeFiles/tfr_spec.dir/spec/linearizability.cpp.o.d"
+  "libtfr_spec.a"
+  "libtfr_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfr_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consensus_sim_test.dir/consensus_sim_test.cpp.o"
+  "CMakeFiles/consensus_sim_test.dir/consensus_sim_test.cpp.o.d"
+  "consensus_sim_test"
+  "consensus_sim_test.pdb"
+  "consensus_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consensus_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/derived_sim_test.dir/derived_sim_test.cpp.o"
+  "CMakeFiles/derived_sim_test.dir/derived_sim_test.cpp.o.d"
+  "derived_sim_test"
+  "derived_sim_test.pdb"
+  "derived_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/derived_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

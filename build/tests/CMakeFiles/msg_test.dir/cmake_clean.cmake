@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msg_test.dir/msg_test.cpp.o"
+  "CMakeFiles/msg_test.dir/msg_test.cpp.o.d"
+  "msg_test"
+  "msg_test.pdb"
+  "msg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

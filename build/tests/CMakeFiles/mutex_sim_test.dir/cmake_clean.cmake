@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutex_sim_test.dir/mutex_sim_test.cpp.o"
+  "CMakeFiles/mutex_sim_test.dir/mutex_sim_test.cpp.o.d"
+  "mutex_sim_test"
+  "mutex_sim_test.pdb"
+  "mutex_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutex_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
