@@ -107,6 +107,22 @@ int main() {
   bench::expect(worst_slack <= 2,
                 "decision round never exceeds snapshot round + 2 "
                 "(theorem bound + mid-round snapshot slack)");
+  // Trace one representative burst run and report the derived metrics
+  // (convergence after the last injected failure, in Delta units).
+  {
+    obs::TraceSink sink;
+    auto injector = std::make_unique<sim::FailureInjector>(
+        sim::make_uniform_timing(1, kDelta), kDelta);
+    injector->add_window({.begin = 0,
+                          .end = 30 * kDelta,
+                          .victims = {0, 1},
+                          .stretched = 7 * kDelta});
+    injector->set_trace_sink(&sink);
+    core::run_consensus({0, 1, 0, 1}, kDelta, std::move(injector), 1,
+                        sim::kTimeNever, &sink);
+    bench::trace_metrics("E3.burst30", obs::compute_metrics(sink), kDelta);
+  }
+
   bench::expect(within_one_overall / static_cast<double>(cells) >= 90.0,
                 "decision round within snapshot round + 1 for >= 90% of "
                 "processes");

@@ -67,5 +67,11 @@ int main() {
   late.print(std::cout);
   bench::expect(late_one_step, "a process arriving after the decision "
                                "terminates after a single step");
+
+  // Machine-readable metrics from a traced solo run (fast-path shape).
+  obs::TraceSink sink;
+  core::run_consensus({1}, kDelta, sim::make_fixed_timing(kDelta), 1,
+                      sim::kTimeNever, &sink);
+  bench::trace_metrics("E2.solo", obs::compute_metrics(sink), kDelta);
   return bench::finish();
 }

@@ -177,5 +177,14 @@ int main() {
                 "entry — the §4 local-spinning open problem, measured");
   bench::expect(contended_rmr <= 200,
                 "contended consensus total RMR stays small");
+
+  bench::metric("E15.tfr.solo.rmr_per_entry.n2", tfr_solo_2);
+  bench::metric("E15.tfr.solo.rmr_per_entry.n128", tfr_solo_128);
+  bench::metric("E15.bakery.solo.rmr_per_entry.n2", bakery_solo_2);
+  bench::metric("E15.bakery.solo.rmr_per_entry.n128", bakery_solo_128);
+  bench::metric("E15.consensus.solo.rmr",
+                static_cast<double>(solo.steps[0]));
+  bench::metric("E15.consensus.contended.rmr",
+                static_cast<double>(contended_rmr));
   return bench::finish();
 }

@@ -16,6 +16,8 @@
 
 #include "tfr/common/stats.hpp"
 #include "tfr/common/table.hpp"
+#include "tfr/obs/metrics.hpp"
+#include "tfr/obs/trace.hpp"
 
 namespace tfr::bench {
 
@@ -32,6 +34,40 @@ inline int finish() {
   if (g_failures > 0)
     std::cout << "\n" << g_failures << " expectation(s) FAILED\n";
   return g_failures == 0 ? 0 : 1;
+}
+
+/// Machine-readable metric line, greppable like the EXPECT lines:
+/// "METRIC <name> = <value>[ <unit>]".  Every bench reports its headline
+/// quantities through this so runs can be scraped into dashboards.
+inline void metric(const std::string& name, double value,
+                   const std::string& unit = std::string()) {
+  std::cout << "METRIC " << name << " = " << Table::fmt(value, 4);
+  if (!unit.empty()) std::cout << " " << unit;
+  std::cout << "\n";
+}
+
+/// Reports the standard derived quantities of a recorded trace under
+/// `prefix` (fast-path hit rate, per-run RMR, convergence after failures
+/// in Δ units when `delta` > 0).
+inline void trace_metrics(const std::string& prefix,
+                          const obs::TraceMetrics& m,
+                          std::int64_t delta = 0) {
+  metric(prefix + ".accesses", static_cast<double>(m.reads + m.writes));
+  metric(prefix + ".rmr", static_cast<double>(m.rmr));
+  metric(prefix + ".delays", static_cast<double>(m.delays));
+  if (m.decides > 0) {
+    metric(prefix + ".decides", static_cast<double>(m.decides));
+    metric(prefix + ".fast_path_hit_rate", m.fast_path_hit_rate());
+    metric(prefix + ".max_round", static_cast<double>(m.max_round));
+  }
+  if (m.timing_failures > 0)
+    metric(prefix + ".timing_failures",
+           static_cast<double>(m.timing_failures));
+  if (m.violations > 0)
+    metric(prefix + ".violations", static_cast<double>(m.violations));
+  if (delta > 0 && m.timing_failures > 0 && m.last_decision >= 0)
+    metric(prefix + ".convergence_after_failures",
+           m.convergence_after_failures_in_delta(delta), "delta");
 }
 
 /// Formats a Samples summary as "mean (min..max)" in the given unit.

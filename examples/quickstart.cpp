@@ -3,19 +3,71 @@
 // Failures", Taubenfeld, ICDCS 2006).
 //
 //   $ ./quickstart
+//   $ ./quickstart --trace [out.json]
 //
 // Four threads propose conflicting values; all of them decide the same
 // one.  The `delta` below is an *optimistic* bound on a shared-memory
 // step: if the machine violates it (preemption, page fault), the protocol
 // simply takes another round — agreement can never be violated.
+//
+// With --trace, the same contest is additionally run in the discrete-event
+// simulator with injected timing failures, and the structured event trace
+// (register access spans, delay(Δ) spans, injected failures, round
+// transitions, decisions) is exported as Chrome trace_event JSON — open it
+// at https://ui.perfetto.dev.
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "tfr/core/consensus_rt.hpp"
+#include "tfr/core/consensus_sim.hpp"
+#include "tfr/obs/export.hpp"
+#include "tfr/obs/metrics.hpp"
+#include "tfr/obs/replay.hpp"
 
-int main() {
+namespace {
+
+// Simulated replica of the demo, with a burst of timing failures against
+// half the processes, exported for Perfetto.
+int export_trace(const std::string& path) {
+  constexpr tfr::sim::Duration kDelta = 100;
+  tfr::obs::TimingSpec spec;
+  spec.kind = tfr::obs::TimingSpec::Kind::kUniform;
+  spec.lo = 1;
+  spec.hi = kDelta;
+  spec.delta = kDelta;
+  spec.windows.push_back(
+      {.begin = 0, .end = 5 * kDelta, .victims = {0, 2},
+       .stretched = 7 * kDelta});
+
+  tfr::obs::TraceSink sink;
+  auto timing = tfr::obs::make_timing(spec, &sink);
+  const auto outcome = tfr::core::run_consensus(
+      {0, 1, 1, 0}, kDelta, std::move(timing), /*seed=*/7,
+      tfr::sim::kTimeNever, &sink);
+  if (!tfr::obs::write_chrome_json(sink, path)) {
+    std::printf("failed to write %s\n", path.c_str());
+    return 1;
+  }
+  const auto metrics = tfr::obs::compute_metrics(sink);
+  std::printf(
+      "wrote %s (%zu events): decided %d, %llu timing failures injected, "
+      "max round %zu — open it at https://ui.perfetto.dev\n",
+      path.c_str(), sink.size(), outcome.value,
+      static_cast<unsigned long long>(metrics.timing_failures),
+      metrics.max_round);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--trace") == 0) {
+    return export_trace(argc > 2 ? argv[2] : "quickstart_trace.json");
+  }
   tfr::rt::RtConsensus consensus({.delta = std::chrono::microseconds(50)});
 
   std::vector<std::thread> threads;

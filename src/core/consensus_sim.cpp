@@ -43,6 +43,8 @@ sim::Task<int> SimConsensus::propose(sim::Env env, int input) {
     // than what max_rounds covers; running out of rounds means it lied.
     TFR_REQUIRE(max_rounds_ == 0 || r < max_rounds_);
     max_round_ = std::max(max_round_, r);
+    env.sim().emit({env.now(), env.pid(), obs::EventKind::kRound,
+                    static_cast<std::int64_t>(r), 0, 0});
     // Line 2: flag our preference for round r.
     co_await env.write(flag(v, r), 1);
     // Line 3: publish v as the round's proposal if none is there yet.
@@ -97,10 +99,12 @@ std::size_t SimConsensus::decision_round(sim::Pid pid) const {
 ConsensusOutcome run_consensus(const std::vector<int>& inputs,
                                sim::Duration algorithm_delta,
                                std::unique_ptr<sim::TimingModel> timing,
-                               std::uint64_t seed, sim::Time limit) {
+                               std::uint64_t seed, sim::Time limit,
+                               obs::TraceSink* sink) {
   TFR_REQUIRE(!inputs.empty());
-  sim::Simulation simulation(std::move(timing), {.seed = seed});
+  sim::Simulation simulation(std::move(timing), {.seed = seed, .sink = sink});
   SimConsensus consensus(simulation.space(), algorithm_delta);
+  consensus.monitor().set_trace_sink(sink);
   for (std::size_t i = 0; i < inputs.size(); ++i) {
     consensus.monitor().set_input(static_cast<sim::Pid>(i), inputs[i]);
     simulation.spawn([&consensus, input = inputs[i]](sim::Env env) {

@@ -121,10 +121,14 @@ struct ConsensusOutcome {
 
 /// Spawns one participant per input, runs to completion (or `limit`), and
 /// summarizes.  `algorithm_delta` is the bound the algorithm assumes.
+/// When `sink` is given, the run emits structured trace events (accesses,
+/// rounds, decisions); attach the sink to the timing model separately if
+/// injected failures should appear too.
 ConsensusOutcome run_consensus(const std::vector<int>& inputs,
                                sim::Duration algorithm_delta,
                                std::unique_ptr<sim::TimingModel> timing,
                                std::uint64_t seed = 1,
-                               sim::Time limit = sim::kTimeNever);
+                               sim::Time limit = sim::kTimeNever,
+                               obs::TraceSink* sink = nullptr);
 
 }  // namespace tfr::core

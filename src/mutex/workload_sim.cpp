@@ -27,13 +27,14 @@ sim::Process mutex_sessions(sim::Env env, SimMutex& algorithm,
 WorkloadResult run_mutex_workload(
     const std::function<std::unique_ptr<SimMutex>(sim::RegisterSpace&)>& make,
     WorkloadConfig config, std::unique_ptr<sim::TimingModel> timing,
-    std::uint64_t seed, sim::Time limit) {
+    std::uint64_t seed, sim::Time limit, obs::TraceSink* sink) {
   TFR_REQUIRE(config.processes >= 1);
-  sim::Simulation simulation(std::move(timing), {.seed = seed});
+  sim::Simulation simulation(std::move(timing), {.seed = seed, .sink = sink});
   std::unique_ptr<SimMutex> algorithm = make(simulation.space());
   TFR_REQUIRE(algorithm != nullptr);
 
   sim::MutexMonitor monitor;
+  monitor.set_trace_sink(sink);
   monitor.throw_on_violation(!config.tolerate_violations);
   for (int i = 0; i < config.processes; ++i) {
     simulation.spawn([&, i](sim::Env env) {

@@ -45,10 +45,13 @@ struct WorkloadResult {
 };
 
 /// Builds the mutex inside a fresh simulation (via `make`), spawns
-/// `config.processes` session loops, runs, and summarizes.
+/// `config.processes` session loops, runs, and summarizes.  When `sink` is
+/// given, the run emits structured trace events (accesses, entry/CS
+/// transitions, ME violations).
 WorkloadResult run_mutex_workload(
     const std::function<std::unique_ptr<SimMutex>(sim::RegisterSpace&)>& make,
     WorkloadConfig config, std::unique_ptr<sim::TimingModel> timing,
-    std::uint64_t seed = 1, sim::Time limit = sim::kTimeNever);
+    std::uint64_t seed = 1, sim::Time limit = sim::kTimeNever,
+    obs::TraceSink* sink = nullptr);
 
 }  // namespace tfr::mutex

@@ -1,0 +1,41 @@
+// Trace exporters: Chrome trace_event JSON (opens in Perfetto / chrome://
+// tracing) and a compact binary encoding used for byte-identical replay
+// comparisons and on-disk artifacts.
+//
+// Both encoders are deterministic functions of the sink's contents: the
+// same event sequence and label table always produce the same bytes, so
+// "same trace" can be asserted with a string compare.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "tfr/obs/trace.hpp"
+
+namespace tfr::obs {
+
+/// Renders the sink as Chrome trace_event JSON ("JSON Object Format":
+/// {"traceEvents": [...]}).  Span kinds become complete ("ph":"X") slices,
+/// instants become instant ("ph":"i") events; simulated pids are mapped to
+/// tracks via thread metadata.  One virtual tick = one microsecond on the
+/// Perfetto timeline.
+std::string to_chrome_json(const TraceSink& sink);
+
+/// Writes to_chrome_json(sink) to `path`.  Returns false on I/O failure.
+bool write_chrome_json(const TraceSink& sink, const std::string& path);
+
+/// Serializes the sink (label table + events) to the compact binary
+/// format, magic "TFRTRC01".  Little-endian, fixed-width fields.
+std::string encode_binary(const TraceSink& sink);
+
+/// Parses `bytes` (as produced by encode_binary) into `out`, which must be
+/// empty and have sufficient capacity.  Returns false on malformed input.
+bool decode_binary(std::string_view bytes, TraceSink& out);
+
+/// File helpers for the binary format.
+bool write_binary(const TraceSink& sink, const std::string& path);
+std::optional<std::string> read_file(const std::string& path);
+
+}  // namespace tfr::obs

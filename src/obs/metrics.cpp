@@ -1,0 +1,67 @@
+#include "tfr/obs/metrics.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace tfr::obs {
+
+TraceMetrics compute_metrics(const TraceSink& sink) {
+  TraceMetrics m;
+  // Highest round each pid entered (a decider that never appears here, or
+  // only with round 0, took the fast path).
+  std::map<std::int32_t, std::int64_t> max_round_of;
+
+  const std::size_t n = sink.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Event& e = sink[i];
+    switch (e.kind) {
+      case EventKind::kRead:
+        ++m.reads;
+        if (e.b != 0) ++m.rmr;  // b carries the remote flag for reads
+        break;
+      case EventKind::kWrite:
+        ++m.writes;
+        ++m.rmr;  // writes are always remote in the CC accounting
+        break;
+      case EventKind::kDelay:
+        ++m.delays;
+        m.delay_time += e.a;
+        break;
+      case EventKind::kTimingFailure:
+        ++m.timing_failures;
+        m.last_failure_completion =
+            std::max(m.last_failure_completion, e.time + e.a);
+        break;
+      case EventKind::kRound: {
+        const auto round = static_cast<std::size_t>(e.a);
+        m.max_round = std::max(m.max_round, round);
+        if (m.round_entered.size() <= round)
+          m.round_entered.resize(round + 1, -1);
+        if (m.round_entered[round] < 0) m.round_entered[round] = e.time;
+        auto& worst = max_round_of[e.pid];
+        worst = std::max(worst, e.a);
+        break;
+      }
+      case EventKind::kDecide:
+        ++m.decides;
+        if (m.first_decision < 0) m.first_decision = e.time;
+        m.last_decision = std::max(m.last_decision, e.time);
+        if (max_round_of[e.pid] == 0) ++m.fast_path_decides;
+        break;
+      case EventKind::kViolation:
+        ++m.violations;
+        break;
+      case EventKind::kCrash:
+        ++m.crashes;
+        break;
+      case EventKind::kStall:
+        ++m.stalls;
+        break;
+      default:
+        break;
+    }
+  }
+  return m;
+}
+
+}  // namespace tfr::obs

@@ -1,0 +1,70 @@
+// Derived metrics over a recorded trace: the quantities the paper's
+// theorems bound, computed after the fact from the event log instead of
+// being hand-threaded through every harness.
+//
+//   * per-round convergence: when each consensus round was first entered
+//     and how long after the last injected failure the last decide landed
+//     (in Δ units — Theorem 2.1's "decide by round r+1" is checkable from
+//     these two series alone);
+//   * fast-path hit rate: fraction of deciders that never left round 0
+//     (the contention-free 7-step path of Theorem 2.1, bullet 4);
+//   * RMR counts: cache-coherent remote memory references, from the
+//     per-access rmr flag the simulator records.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tfr/obs/trace.hpp"
+
+namespace tfr::obs {
+
+struct TraceMetrics {
+  // Access accounting.
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t rmr = 0;        ///< remote references among reads + writes
+  std::uint64_t delays = 0;
+  std::int64_t delay_time = 0;  ///< total time spent in delay() spans
+
+  // Failures observed.
+  std::uint64_t timing_failures = 0;
+  std::int64_t last_failure_completion = -1;
+  std::uint64_t stalls = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t violations = 0;
+
+  // Consensus shape.
+  std::uint64_t decides = 0;
+  std::uint64_t fast_path_decides = 0;  ///< decided without leaving round 0
+  std::size_t max_round = 0;
+  std::vector<std::int64_t> round_entered;  ///< first entry time per round
+  std::int64_t first_decision = -1;
+  std::int64_t last_decision = -1;
+
+  /// Fraction of deciders that hit the fast path; 0 when nobody decided.
+  double fast_path_hit_rate() const {
+    return decides == 0
+               ? 0.0
+               : static_cast<double>(fast_path_decides) /
+                     static_cast<double>(decides);
+  }
+
+  /// Time from the completion of the last injected timing failure to the
+  /// last decision, in Δ units (the paper's convergence measure).
+  /// Negative when decisions precede the last failure; 0 when
+  /// inapplicable (no decision, or delta == 0).
+  double convergence_after_failures_in_delta(std::int64_t delta) const {
+    if (delta <= 0 || last_decision < 0) return 0.0;
+    const std::int64_t from =
+        last_failure_completion < 0 ? 0 : last_failure_completion;
+    return static_cast<double>(last_decision - from) /
+           static_cast<double>(delta);
+  }
+};
+
+/// Single pass over the sink.
+TraceMetrics compute_metrics(const TraceSink& sink);
+
+}  // namespace tfr::obs

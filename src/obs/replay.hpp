@@ -1,0 +1,87 @@
+// Deterministic record / replay for simulator runs.
+//
+// The simulator is a pure function of (timing model, seed, scenario): the
+// event queue breaks ties by FIFO sequence and all randomness flows from
+// the seeded Rng.  A RecordedRun therefore captures everything needed to
+// reproduce an execution: the seed, a serializable TimingSpec describing
+// the timing model (base distribution + injected failure schedule), and
+// the golden trace the run produced.  replay() rebuilds the model, re-runs
+// the scenario and compares traces byte-for-byte — a flaky bench or a
+// monitor violation becomes a saveable, re-runnable artifact.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tfr/obs/trace.hpp"
+#include "tfr/sim/simulation.hpp"
+#include "tfr/sim/timing.hpp"
+
+namespace tfr::obs {
+
+/// Serializable description of a timing model: a base distribution
+/// (fixed or uniform access cost) optionally wrapped in a FailureInjector
+/// with windowed and/or random timing failures.
+struct TimingSpec {
+  enum class Kind : std::uint8_t { kFixed = 0, kUniform = 1 };
+
+  Kind kind = Kind::kFixed;
+  sim::Duration lo = 1;  ///< fixed cost, or uniform lower bound
+  sim::Duration hi = 1;  ///< uniform upper bound (ignored for kFixed)
+
+  /// Δ of the FailureInjector wrapper; 0 = no wrapper (failure-free).
+  sim::Duration delta = 0;
+  std::vector<sim::FailureWindow> windows;
+  double random_p = 0.0;
+  sim::Duration random_stretch_max = 0;
+
+  bool has_injector() const {
+    return delta > 0 && (!windows.empty() || random_p > 0.0);
+  }
+};
+
+/// Builds the timing model a spec describes.  When the spec carries an
+/// injector, injected failures are emitted to `sink` (may be null).
+std::unique_ptr<sim::TimingModel> make_timing(const TimingSpec& spec,
+                                              TraceSink* sink = nullptr);
+
+/// The scenario body: build algorithm objects inside the simulation, spawn
+/// processes, run.  Must derive all randomness from the simulation's Rng
+/// so that (spec, seed) fully determine the execution.
+using Scenario = std::function<void(sim::Simulation&)>;
+
+/// A reproducible execution: inputs plus the golden trace (binary-encoded).
+struct RecordedRun {
+  std::uint64_t seed = 1;
+  TimingSpec timing;
+  std::string trace;  ///< encode_binary() of the recorded trace
+
+  /// Flat serialization of the whole artifact (seed + spec + trace).
+  std::string to_bytes() const;
+  static std::optional<RecordedRun> from_bytes(std::string_view bytes);
+  bool save(const std::string& path) const;
+  static std::optional<RecordedRun> load(const std::string& path);
+};
+
+/// Runs `scenario` under (spec, seed) with a fresh TraceSink attached and
+/// returns the artifact.
+RecordedRun record(std::uint64_t seed, const TimingSpec& spec,
+                   const Scenario& scenario,
+                   std::size_t trace_capacity = 1 << 20);
+
+struct ReplayResult {
+  bool identical = false;    ///< replayed trace == recorded trace, bytewise
+  std::size_t first_divergence = 0;  ///< event index; meaningful if !identical
+  std::string trace;         ///< binary encoding of the replayed trace
+};
+
+/// Re-runs the recorded execution and compares traces byte-for-byte.
+ReplayResult replay(const RecordedRun& run, const Scenario& scenario,
+                    std::size_t trace_capacity = 1 << 20);
+
+}  // namespace tfr::obs

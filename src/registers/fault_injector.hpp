@@ -7,8 +7,14 @@
 // between reading x = 0 and writing x := i).  This turns "run unlucky for
 // long enough" into a controlled experiment.
 //
-// Thread safety: configure before the run; maybe_stall() is lock-free and
-// uses a hashed atomic counter for reproducible-ish probabilistic firing.
+// Determinism: each injection point owns its own visit counter and its own
+// SplitMix64 stream seeded from (injector seed, point name).  Whether
+// visit k of point P stalls is a pure function of (seed, P, k) — identical
+// runs with identical per-point visit sequences fire identically, no
+// matter how visits to *different* points interleave across threads.
+//
+// Thread safety: configure before the run; maybe_stall() is lock-free
+// (one relaxed fetch_add plus arithmetic on immutable per-point state).
 
 #pragma once
 
@@ -22,6 +28,7 @@
 
 #include "tfr/common/contracts.hpp"
 #include "tfr/common/rng.hpp"
+#include "tfr/obs/trace.hpp"
 
 namespace tfr::rt {
 
@@ -45,7 +52,8 @@ class FaultInjector {
     std::uint64_t always_on_visit = 0;  ///< if > 0: stall exactly that visit
   };
 
-  explicit FaultInjector(std::uint64_t seed = 42) : seed_(seed) {}
+  explicit FaultInjector(std::uint64_t seed = 42)
+      : seed_(seed), origin_(std::chrono::steady_clock::now()) {}
 
   /// Configures the named injection point.  Call before the threads start.
   void configure(std::string point, PointConfig config) {
@@ -53,6 +61,21 @@ class FaultInjector {
     auto [it, inserted] = points_.try_emplace(std::move(point));
     it->second.config = config;
     it->second.visits.store(0, std::memory_order_relaxed);
+    // Derive the point's private stream: hash the name into the seed so
+    // distinct points draw from decorrelated SplitMix64 sequences.
+    std::uint64_t s = seed_ ^ fnv1a(it->first);
+    it->second.point_seed = splitmix64(s);
+    it->second.label =
+        sink_ != nullptr ? sink_->intern(it->first) : 0;
+  }
+
+  /// Emits a kStall event (time = ns since injector construction) for
+  /// every injected stall.  Configure the sink before the points so labels
+  /// resolve.  Event appends are lock-free.
+  void set_trace_sink(obs::TraceSink* sink) {
+    sink_ = sink;
+    for (auto& [name, entry] : points_)
+      entry.label = sink_ != nullptr ? sink_->intern(name) : 0;
   }
 
   /// Called by algorithms at their injection points.  Returns true if a
@@ -67,15 +90,23 @@ class FaultInjector {
     if (entry.config.always_on_visit > 0) {
       fire = visit == entry.config.always_on_visit;
     } else if (entry.config.probability > 0.0) {
-      // Hash the visit number into a uniform [0,1) draw; deterministic for
-      // a fixed arrival order, merely well-mixed otherwise.
-      std::uint64_t s = seed_ ^ (visit * 0x9e3779b97f4a7c15ULL);
+      // One SplitMix64 draw at (point_seed, visit): deterministic for a
+      // fixed per-point visit index, independent across points.
+      std::uint64_t s = entry.point_seed + visit * 0x9e3779b97f4a7c15ULL;
       const std::uint64_t h = splitmix64(s);
       fire = static_cast<double>(h >> 11) * 0x1.0p-53 <
              entry.config.probability;
     }
     if (fire) {
       stalls_.fetch_add(1, std::memory_order_relaxed);
+      if (sink_ != nullptr) {
+        const auto since_origin =
+            std::chrono::duration_cast<Nanos>(
+                std::chrono::steady_clock::now() - origin_);
+        sink_->append({since_origin.count(), -1, obs::EventKind::kStall,
+                       entry.config.stall.count(),
+                       static_cast<std::int64_t>(visit), entry.label});
+      }
       spin_for(entry.config.stall);
     }
     return fire;
@@ -86,12 +117,25 @@ class FaultInjector {
   }
 
  private:
+  static constexpr std::uint64_t fnv1a(std::string_view s) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : s) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+
   struct Entry {
     PointConfig config;
+    std::uint64_t point_seed = 0;  ///< immutable after configure()
+    std::uint32_t label = 0;
     std::atomic<std::uint64_t> visits{0};
   };
 
   std::uint64_t seed_;
+  std::chrono::steady_clock::time_point origin_;
+  obs::TraceSink* sink_ = nullptr;
   std::map<std::string, Entry, std::less<>> points_;
   std::atomic<std::uint64_t> stalls_{0};
 };

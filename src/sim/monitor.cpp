@@ -15,22 +15,33 @@ void DecisionMonitor::on_decide(Pid pid, int value, Time now) {
   // One decision per process.
   if (decisions_.count(pid)) {
     ++agreement_violations_;
+    note_violation(pid, now, "decided-twice");
     if (throw_on_violation_) TFR_INVARIANT(!"process decided twice");
     return;
   }
   // Validity: the decision must be some process's input.
   if (!input_values_.empty() && input_values_.count(value) == 0) {
     ++validity_violations_;
+    note_violation(pid, now, "validity");
     if (throw_on_violation_) TFR_INVARIANT(!"decided a non-input value");
   }
   // Agreement: all decisions equal.
   if (!decisions_.empty() && decisions_.begin()->second != value) {
     ++agreement_violations_;
+    note_violation(pid, now, "agreement");
     if (throw_on_violation_) TFR_INVARIANT(!"conflicting decisions");
   }
   decisions_[pid] = value;
   if (first_decision_time_ < 0) first_decision_time_ = now;
   last_decision_time_ = now;
+  if (sink_ != nullptr)
+    sink_->append({now, pid, obs::EventKind::kDecide, value, 0, 0});
+}
+
+void DecisionMonitor::note_violation(Pid pid, Time now, const char* what) {
+  if (sink_ != nullptr)
+    sink_->append(
+        {now, pid, obs::EventKind::kViolation, 0, 0, sink_->intern(what)});
 }
 
 int DecisionMonitor::decision(Pid pid) const {
@@ -44,6 +55,7 @@ void MutexMonitor::enter_entry(Pid pid, Time now) {
   TFR_REQUIRE(in_cs_.count(pid) == 0);
   in_entry_.insert(pid);
   entry_since_[pid] = now;
+  emit(pid, now, obs::EventKind::kEntry);
   update_starved(now);
 }
 
@@ -51,6 +63,9 @@ void MutexMonitor::enter_cs(Pid pid, Time now) {
   TFR_REQUIRE(in_entry_.count(pid) == 1);
   if (!in_cs_.empty()) {
     ++violations_;
+    if (sink_ != nullptr)
+      sink_->append({now, pid, obs::EventKind::kViolation, 0, 0,
+                     sink_->intern("mutual-exclusion")});
     if (throw_on_violation_)
       TFR_INVARIANT(!"mutual exclusion violated: two processes in the CS");
   }
@@ -62,20 +77,27 @@ void MutexMonitor::enter_cs(Pid pid, Time now) {
   auto& mw = max_wait_[pid];
   mw = std::max(mw, wait);
   waits_.push_back(Wait{pid, entry_since_[pid], wait});
+  emit(pid, now, obs::EventKind::kCsEnter, wait);
   update_starved(now);
 }
 
 void MutexMonitor::exit_cs(Pid pid, Time now) {
   TFR_REQUIRE(in_cs_.count(pid) == 1);
   in_cs_.erase(pid);
+  emit(pid, now, obs::EventKind::kCsExit);
   update_starved(now);
 }
 
 void MutexMonitor::leave_exit(Pid pid, Time now) {
   // Exit code runs outside both entry and CS; nothing to track beyond the
   // starvation metric, which only depends on entry/CS occupancy.
-  (void)pid;
+  emit(pid, now, obs::EventKind::kExitDone);
   update_starved(now);
+}
+
+void MutexMonitor::emit(Pid pid, Time now, obs::EventKind kind,
+                        std::int64_t a) {
+  if (sink_ != nullptr) sink_->append({now, pid, kind, a, 0, 0});
 }
 
 std::uint64_t MutexMonitor::cs_entries(Pid pid) const {

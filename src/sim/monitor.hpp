@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "tfr/obs/trace.hpp"
 #include "tfr/sim/types.hpp"
 
 namespace tfr::sim {
@@ -28,6 +29,9 @@ class DecisionMonitor {
 
   void throw_on_violation(bool enabled) { throw_on_violation_ = enabled; }
 
+  /// Emits kDecide / kViolation events; null = off.
+  void set_trace_sink(obs::TraceSink* sink) { sink_ = sink; }
+
   std::size_t decided_count() const { return decisions_.size(); }
   bool has_decided(Pid pid) const { return decisions_.count(pid) != 0; }
   int decision(Pid pid) const;
@@ -44,9 +48,12 @@ class DecisionMonitor {
   Time last_decision_time() const { return last_decision_time_; }
 
  private:
+  void note_violation(Pid pid, Time now, const char* what);
+
   std::map<Pid, int> inputs_;
   std::map<Pid, int> decisions_;
   std::set<int> input_values_;
+  obs::TraceSink* sink_ = nullptr;
   bool throw_on_violation_ = true;
   std::uint64_t agreement_violations_ = 0;
   std::uint64_t validity_violations_ = 0;
@@ -68,6 +75,9 @@ class MutexMonitor {
   void leave_exit(Pid pid, Time now);   ///< pid finishes exit code (back to NCS)
 
   void throw_on_violation(bool enabled) { throw_on_violation_ = enabled; }
+
+  /// Emits kEntry / kCsEnter / kCsExit / kExitDone / kViolation events.
+  void set_trace_sink(obs::TraceSink* sink) { sink_ = sink; }
 
   /// Number of times two processes overlapped in the CS (0 == ME held).
   std::uint64_t mutual_exclusion_violations() const { return violations_; }
@@ -109,7 +119,9 @@ class MutexMonitor {
 
  private:
   void update_starved(Time now);
+  void emit(Pid pid, Time now, obs::EventKind kind, std::int64_t a = 0);
 
+  obs::TraceSink* sink_ = nullptr;
   std::set<Pid> in_entry_;
   std::set<Pid> in_cs_;
   std::map<Pid, Time> entry_since_;

@@ -24,6 +24,8 @@ Simulation::RunResult Simulation::run(Time limit,
       // The access would have linearized at or after the crash instant:
       // it never takes effect and the process takes no further steps.
       stats_[static_cast<std::size_t>(event.pid)].crashed = true;
+      emit({crash_time_[static_cast<std::size_t>(event.pid)], event.pid,
+            obs::EventKind::kCrash, 0, 0, 0});
       continue;
     }
     TFR_INVARIANT(event.when >= now_);
@@ -93,6 +95,7 @@ void Simulation::schedule_access(Pid pid, std::coroutine_handle<> h) {
     // crash_after_accesses: the process silently stops before this access.
     stats_[static_cast<std::size_t>(pid)].crashed = true;
     crash_time_[static_cast<std::size_t>(pid)] = now_;
+    emit({now_, pid, obs::EventKind::kCrash, 0, 0, 0});
     return;  // never schedule; handle stays suspended until teardown
   }
   const Duration cost = timing_->access_cost(pid, now_, rng_);
@@ -107,6 +110,7 @@ void Simulation::schedule_delay(Pid pid, Duration d, std::coroutine_handle<> h) 
 
 void Simulation::on_process_done(Pid pid, std::exception_ptr exception) noexcept {
   stats_[static_cast<std::size_t>(pid)].done_at = now_;
+  emit({now_, pid, obs::EventKind::kDone, 0, 0, 0});
   if (exception && !pending_exception_) pending_exception_ = exception;
 }
 

@@ -21,11 +21,14 @@
 #include <functional>
 #include <memory>
 #include <queue>
+#include <string_view>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "tfr/common/contracts.hpp"
 #include "tfr/common/rng.hpp"
+#include "tfr/obs/trace.hpp"
 #include "tfr/sim/register.hpp"
 #include "tfr/sim/timing.hpp"
 #include "tfr/sim/types.hpp"
@@ -140,6 +143,10 @@ class Env {
 struct SimulationOptions {
   std::uint64_t seed = 1;
   bool trace = false;  ///< record a linearization trace (determinism tests)
+  /// Structured event sink (observability layer); null = no tracing.
+  /// Register accesses, delays, crashes and completions are emitted by the
+  /// simulator itself; timing models and monitors attach separately.
+  obs::TraceSink* sink = nullptr;
 };
 
 class Simulation {
@@ -176,6 +183,17 @@ class Simulation {
   Rng& rng() { return rng_; }
   TimingModel& timing() { return *timing_; }
   RegisterSpace& space() { return space_; }
+
+  /// The structured trace sink, or null when event tracing is off.
+  obs::TraceSink* trace_sink() const { return options_.sink; }
+  /// Appends to the sink when one is attached; no-op otherwise.
+  void emit(const obs::Event& event) {
+    if (options_.sink != nullptr) options_.sink->append(event);
+  }
+  /// Interns a label in the attached sink (0 when tracing is off).
+  std::uint32_t trace_label(std::string_view name) {
+    return options_.sink != nullptr ? options_.sink->intern(name) : 0;
+  }
 
   enum class RunResult {
     Idle,       ///< no events left: every process finished or crashed
@@ -265,13 +283,20 @@ struct ReadAwaiter {
   Simulation* sim;
   Pid pid;
   const Register<T>* reg;
+  mutable Time issued = 0;  ///< issue instant; the access spans to resume
 
   bool await_ready() const noexcept { return false; }
   void await_suspend(std::coroutine_handle<> h) const {
+    issued = sim->now();
     sim->schedule_access(pid, h);
   }
   T await_resume() const {
-    sim->note_read(pid, reg->note_read_rmr(pid));
+    const bool remote = reg->note_read_rmr(pid);
+    sim->note_read(pid, remote);
+    if (sim->trace_sink() != nullptr) {
+      sim->emit({issued, pid, obs::EventKind::kRead, sim->now() - issued,
+                 remote ? 1 : 0, sim->trace_label(reg->name())});
+    }
     return reg->load_linearized();
   }
 };
@@ -282,14 +307,23 @@ struct WriteAwaiter {
   Pid pid;
   Register<T>* reg;
   T value;
+  Time issued = 0;
 
   bool await_ready() const noexcept { return false; }
-  void await_suspend(std::coroutine_handle<> h) const {
+  void await_suspend(std::coroutine_handle<> h) {
+    issued = sim->now();
     sim->schedule_access(pid, h);
   }
   void await_resume() {
     sim->note_write(pid);
     reg->note_write_rmr(pid);
+    if (sim->trace_sink() != nullptr) {
+      std::int64_t traced = 0;
+      if constexpr (std::is_convertible_v<T, std::int64_t>)
+        traced = static_cast<std::int64_t>(value);
+      sim->emit({issued, pid, obs::EventKind::kWrite, sim->now() - issued,
+                 traced, sim->trace_label(reg->name())});
+    }
     reg->store_linearized(std::move(value));
   }
 };
@@ -303,7 +337,10 @@ struct DelayAwaiter {
   void await_suspend(std::coroutine_handle<> h) const {
     sim->schedule_delay(pid, d, h);
   }
-  void await_resume() const { sim->note_delay(pid, d); }
+  void await_resume() const {
+    sim->note_delay(pid, d);
+    sim->emit({sim->now() - d, pid, obs::EventKind::kDelay, d, 0, 0});
+  }
 };
 
 }  // namespace detail

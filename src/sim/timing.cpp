@@ -91,19 +91,24 @@ void FailureInjector::set_random_failures(double p, Duration stretch_max) {
 Duration FailureInjector::access_cost(Pid pid, Time now, Rng& rng) {
   for (const FailureWindow& w : windows_) {
     if (w.applies(pid, now)) {
-      ++failures_injected_;
-      last_failure_completion_ =
-          std::max(last_failure_completion_, now + w.stretched);
+      note_failure(pid, now, w.stretched);
       return w.stretched;
     }
   }
   if (random_p_ > 0.0 && rng.bernoulli(random_p_)) {
     const Duration cost = rng.uniform(delta_ + 1, random_stretch_max_);
-    ++failures_injected_;
-    last_failure_completion_ = std::max(last_failure_completion_, now + cost);
+    note_failure(pid, now, cost);
     return cost;
   }
   return base_->access_cost(pid, now, rng);
+}
+
+void FailureInjector::note_failure(Pid pid, Time now, Duration cost) {
+  ++failures_injected_;
+  last_failure_completion_ = std::max(last_failure_completion_, now + cost);
+  if (sink_ != nullptr) {
+    sink_->append({now, pid, obs::EventKind::kTimingFailure, cost, delta_, 0});
+  }
 }
 
 QuantumTiming::QuantumTiming(int n, Duration quantum, Duration step)

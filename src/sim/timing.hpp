@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "tfr/common/rng.hpp"
+#include "tfr/obs/trace.hpp"
 #include "tfr/sim/types.hpp"
 
 namespace tfr::sim {
@@ -115,6 +116,9 @@ class FailureInjector final : public TimingModel {
 
   Duration access_cost(Pid pid, Time now, Rng& rng) override;
 
+  /// Emits a kTimingFailure event for every injected failure; null = off.
+  void set_trace_sink(obs::TraceSink* sink) { sink_ = sink; }
+
   /// Completion time of the latest failed access so far; kTimeNever never
   /// means "none yet" (returns -1 when no failure has been injected).
   Time last_failure_completion() const { return last_failure_completion_; }
@@ -122,8 +126,11 @@ class FailureInjector final : public TimingModel {
   Duration delta() const { return delta_; }
 
  private:
+  void note_failure(Pid pid, Time now, Duration cost);
+
   std::unique_ptr<TimingModel> base_;
   Duration delta_;
+  obs::TraceSink* sink_ = nullptr;
   std::vector<FailureWindow> windows_;
   double random_p_ = 0.0;
   Duration random_stretch_max_ = 0;
