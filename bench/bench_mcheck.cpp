@@ -1,0 +1,124 @@
+// E18 — systematic exploration at a glance: throughput of the mcheck
+// engine and the effect of the sleep-set partial-order reduction.
+//
+// Workload: the flagship small configurations (Algorithm 1 n=2 round
+// bound 2, bare Fischer n=2, Algorithm 3 n=2), each explored with the
+// reduction on; the consensus scenario additionally with naive DFS to
+// measure the pruning factor.  Series: executions, explored states,
+// executions/second.  Expected shape: the reduced run explores strictly
+// fewer executions than naive DFS with the same (clean) verdict, and
+// bare Fischer yields a violation while Algorithm 3 does not.
+
+#include <chrono>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "tfr/mcheck/explorer.hpp"
+#include "tfr/mcheck/scenarios.hpp"
+
+using namespace tfr;
+
+namespace {
+
+struct Timed {
+  mcheck::CheckResult result;
+  double seconds = 0;
+};
+
+Timed timed_check(const mcheck::CheckScenario& scenario,
+                  const mcheck::ExploreConfig& config) {
+  const auto begin = std::chrono::steady_clock::now();
+  Timed timed;
+  timed.result = mcheck::check(scenario, config);
+  timed.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+  return timed;
+}
+
+mcheck::ExploreConfig base_config() {
+  mcheck::ExploreConfig config;
+  config.delta = 2;
+  config.failure_cost = 5;
+  config.max_failures = 1;
+  config.slow_budget = 1;
+  return config;
+}
+
+double rate(const Timed& timed) {
+  return timed.seconds > 0
+             ? static_cast<double>(timed.result.stats.executions) /
+                   timed.seconds
+             : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  Section section(std::cout, "E18",
+                  "mcheck exploration throughput and sleep-set reduction");
+
+  const mcheck::CheckScenario consensus = mcheck::make_consensus_scenario({});
+  mcheck::MutexScenarioConfig fischer_cfg;
+  const mcheck::CheckScenario fischer =
+      mcheck::make_mutex_scenario(fischer_cfg);
+  mcheck::MutexScenarioConfig tfr_cfg;
+  tfr_cfg.algorithm = mcheck::MutexScenarioConfig::Algorithm::kTfrStarvationFree;
+  const mcheck::CheckScenario tfr_mutex = mcheck::make_mutex_scenario(tfr_cfg);
+
+  mcheck::ExploreConfig reduced = base_config();
+  mcheck::ExploreConfig naive = base_config();
+  naive.por = false;
+  mcheck::ExploreConfig mutex_config = base_config();
+  mutex_config.slow_budget = -1;
+
+  const Timed consensus_reduced = timed_check(consensus, reduced);
+  const Timed consensus_naive = timed_check(consensus, naive);
+  const Timed fischer_run = timed_check(fischer, mutex_config);
+  const Timed tfr_run = timed_check(tfr_mutex, base_config());
+
+  Table table;
+  table.header({"check", "executions", "states", "violation", "exec/s"});
+  const auto row = [&table](const char* name, const Timed& timed) {
+    table.row({name,
+               Table::fmt(static_cast<double>(timed.result.stats.executions), 0),
+               Table::fmt(static_cast<double>(timed.result.stats.states), 0),
+               timed.result.violation ? "yes" : "no",
+               Table::fmt(rate(timed), 0)});
+  };
+  row("consensus n=2 (sleep sets)", consensus_reduced);
+  row("consensus n=2 (naive DFS)", consensus_naive);
+  row("fischer n=2 (1 failure)", fischer_run);
+  row("tfr-mutex n=2 (1 failure)", tfr_run);
+  table.print(std::cout);
+
+  const double reduction =
+      consensus_reduced.result.stats.executions > 0
+          ? static_cast<double>(consensus_naive.result.stats.executions) /
+                static_cast<double>(consensus_reduced.result.stats.executions)
+          : 0.0;
+  bench::metric("mcheck.consensus.executions",
+                static_cast<double>(consensus_reduced.result.stats.executions));
+  bench::metric("mcheck.consensus.reduction_factor", reduction, "x");
+  bench::metric("mcheck.consensus.exec_per_sec", rate(consensus_reduced),
+                "1/s");
+  bench::metric("mcheck.fischer.executions_to_violation",
+                static_cast<double>(fischer_run.result.stats.executions));
+
+  bench::expect(!consensus_reduced.result.violation &&
+                    consensus_reduced.result.stats.complete,
+                "Algorithm 1 n=2 verifies clean with sleep sets");
+  bench::expect(!consensus_naive.result.violation &&
+                    consensus_naive.result.stats.complete,
+                "naive DFS reaches the same clean verdict");
+  bench::expect(consensus_reduced.result.stats.executions <
+                    consensus_naive.result.stats.executions,
+                "sleep sets explore strictly fewer executions than naive DFS");
+  bench::expect(reduction >= 2.0,
+                "the reduction factor is at least 2x");
+  bench::expect(fischer_run.result.violation,
+                "bare Fischer yields a mutual-exclusion violation");
+  bench::expect(!tfr_run.result.violation && tfr_run.result.stats.complete,
+                "Algorithm 3 n=2 verifies clean under the same failure budget");
+  return bench::finish();
+}

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Checks the timed-access discipline of simulator algorithm code.
+
+Algorithm implementations under src/core, src/mutex and src/derived must
+touch shared registers only through the timed awaiters (`co_await
+env.read(...)` / `co_await env.write(...)`): every shared access then
+costs virtual time and is visible to the timing model, the monitors and
+the mcheck explorer.  The untimed escape hatches of sim::Register —
+peek()/poke() (debug/fault-injection views) and load_linearized()/
+store_linearized() (awaiter internals) — bypass all of that, so any use
+in algorithm code is a layering bug: an access the model checker cannot
+see or reorder.
+
+Deliberate untimed uses (monitor peeks after the run, memory-failure
+injection between events) carry an `untimed-ok:` annotation on the same
+line explaining why.
+
+Real-thread code (*_rt.*) builds on the registers/ layer, not
+sim::Register, and is outside this discipline (TSan covers it instead).
+
+Exit status: 0 when clean, 1 with findings (one per line, file:line).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+SCOPED_DIRS = ("src/core", "src/mutex", "src/derived")
+PATTERN = re.compile(r"\.peek\(|\.poke\(|load_linearized|store_linearized")
+ANNOTATION = "untimed-ok"
+
+
+def findings(root: Path):
+    for scoped in SCOPED_DIRS:
+        for path in sorted((root / scoped).rglob("*")):
+            if path.suffix not in (".hpp", ".cpp"):
+                continue
+            if "_rt." in path.name:
+                continue
+            for lineno, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1
+            ):
+                if PATTERN.search(line) and ANNOTATION not in line:
+                    yield path.relative_to(root), lineno, line.strip()
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).parent.parent
+    bad = list(findings(root))
+    for path, lineno, line in bad:
+        print(f"{path}:{lineno}: untimed shared access in algorithm code: {line}")
+    if bad:
+        print(
+            f"\n{len(bad)} untimed shared access(es); use the timed awaiters, or\n"
+            f"annotate deliberate ones with '// {ANNOTATION}: <reason>'.",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"lint_shared_access: clean ({', '.join(SCOPED_DIRS)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

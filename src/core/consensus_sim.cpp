@@ -75,18 +75,20 @@ sim::Process SimConsensus::participant(sim::Env env, int input) {
 }
 
 void SimConsensus::fault_reset_flag(int value, std::size_t round) {
-  flag(value, round).poke(0);
+  flag(value, round).poke(0);  // untimed-ok: memory-failure injection
 }
 
 void SimConsensus::fault_set_flag(int value, std::size_t round) {
-  flag(value, round).poke(1);
+  flag(value, round).poke(1);  // untimed-ok: memory-failure injection
 }
 
 void SimConsensus::fault_overwrite_proposal(std::size_t round, int v) {
-  y_.at(round).poke(v);
+  y_.at(round).poke(v);  // untimed-ok: memory-failure injection
 }
 
-void SimConsensus::fault_reset_decide() { decide_.poke(sim::kBot); }
+void SimConsensus::fault_reset_decide() {
+  decide_.poke(sim::kBot);  // untimed-ok: memory-failure injection
+}
 
 std::size_t SimConsensus::decision_round(sim::Pid pid) const {
   for (const auto& [p, r] : decision_rounds_) {

@@ -76,7 +76,9 @@ class SimConsensus {
   /// Number of per-round register triples allocated so far (x0, x1, y).
   std::size_t rounds_allocated() const { return y_.size(); }
   /// Untimed view of the decide register (kBot while undecided).
-  int decided_value() const { return decide_.peek(); }
+  int decided_value() const {
+    return decide_.peek();  // untimed-ok: post-run observer view
+  }
 
   // --- Transient memory-failure injection (paper §4 extension) ----------
   // Instantaneous register corruptions applied between simulation events;

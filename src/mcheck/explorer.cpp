@@ -1,0 +1,395 @@
+#include "tfr/mcheck/explorer.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "tfr/common/contracts.hpp"
+
+namespace tfr::mcheck {
+
+namespace {
+
+/// One decision node on the current DFS path.  The path is persistent
+/// across re-executions: replayed prefixes walk it with a cursor, the
+/// first divergence point appends fresh nodes.
+struct Node {
+  enum class Kind : std::uint8_t { kSched, kCost };
+
+  Kind kind = Kind::kSched;
+  std::size_t chosen = 0;
+  /// kSched: the enabled events at this instant (sorted by pid).
+  std::vector<sim::EnabledEvent> options;
+  /// kSched: sleep set — events already covered by sibling subtrees;
+  /// picking one here would re-explore an equivalent interleaving.
+  std::vector<sim::EnabledEvent> sleep;
+  /// kCost: the cost menu offered at this access.
+  std::vector<sim::Duration> costs;
+  /// A fresh node whose every option was asleep: the whole execution is
+  /// redundant; advance() discards it without exploring children.
+  bool blocked = false;
+};
+
+bool in_sleep(const std::vector<sim::EnabledEvent>& sleep, sim::Pid pid) {
+  return std::any_of(sleep.begin(), sleep.end(),
+                     [pid](const sim::EnabledEvent& e) { return e.pid == pid; });
+}
+
+class Explorer;
+
+/// TimingModel that routes every access cost through the explorer's
+/// cost-choice seam (menu {1, Δ[, failure]} under the configured budgets).
+class ChoiceTiming final : public sim::TimingModel {
+ public:
+  explicit ChoiceTiming(Explorer* engine) : engine_(engine) {}
+  sim::Duration access_cost(sim::Pid pid, sim::Time now, Rng& rng) override;
+
+ private:
+  Explorer* engine_;
+};
+
+/// The DFS engine.  Doubles as the SchedulerStrategy of each explored
+/// execution: scheduling and cost queries either replay the stored path
+/// (cursor within path_) or create a fresh node and take its first
+/// non-sleeping branch.
+class Explorer final : public sim::SchedulerStrategy {
+ public:
+  explicit Explorer(const ExploreConfig& config) : config_(config) {
+    TFR_REQUIRE(config.delta >= 1);
+    TFR_REQUIRE(config.failure_cost > config.delta);
+    TFR_REQUIRE(config.max_steps >= 1);
+  }
+
+  CheckResult explore(const CheckScenario& scenario);
+
+  // --- SchedulerStrategy ---
+  std::size_t pick(sim::Time now,
+                   const std::vector<sim::EnabledEvent>& options) override {
+    (void)now;
+    if (blocked_) return 0;
+    ++steps_;
+    ++stats_.transitions;
+    const std::size_t chosen = decide_sched(options);
+    if (!blocked_) sched_picks_.push_back(options[chosen].pid);
+    return chosen;
+  }
+
+  /// External cost seams (e.g. a FailureInjector with an attached
+  /// strategy) branch here too, under the same DFS.
+  std::size_t pick_cost(sim::Pid pid,
+                        const std::vector<sim::Duration>& choices) override {
+    (void)pid;
+    if (blocked_ || choices.size() < 2) return 0;
+    return decide_cost(choices);
+  }
+
+  /// Cost of one shared access, drawn from the bounded menu.  Called by
+  /// ChoiceTiming for every access of the execution.
+  sim::Duration draw_cost(sim::Pid pid, sim::Time now) {
+    if (blocked_) return 1;
+    std::vector<sim::Duration> menu{1};
+    if (config_.delta > 1 &&
+        (config_.slow_budget < 0 ||
+         slow_used_ < static_cast<std::uint32_t>(config_.slow_budget))) {
+      menu.push_back(config_.delta);
+    }
+    if (failures_used_ < config_.max_failures)
+      menu.push_back(config_.failure_cost);
+    const std::size_t idx = menu.size() > 1 ? decide_cost(menu) : 0;
+    const sim::Duration cost = blocked_ ? 1 : menu[idx];
+    if (cost > config_.delta) {
+      ++failures_used_;
+      last_failure_completion_ =
+          std::max(last_failure_completion_, now + cost);
+    } else if (cost > 1) {
+      ++slow_used_;
+    }
+    cost_draws_.emplace_back(pid, cost);
+    return cost;
+  }
+
+ private:
+  struct RunVerdict {
+    CheckOutcome outcome;
+    bool truncated = false;
+    bool blocked = false;
+  };
+
+  RunVerdict run_one(const CheckScenario& scenario);
+  std::size_t decide_sched(const std::vector<sim::EnabledEvent>& options);
+  std::size_t decide_cost(const std::vector<sim::Duration>& menu);
+  bool advance();
+  obs::RecordedRun build_counterexample(const CheckScenario& scenario) const;
+
+  /// Keeps only the sleeping events independent of what just ran; the
+  /// survivors seed the sleep set of the next fresh node.
+  void filter_sleep(const std::vector<sim::EnabledEvent>& sleep,
+                    const sim::EnabledEvent& chosen) {
+    live_sleep_.clear();
+    for (const sim::EnabledEvent& e : sleep) {
+      if (!sim::events_dependent(e, chosen)) live_sleep_.push_back(e);
+    }
+  }
+
+  ExploreConfig config_;
+  ExploreStats stats_;
+
+  // DFS path, persistent across executions.
+  std::vector<Node> path_;
+
+  // Per-execution state.
+  std::size_t cursor_ = 0;
+  std::vector<sim::EnabledEvent> live_sleep_;
+  bool blocked_ = false;
+  std::uint64_t steps_ = 0;
+  std::uint32_t slow_used_ = 0;
+  std::uint32_t failures_used_ = 0;
+  sim::Time last_failure_completion_ = -1;
+  std::vector<std::pair<sim::Pid, sim::Duration>> cost_draws_;
+  std::vector<sim::Pid> sched_picks_;
+};
+
+sim::Duration ChoiceTiming::access_cost(sim::Pid pid, sim::Time now,
+                                        Rng& rng) {
+  (void)rng;
+  return engine_->draw_cost(pid, now);
+}
+
+std::size_t Explorer::decide_sched(
+    const std::vector<sim::EnabledEvent>& options) {
+  TFR_REQUIRE(!options.empty());
+  if (cursor_ < path_.size()) {
+    // Replaying the stored prefix: same scenario + same prior choices
+    // must reproduce the same enabled set (the simulator is
+    // deterministic), so the stored pick is valid.
+    Node& node = path_[cursor_];
+    TFR_INVARIANT(node.kind == Node::Kind::kSched);
+    TFR_INVARIANT(node.options.size() == options.size());
+    TFR_INVARIANT(node.chosen < options.size());
+    TFR_INVARIANT(node.options[node.chosen].pid == options[node.chosen].pid);
+    ++cursor_;
+    filter_sleep(node.sleep, options[node.chosen]);
+    return node.chosen;
+  }
+
+  // Divergence point: create a fresh node whose sleep set is inherited
+  // from the path so far.
+  Node node;
+  node.kind = Node::Kind::kSched;
+  node.options = options;
+  if (config_.por) node.sleep = live_sleep_;
+  std::size_t chosen = 0;
+  if (config_.por) {
+    chosen = options.size();
+    for (std::size_t i = 0; i < options.size(); ++i) {
+      if (!in_sleep(node.sleep, options[i].pid)) {
+        chosen = i;
+        break;
+      }
+    }
+    if (chosen == options.size()) {
+      // Every enabled event is asleep: this execution only permutes
+      // independent events of ones already explored.  Cut it.
+      node.blocked = true;
+      node.chosen = 0;
+      blocked_ = true;
+      ++stats_.sleep_blocked;
+      path_.push_back(std::move(node));
+      ++cursor_;
+      return 0;
+    }
+  }
+  node.chosen = chosen;
+  ++stats_.states;
+  if (options.size() > 1) ++stats_.sched_choice_points;
+  path_.push_back(std::move(node));
+  ++cursor_;
+  filter_sleep(path_.back().sleep, options[chosen]);
+  return chosen;
+}
+
+std::size_t Explorer::decide_cost(const std::vector<sim::Duration>& menu) {
+  if (cursor_ < path_.size()) {
+    Node& node = path_[cursor_];
+    TFR_INVARIANT(node.kind == Node::Kind::kCost);
+    TFR_INVARIANT(node.costs.size() == menu.size());
+    ++cursor_;
+    return node.chosen;
+  }
+  Node node;
+  node.kind = Node::Kind::kCost;
+  node.costs = menu;
+  node.chosen = 0;
+  ++stats_.states;
+  ++stats_.cost_choice_points;
+  path_.push_back(std::move(node));
+  ++cursor_;
+  return 0;
+}
+
+Explorer::RunVerdict Explorer::run_one(const CheckScenario& scenario) {
+  cursor_ = 0;
+  live_sleep_.clear();
+  blocked_ = false;
+  steps_ = 0;
+  slow_used_ = 0;
+  failures_used_ = 0;
+  last_failure_completion_ = -1;
+  cost_draws_.clear();
+  sched_picks_.clear();
+
+  sim::Simulation simulation(
+      std::make_unique<ChoiceTiming>(this),
+      sim::SimulationOptions{.seed = config_.seed, .strategy = this});
+  RunHarness harness = scenario(simulation);
+
+  bool cutoff = false;
+  const auto stop = [&] {
+    if (blocked_) return true;
+    if (steps_ >= config_.max_steps) {
+      cutoff = true;
+      return true;
+    }
+    if (harness.stop && harness.stop()) {
+      cutoff = true;
+      return true;
+    }
+    return false;
+  };
+  const auto result = simulation.run(config_.time_limit, stop);
+
+  RunVerdict verdict;
+  verdict.blocked = blocked_;
+  verdict.truncated =
+      cutoff || result == sim::Simulation::RunResult::TimeLimit;
+  if (!blocked_ && harness.verdict) {
+    RunInfo info;
+    info.truncated = verdict.truncated;
+    info.failures_injected = failures_used_;
+    info.slow_accesses = slow_used_;
+    info.last_failure_completion = last_failure_completion_;
+    verdict.outcome = harness.verdict(info);
+  }
+  return verdict;
+}
+
+bool Explorer::advance() {
+  while (!path_.empty()) {
+    Node& node = path_.back();
+    if (node.blocked) {
+      path_.pop_back();
+      continue;
+    }
+    if (node.kind == Node::Kind::kSched) {
+      if (config_.por) {
+        // The subtree under `chosen` is fully explored; any sibling that
+        // commutes with it would reach the same states — put it to sleep.
+        node.sleep.push_back(node.options[node.chosen]);
+        std::size_t next = node.chosen + 1;
+        while (next < node.options.size() &&
+               in_sleep(node.sleep, node.options[next].pid)) {
+          ++stats_.sleep_pruned;
+          ++next;
+        }
+        if (next < node.options.size()) {
+          node.chosen = next;
+          return true;
+        }
+      } else if (node.chosen + 1 < node.options.size()) {
+        ++node.chosen;
+        return true;
+      }
+    } else if (node.chosen + 1 < node.costs.size()) {
+      ++node.chosen;
+      return true;
+    }
+    path_.pop_back();
+  }
+  return false;
+}
+
+obs::RecordedRun Explorer::build_counterexample(
+    const CheckScenario& scenario) const {
+  obs::TimingSpec spec;
+  spec.kind = obs::TimingSpec::Kind::kScripted;
+  spec.lo = 1;
+  spec.delta = config_.delta;
+  spec.script = cost_draws_;
+  spec.schedule = sched_picks_;
+  return obs::record(config_.seed, spec,
+                     counterexample_scenario(scenario, config_));
+}
+
+CheckResult Explorer::explore(const CheckScenario& scenario) {
+  CheckResult result;
+  for (;;) {
+    ++stats_.executions;
+    const RunVerdict verdict = run_one(scenario);
+    if (verdict.truncated) ++stats_.truncated;
+    if (!verdict.blocked && !verdict.outcome.ok) {
+      result.violation = true;
+      result.what = verdict.outcome.what;
+      result.counterexample = build_counterexample(scenario);
+      stats_.complete = false;
+      break;
+    }
+    if (stats_.executions >= config_.max_executions) {
+      stats_.complete = false;
+      break;
+    }
+    if (!advance()) {
+      stats_.complete = true;
+      break;
+    }
+  }
+  result.stats = stats_;
+  return result;
+}
+
+}  // namespace
+
+CheckResult check(const CheckScenario& scenario, const ExploreConfig& config) {
+  Explorer explorer(config);
+  return explorer.explore(scenario);
+}
+
+CheckOutcome run_recorded(const obs::RecordedRun& run,
+                          const CheckScenario& scenario,
+                          const ExploreConfig& config) {
+  std::unique_ptr<sim::TimingModel> timing = obs::make_timing(run.timing);
+  obs::ReplaySchedule replayer(run.timing.schedule);
+  sim::Simulation simulation(
+      std::move(timing),
+      sim::SimulationOptions{.seed = run.seed, .strategy = &replayer});
+  RunHarness harness = scenario(simulation);
+  simulation.run(config.time_limit,
+                 [&replayer] { return replayer.exhausted(); });
+
+  RunInfo info;
+  // A recorded counterexample is by construction a prefix of a longer
+  // execution; report it as truncated so liveness-flavoured verdict
+  // clauses stay out of the way and only safety is judged.
+  info.truncated = true;
+  for (const auto& [pid, cost] : run.timing.script) {
+    (void)pid;
+    if (cost > config.delta) {
+      ++info.failures_injected;
+    } else if (cost > 1) {
+      ++info.slow_accesses;
+    }
+  }
+  info.last_failure_completion = -1;
+  return harness.verdict ? harness.verdict(info) : CheckOutcome{};
+}
+
+obs::Scenario counterexample_scenario(const CheckScenario& scenario,
+                                      const ExploreConfig& config) {
+  return [scenario, limit = config.time_limit](sim::Simulation& simulation) {
+    RunHarness harness = scenario(simulation);
+    simulation.run(limit, [&simulation] {
+      const sim::SchedulerStrategy* strategy = simulation.strategy();
+      return strategy != nullptr && strategy->exhausted();
+    });
+  };
+}
+
+}  // namespace tfr::mcheck

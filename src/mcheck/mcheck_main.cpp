@@ -1,0 +1,237 @@
+// tfr_mcheck — systematic schedule exploration for small configurations.
+//
+//   $ tfr_mcheck --all              # every built-in check, with expectations
+//   $ tfr_mcheck --consensus       # Algorithm 1, n=2, round bound 2
+//   $ tfr_mcheck --fischer         # bare Fischer: must find an ME violation
+//   $ tfr_mcheck --tfr-mutex      # Algorithm 3 (starvation-free A), n=2
+//   $ tfr_mcheck --fischer --save fischer.run   # save the counterexample
+//   $ tfr_mcheck --fischer --replay fischer.run # re-check a saved run
+//
+// Options: --naive (disable the sleep-set reduction), --seed N,
+// --max-executions N.  Exit status 0 iff every executed check matched its
+// expectation (violation found / not found, counterexample replays
+// byte-identically).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tfr/mcheck/explorer.hpp"
+#include "tfr/mcheck/scenarios.hpp"
+#include "tfr/obs/replay.hpp"
+
+namespace {
+
+using namespace tfr;
+
+struct NamedCheck {
+  std::string name;
+  std::string description;
+  mcheck::CheckScenario scenario;
+  mcheck::ExploreConfig config;
+  bool expect_violation = false;
+};
+
+mcheck::ExploreConfig base_config() {
+  mcheck::ExploreConfig config;
+  config.delta = 2;
+  config.failure_cost = 5;
+  config.max_failures = 1;
+  config.slow_budget = 1;
+  return config;
+}
+
+NamedCheck consensus_check() {
+  NamedCheck check;
+  check.name = "consensus-n2";
+  check.description = "Algorithm 1, n=2, inputs {0,1}, round bound 2";
+  check.scenario = mcheck::make_consensus_scenario({});
+  check.config = base_config();
+  check.expect_violation = false;
+  return check;
+}
+
+NamedCheck fischer_check() {
+  NamedCheck check;
+  check.name = "fischer-n2";
+  check.description =
+      "bare Fischer (Algorithm 2), n=2, one timing failure allowed";
+  mcheck::MutexScenarioConfig scenario;
+  scenario.algorithm = mcheck::MutexScenarioConfig::Algorithm::kFischer;
+  check.scenario = mcheck::make_mutex_scenario(scenario);
+  check.config = base_config();
+  check.config.slow_budget = -1;  // few accesses: afford the full menu
+  check.expect_violation = true;
+  return check;
+}
+
+NamedCheck tfr_mutex_check() {
+  NamedCheck check;
+  check.name = "tfr-mutex-n2";
+  check.description =
+      "Algorithm 3 over starvation-free A, n=2, one timing failure allowed";
+  mcheck::MutexScenarioConfig scenario;
+  scenario.algorithm =
+      mcheck::MutexScenarioConfig::Algorithm::kTfrStarvationFree;
+  check.scenario = mcheck::make_mutex_scenario(scenario);
+  check.config = base_config();
+  check.expect_violation = false;
+  return check;
+}
+
+void print_stats(const mcheck::ExploreStats& stats) {
+  std::printf(
+      "  executions=%llu states=%llu transitions=%llu sched-points=%llu "
+      "cost-points=%llu\n",
+      static_cast<unsigned long long>(stats.executions),
+      static_cast<unsigned long long>(stats.states),
+      static_cast<unsigned long long>(stats.transitions),
+      static_cast<unsigned long long>(stats.sched_choice_points),
+      static_cast<unsigned long long>(stats.cost_choice_points));
+  std::printf(
+      "  sleep-pruned=%llu sleep-blocked=%llu truncated=%llu complete=%s\n",
+      static_cast<unsigned long long>(stats.sleep_pruned),
+      static_cast<unsigned long long>(stats.sleep_blocked),
+      static_cast<unsigned long long>(stats.truncated),
+      stats.complete ? "yes" : "no");
+}
+
+/// Runs one check and compares against its expectation; on violation the
+/// counterexample is replayed through the obs trace layer and must match
+/// byte-for-byte.  Returns true iff everything matched.
+bool run_check(const NamedCheck& check, const std::string& save_path) {
+  std::printf("[mcheck] %s — %s\n", check.name.c_str(),
+              check.description.c_str());
+  const mcheck::CheckResult result = mcheck::check(check.scenario,
+                                                   check.config);
+  print_stats(result.stats);
+
+  bool ok = true;
+  if (result.violation != check.expect_violation) {
+    std::printf("  verdict: %s but expected %s — FAIL\n",
+                result.violation ? "violation" : "no violation",
+                check.expect_violation ? "a violation" : "none");
+    ok = false;
+  }
+  if (result.violation) {
+    std::printf("  violation: %s\n", result.what.c_str());
+    const obs::ReplayResult replayed =
+        obs::replay(result.counterexample,
+                    mcheck::counterexample_scenario(check.scenario,
+                                                    check.config));
+    std::printf("  counterexample: %zu scripted costs, %zu scheduled picks, "
+                "replay %s\n",
+                result.counterexample.timing.script.size(),
+                result.counterexample.timing.schedule.size(),
+                replayed.identical ? "byte-identical" : "DIVERGED");
+    if (!replayed.identical) ok = false;
+    const mcheck::CheckOutcome reproduced = mcheck::run_recorded(
+        result.counterexample, check.scenario, check.config);
+    if (reproduced.ok) {
+      std::printf("  counterexample replay did NOT reproduce the violation"
+                  " — FAIL\n");
+      ok = false;
+    }
+    if (!save_path.empty()) {
+      if (result.counterexample.save(save_path)) {
+        std::printf("  counterexample saved to %s\n", save_path.c_str());
+      } else {
+        std::printf("  could not save counterexample to %s\n",
+                    save_path.c_str());
+        ok = false;
+      }
+    }
+  } else if (!result.stats.complete) {
+    std::printf("  verdict: exploration aborted at max-executions — FAIL\n");
+    ok = false;
+  }
+  if (ok) std::printf("  verdict: as expected\n");
+  return ok;
+}
+
+bool replay_saved(const NamedCheck& check, const std::string& path) {
+  const std::optional<obs::RecordedRun> run = obs::RecordedRun::load(path);
+  if (!run) {
+    std::printf("[mcheck] could not load a recorded run from %s\n",
+                path.c_str());
+    return false;
+  }
+  const obs::ReplayResult replayed = obs::replay(
+      *run, mcheck::counterexample_scenario(check.scenario, check.config));
+  const mcheck::CheckOutcome outcome =
+      mcheck::run_recorded(*run, check.scenario, check.config);
+  std::printf("[mcheck] replay of %s against %s: trace %s, verdict: %s\n",
+              path.c_str(), check.name.c_str(),
+              replayed.identical ? "byte-identical" : "DIVERGED",
+              outcome.ok ? "no violation" : outcome.what.c_str());
+  return replayed.identical;
+}
+
+int usage() {
+  std::printf(
+      "usage: tfr_mcheck [--all] [--consensus] [--fischer] [--tfr-mutex]\n"
+      "                  [--naive] [--seed N] [--max-executions N]\n"
+      "                  [--save FILE] [--replay FILE]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<NamedCheck> selected;
+  bool naive = false;
+  std::uint64_t seed = 1;
+  std::uint64_t max_executions = 0;
+  std::string save_path;
+  std::string replay_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--all") {
+      selected.push_back(consensus_check());
+      selected.push_back(fischer_check());
+      selected.push_back(tfr_mutex_check());
+    } else if (arg == "--consensus") {
+      selected.push_back(consensus_check());
+    } else if (arg == "--fischer") {
+      selected.push_back(fischer_check());
+    } else if (arg == "--tfr-mutex") {
+      selected.push_back(tfr_mutex_check());
+    } else if (arg == "--naive") {
+      naive = true;
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--max-executions" && i + 1 < argc) {
+      max_executions = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--save" && i + 1 < argc) {
+      save_path = argv[++i];
+    } else if (arg == "--replay" && i + 1 < argc) {
+      replay_path = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  if (selected.empty()) {
+    selected.push_back(consensus_check());
+    selected.push_back(fischer_check());
+    selected.push_back(tfr_mutex_check());
+  }
+
+  bool ok = true;
+  for (NamedCheck& check : selected) {
+    if (naive) check.config.por = false;
+    check.config.seed = seed;
+    if (max_executions > 0) check.config.max_executions = max_executions;
+    if (!replay_path.empty()) {
+      ok = replay_saved(check, replay_path) && ok;
+      continue;
+    }
+    ok = run_check(check, save_path) && ok;
+  }
+  std::printf("[mcheck] %s\n", ok ? "all checks as expected"
+                                  : "EXPECTATION MISMATCH");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,91 @@
+#include "tfr/mcheck/scenarios.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "tfr/core/consensus_sim.hpp"
+#include "tfr/mutex/mutex_sim.hpp"
+#include "tfr/mutex/workload_sim.hpp"
+#include "tfr/sim/monitor.hpp"
+
+namespace tfr::mcheck {
+
+CheckScenario make_consensus_scenario(ConsensusScenarioConfig config) {
+  return [config](sim::Simulation& simulation) -> RunHarness {
+    auto consensus = std::make_shared<core::SimConsensus>(simulation.space(),
+                                                          config.delta);
+    consensus->monitor().throw_on_violation(false);
+    for (int input : config.inputs) {
+      simulation.spawn([consensus, input](sim::Env env) {
+        return consensus->participant(env, input);
+      });
+    }
+
+    RunHarness harness;
+    harness.stop = [consensus, cutoff = config.round_cutoff] {
+      return consensus->max_round() >= cutoff;
+    };
+    harness.verdict = [consensus, config](const RunInfo& info) -> CheckOutcome {
+      const sim::DecisionMonitor& monitor = consensus->monitor();
+      if (!monitor.agreement_holds())
+        return {false, "consensus agreement violated"};
+      if (!monitor.validity_holds())
+        return {false, "consensus validity violated"};
+      if (info.failures_injected == 0 &&
+          consensus->max_round() >= config.round_cutoff) {
+        return {false, "failure-free execution exceeded the round bound"};
+      }
+      return {};
+    };
+    return harness;
+  };
+}
+
+CheckScenario make_mutex_scenario(MutexScenarioConfig config) {
+  return [config](sim::Simulation& simulation) -> RunHarness {
+    struct State {
+      std::unique_ptr<mutex::SimMutex> algorithm;
+      sim::MutexMonitor monitor;
+    };
+    auto state = std::make_shared<State>();
+    switch (config.algorithm) {
+      case MutexScenarioConfig::Algorithm::kFischer:
+        state->algorithm = std::make_unique<mutex::FischerMutex>(
+            simulation.space(), config.delta);
+        break;
+      case MutexScenarioConfig::Algorithm::kTfrStarvationFree:
+        state->algorithm = mutex::make_tfr_mutex_starvation_free(
+            simulation.space(), config.processes, config.delta);
+        break;
+      case MutexScenarioConfig::Algorithm::kTfrDeadlockFreeOnly:
+        state->algorithm = mutex::make_tfr_mutex_deadlock_free_only(
+            simulation.space(), config.processes, config.delta);
+        break;
+    }
+    state->monitor.throw_on_violation(false);
+
+    mutex::WorkloadConfig workload;
+    workload.processes = config.processes;
+    workload.sessions = config.sessions;
+    workload.cs_time = config.cs_time;
+    workload.ncs_time = 0;
+    workload.randomize_ncs = false;
+    workload.tolerate_violations = true;
+    for (int id = 0; id < config.processes; ++id) {
+      simulation.spawn([state, id, workload](sim::Env env) {
+        return mutex::mutex_sessions(env, *state->algorithm, state->monitor,
+                                     id, workload);
+      });
+    }
+
+    RunHarness harness;
+    harness.verdict = [state](const RunInfo&) -> CheckOutcome {
+      if (!state->monitor.mutual_exclusion_holds())
+        return {false, "mutual exclusion violated"};
+      return {};
+    };
+    return harness;
+  };
+}
+
+}  // namespace tfr::mcheck

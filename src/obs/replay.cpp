@@ -75,6 +75,20 @@ class Reader {
 
 }  // namespace
 
+std::size_t ReplaySchedule::pick(sim::Time now,
+                                 const std::vector<sim::EnabledEvent>& options) {
+  (void)now;
+  TFR_REQUIRE(!options.empty());
+  if (position_ >= picks_.size()) return 0;
+  const sim::Pid want = picks_[position_++];
+  for (std::size_t i = 0; i < options.size(); ++i) {
+    if (options[i].pid == want) return i;
+  }
+  // The schedule no longer matches the scenario — a divergence the trace
+  // comparison will surface; degrade to the lowest pid.
+  return 0;
+}
+
 std::unique_ptr<sim::TimingModel> make_timing(const TimingSpec& spec,
                                               TraceSink* sink) {
   std::unique_ptr<sim::TimingModel> base;
@@ -85,6 +99,13 @@ std::unique_ptr<sim::TimingModel> make_timing(const TimingSpec& spec,
     case TimingSpec::Kind::kUniform:
       base = sim::make_uniform_timing(spec.lo, spec.hi);
       break;
+    case TimingSpec::Kind::kScripted: {
+      auto scripted =
+          std::make_unique<sim::ScriptedTiming>(sim::make_fixed_timing(spec.lo));
+      for (const auto& [pid, cost] : spec.script) scripted->push(pid, cost);
+      base = std::move(scripted);
+      break;
+    }
   }
   TFR_REQUIRE(base != nullptr);
   if (!spec.has_injector()) return base;
@@ -117,6 +138,18 @@ std::string RecordedRun::to_bytes() const {
   }
   put_u64(out, std::bit_cast<std::uint64_t>(timing.random_p));
   put_i64(out, timing.random_stretch_max);
+  if (timing.kind == TimingSpec::Kind::kScripted) {
+    // Scripted executions (mcheck counterexamples) carry their cost script
+    // and tie-break schedule; older kinds keep the original layout.
+    put_u32(out, static_cast<std::uint32_t>(timing.script.size()));
+    for (const auto& [pid, cost] : timing.script) {
+      put_u32(out, static_cast<std::uint32_t>(pid));
+      put_i64(out, cost);
+    }
+    put_u32(out, static_cast<std::uint32_t>(timing.schedule.size()));
+    for (sim::Pid pid : timing.schedule)
+      put_u32(out, static_cast<std::uint32_t>(pid));
+  }
   put_u64(out, trace.size());
   out += trace;
   return out;
@@ -152,12 +185,31 @@ std::optional<RecordedRun> RecordedRun::from_bytes(std::string_view bytes) {
     run.timing.windows.push_back(std::move(w));
   }
   std::uint64_t p_bits = 0;
-  std::uint64_t trace_len = 0;
-  if (!reader.u64(p_bits) || !reader.i64(run.timing.random_stretch_max) ||
-      !reader.u64(trace_len) || !reader.str(run.trace, trace_len)) {
+  if (!reader.u64(p_bits) || !reader.i64(run.timing.random_stretch_max)) {
     return std::nullopt;
   }
   run.timing.random_p = std::bit_cast<double>(p_bits);
+  if (run.timing.kind == TimingSpec::Kind::kScripted) {
+    std::uint32_t script_count = 0;
+    if (!reader.u32(script_count)) return std::nullopt;
+    for (std::uint32_t i = 0; i < script_count; ++i) {
+      std::uint32_t pid = 0;
+      std::int64_t cost = 0;
+      if (!reader.u32(pid) || !reader.i64(cost)) return std::nullopt;
+      run.timing.script.emplace_back(static_cast<sim::Pid>(pid), cost);
+    }
+    std::uint32_t schedule_count = 0;
+    if (!reader.u32(schedule_count)) return std::nullopt;
+    for (std::uint32_t i = 0; i < schedule_count; ++i) {
+      std::uint32_t pid = 0;
+      if (!reader.u32(pid)) return std::nullopt;
+      run.timing.schedule.push_back(static_cast<sim::Pid>(pid));
+    }
+  }
+  std::uint64_t trace_len = 0;
+  if (!reader.u64(trace_len) || !reader.str(run.trace, trace_len)) {
+    return std::nullopt;
+  }
   return run;
 }
 
@@ -183,8 +235,13 @@ std::string run_traced(std::uint64_t seed, const TimingSpec& spec,
                        const Scenario& scenario, std::size_t trace_capacity) {
   TraceSink sink(trace_capacity);
   std::unique_ptr<sim::TimingModel> timing = make_timing(spec, &sink);
-  sim::Simulation simulation(std::move(timing),
-                             {.seed = seed, .sink = &sink});
+  std::optional<ReplaySchedule> replayer;
+  sim::SimulationOptions options{.seed = seed, .sink = &sink};
+  if (!spec.schedule.empty()) {
+    replayer.emplace(spec.schedule);
+    options.strategy = &*replayer;
+  }
+  sim::Simulation simulation(std::move(timing), options);
   scenario(simulation);
   TFR_REQUIRE(sink.dropped() == 0);  // a lossy trace cannot be golden
   return encode_binary(sink);

@@ -16,6 +16,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "tfr/obs/trace.hpp"
@@ -26,9 +27,11 @@ namespace tfr::obs {
 
 /// Serializable description of a timing model: a base distribution
 /// (fixed or uniform access cost) optionally wrapped in a FailureInjector
-/// with windowed and/or random timing failures.
+/// with windowed and/or random timing failures — or, for mcheck
+/// counterexamples, a fully scripted execution: per-access costs plus the
+/// tie-break schedule the explorer chose.
 struct TimingSpec {
-  enum class Kind : std::uint8_t { kFixed = 0, kUniform = 1 };
+  enum class Kind : std::uint8_t { kFixed = 0, kUniform = 1, kScripted = 2 };
 
   Kind kind = Kind::kFixed;
   sim::Duration lo = 1;  ///< fixed cost, or uniform lower bound
@@ -40,9 +43,36 @@ struct TimingSpec {
   double random_p = 0.0;
   sim::Duration random_stretch_max = 0;
 
+  /// kScripted: the cost of every access, in global issue order, replayed
+  /// per-pid FIFO through sim::ScriptedTiming (base: fixed cost `lo`).
+  std::vector<std::pair<sim::Pid, sim::Duration>> script;
+  /// kScripted: the pid chosen at each scheduler tie-break query, in
+  /// order; replayed by a ReplaySchedule strategy.  An empty schedule
+  /// keeps the simulator's FIFO tie-breaks.
+  std::vector<sim::Pid> schedule;
+
   bool has_injector() const {
-    return delta > 0 && (!windows.empty() || random_p > 0.0);
+    return kind != Kind::kScripted && delta > 0 &&
+           (!windows.empty() || random_p > 0.0);
   }
+};
+
+/// SchedulerStrategy that replays a recorded tie-break schedule: at each
+/// query it picks the recorded pid.  Once the schedule is consumed it
+/// reports exhausted() — the recorded execution is over — and defaults to
+/// the lowest pid, so callers typically stop the run on exhausted().
+class ReplaySchedule final : public sim::SchedulerStrategy {
+ public:
+  explicit ReplaySchedule(std::vector<sim::Pid> picks)
+      : picks_(std::move(picks)) {}
+
+  std::size_t pick(sim::Time now,
+                   const std::vector<sim::EnabledEvent>& options) override;
+  bool exhausted() const override { return position_ >= picks_.size(); }
+
+ private:
+  std::vector<sim::Pid> picks_;
+  std::size_t position_ = 0;
 };
 
 /// Builds the timing model a spec describes.  When the spec carries an

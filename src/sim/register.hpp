@@ -41,7 +41,10 @@ class RegisterSpace {
   template <class T>
   friend class Register;
 
-  void note_allocated() { ++allocated_; }
+  /// Returns the new register's uid: 1-based allocation order, stable
+  /// across identical runs — the conflict key mcheck's independence
+  /// relation uses (pointers would not survive re-execution).
+  std::uint64_t note_allocated() { return ++allocated_; }
   void note_read() { ++reads_; }
   void note_write() { ++writes_; }
 
@@ -57,7 +60,7 @@ class Register {
  public:
   Register(RegisterSpace& space, T initial, std::string name = {})
       : space_(&space), value_(std::move(initial)), name_(std::move(name)) {
-    space_->note_allocated();
+    uid_ = space_->note_allocated();
   }
 
   Register(const Register&) = delete;
@@ -74,6 +77,10 @@ class Register {
   std::uint64_t reads() const { return reads_; }
   std::uint64_t writes() const { return writes_; }
   const std::string& name() const { return name_; }
+  /// Stable identity: allocation order within the RegisterSpace (1-based).
+  /// Identical runs allocate in identical order, so uids — unlike
+  /// addresses — survive re-execution (mcheck's conflict key).
+  std::uint64_t uid() const { return uid_; }
 
   // Remote-memory-reference accounting (cache-coherent model): a read is
   // remote iff the reader holds no valid cached copy (it then acquires
@@ -112,6 +119,7 @@ class Register {
  private:
   RegisterSpace* space_;
   T value_;
+  std::uint64_t uid_ = 0;
   mutable std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;
   std::string name_;

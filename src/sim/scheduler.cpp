@@ -1,5 +1,7 @@
 #include "tfr/sim/simulation.hpp"
 
+#include <algorithm>
+
 namespace tfr::sim {
 
 Simulation::Simulation(std::unique_ptr<TimingModel> timing, Options options)
@@ -13,20 +15,74 @@ Simulation::~Simulation() {
   while (!queue_.empty()) queue_.pop();
 }
 
+bool Simulation::pop_next_event(Event& out, Time limit, bool& over_limit) {
+  // Strategy-driven step: every event enabled at the earliest pending
+  // instant is a scheduling option; the strategy — not FIFO order —
+  // decides which linearizes first.  The losers are re-queued and offered
+  // again at the next iteration (same instant, one option fewer).
+  over_limit = false;
+  while (!queue_.empty()) {
+    const Time when = queue_.top().when;
+    if (when > limit) {
+      over_limit = true;
+      return false;
+    }
+    std::vector<Event> ready;
+    while (!queue_.empty() && queue_.top().when == when) {
+      Event event = queue_.top();
+      queue_.pop();
+      if (crashed_by(event.pid, event.when)) {
+        stats_[static_cast<std::size_t>(event.pid)].crashed = true;
+        emit({crash_time_[static_cast<std::size_t>(event.pid)], event.pid,
+              obs::EventKind::kCrash, 0, 0, 0});
+        continue;
+      }
+      ready.push_back(event);
+    }
+    if (ready.empty()) continue;  // every gathered event was a crash skip
+    std::sort(ready.begin(), ready.end(),
+              [](const Event& a, const Event& b) { return a.pid < b.pid; });
+    std::vector<EnabledEvent> options;
+    options.reserve(ready.size());
+    for (const Event& e : ready)
+      options.push_back(EnabledEvent{e.pid, e.kind, e.reg_uid});
+    const std::size_t chosen = options_.strategy->pick(when, options);
+    TFR_REQUIRE(chosen < ready.size());
+    for (std::size_t i = 0; i < ready.size(); ++i) {
+      if (i != chosen)
+        push_event(ready[i].when, ready[i].pid, ready[i].handle,
+                   ready[i].kind, ready[i].reg_uid);
+    }
+    out = ready[chosen];
+    return true;
+  }
+  return false;
+}
+
 Simulation::RunResult Simulation::run(Time limit,
                                       const std::function<bool()>& stop) {
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (top.when > limit) return RunResult::TimeLimit;
-    Event event = top;
-    queue_.pop();
-    if (crashed_by(event.pid, event.when)) {
-      // The access would have linearized at or after the crash instant:
-      // it never takes effect and the process takes no further steps.
-      stats_[static_cast<std::size_t>(event.pid)].crashed = true;
-      emit({crash_time_[static_cast<std::size_t>(event.pid)], event.pid,
-            obs::EventKind::kCrash, 0, 0, 0});
-      continue;
+  for (;;) {
+    Event event{};
+    if (options_.strategy == nullptr) {
+      // Default path: FIFO tie-break, byte-identical to the pre-seam
+      // simulator (golden traces depend on this).
+      if (queue_.empty()) return RunResult::Idle;
+      const Event& top = queue_.top();
+      if (top.when > limit) return RunResult::TimeLimit;
+      event = top;
+      queue_.pop();
+      if (crashed_by(event.pid, event.when)) {
+        // The access would have linearized at or after the crash instant:
+        // it never takes effect and the process takes no further steps.
+        stats_[static_cast<std::size_t>(event.pid)].crashed = true;
+        emit({crash_time_[static_cast<std::size_t>(event.pid)], event.pid,
+              obs::EventKind::kCrash, 0, 0, 0});
+        continue;
+      }
+    } else {
+      bool over_limit = false;
+      if (!pop_next_event(event, limit, over_limit))
+        return over_limit ? RunResult::TimeLimit : RunResult::Idle;
     }
     TFR_INVARIANT(event.when >= now_);
     now_ = event.when;
@@ -37,7 +93,6 @@ Simulation::RunResult Simulation::run(Time limit,
     }
     if (stop && stop()) return RunResult::Stopped;
   }
-  return RunResult::Idle;
 }
 
 void Simulation::crash_at(Pid pid, Time t) {
@@ -89,7 +144,8 @@ std::uint64_t Simulation::trace_hash() const {
   return h;
 }
 
-void Simulation::schedule_access(Pid pid, std::coroutine_handle<> h) {
+void Simulation::schedule_access(Pid pid, std::coroutine_handle<> h,
+                                 std::uint64_t reg_uid, bool is_write) {
   auto& limit = crash_access_limit_[static_cast<std::size_t>(pid)];
   if (stats_[static_cast<std::size_t>(pid)].accesses() >= limit) {
     // crash_after_accesses: the process silently stops before this access.
@@ -100,12 +156,13 @@ void Simulation::schedule_access(Pid pid, std::coroutine_handle<> h) {
   }
   const Duration cost = timing_->access_cost(pid, now_, rng_);
   TFR_INVARIANT(cost >= 1);
-  push_event(now_ + cost, pid, h);
+  push_event(now_ + cost, pid, h,
+             is_write ? AccessKind::kWrite : AccessKind::kRead, reg_uid);
 }
 
 void Simulation::schedule_delay(Pid pid, Duration d, std::coroutine_handle<> h) {
   // delay(d) takes exactly d time units (paper §1.2 accounting).
-  push_event(now_ + d, pid, h);
+  push_event(now_ + d, pid, h, AccessKind::kDelay, 0);
 }
 
 void Simulation::on_process_done(Pid pid, std::exception_ptr exception) noexcept {
@@ -139,8 +196,9 @@ void Simulation::note_trace(Pid pid, char kind) {
   if (options_.trace) trace_.push_back(TraceEvent{now_, pid, kind});
 }
 
-void Simulation::push_event(Time when, Pid pid, std::coroutine_handle<> h) {
-  queue_.push(Event{when, next_seq_++, pid, h});
+void Simulation::push_event(Time when, Pid pid, std::coroutine_handle<> h,
+                            AccessKind kind, std::uint64_t reg_uid) {
+  queue_.push(Event{when, next_seq_++, pid, h, kind, reg_uid});
 }
 
 }  // namespace tfr::sim

@@ -37,6 +37,67 @@ namespace tfr::sim {
 
 class Simulation;
 
+/// What a pending simulator event will do when it linearizes — the
+/// metadata a SchedulerStrategy needs to reason about conflicts.
+enum class AccessKind : std::uint8_t {
+  kStart = 0,  ///< first step of a spawned process (no shared access)
+  kRead = 1,   ///< a register read linearizes
+  kWrite = 2,  ///< a register write linearizes
+  kDelay = 3,  ///< a delay(d) completes (no shared access)
+};
+
+/// One event that is enabled (due to linearize at the current instant).
+struct EnabledEvent {
+  Pid pid = -1;
+  AccessKind kind = AccessKind::kStart;
+  /// Stable register uid (RegisterSpace allocation order) for
+  /// kRead/kWrite; 0 for kStart/kDelay.
+  std::uint64_t reg = 0;
+};
+
+/// Two enabled events are *dependent* iff they touch the same register
+/// and at least one writes it — the register-conflict independence
+/// relation used by mcheck's partial-order reduction.
+inline bool events_dependent(const EnabledEvent& a, const EnabledEvent& b) {
+  const bool a_access =
+      a.kind == AccessKind::kRead || a.kind == AccessKind::kWrite;
+  const bool b_access =
+      b.kind == AccessKind::kRead || b.kind == AccessKind::kWrite;
+  if (!a_access || !b_access || a.reg != b.reg) return false;
+  return a.kind == AccessKind::kWrite || b.kind == AccessKind::kWrite;
+}
+
+/// The scheduler seam: when several events are enabled at the same
+/// instant, a strategy — not the FIFO tie-break — decides which
+/// linearizes next, and timing models may route per-access cost choices
+/// (inject a failure or not, run fast or slow) through it instead of the
+/// Rng.  The default simulator behaviour (no strategy) is unchanged:
+/// FIFO tie-breaks, Rng-driven costs.
+class SchedulerStrategy {
+ public:
+  virtual ~SchedulerStrategy() = default;
+
+  /// Picks which of the simultaneously-enabled `options` (sorted by pid,
+  /// never empty) linearizes next.  Must return an index < options.size().
+  virtual std::size_t pick(Time now,
+                           const std::vector<EnabledEvent>& options) = 0;
+
+  /// Timing choice seam: picks among candidate costs for pid's next
+  /// access (all >= 1, ascending).  FailureInjector routes its
+  /// inject-or-not coin here when a strategy is attached; mcheck's
+  /// explorer enumerates every branch.  Default: the first (cheapest).
+  virtual std::size_t pick_cost(Pid pid,
+                                const std::vector<Duration>& choices) {
+    (void)pid;
+    (void)choices;
+    return 0;
+  }
+
+  /// True once a replaying strategy has consumed its whole script — used
+  /// as a stop predicate when re-running a recorded counterexample.
+  virtual bool exhausted() const { return false; }
+};
+
 /// The outermost coroutine of one simulated process.  Created by a spawn
 /// factory; owned and driven by the Simulation.
 class Process {
@@ -147,6 +208,10 @@ struct SimulationOptions {
   /// Register accesses, delays, crashes and completions are emitted by the
   /// simulator itself; timing models and monitors attach separately.
   obs::TraceSink* sink = nullptr;
+  /// Scheduler seam: when set, same-instant tie-breaks are decided by the
+  /// strategy instead of FIFO order (mcheck exploration / replay).  Must
+  /// outlive the simulation.
+  SchedulerStrategy* strategy = nullptr;
 };
 
 class Simulation {
@@ -175,7 +240,7 @@ class Simulation {
     TFR_REQUIRE(h);
     h.promise().sim = this;
     h.promise().pid = pid;
-    push_event(start, pid, h);
+    push_event(start, pid, h, AccessKind::kStart, 0);
     return pid;
   }
 
@@ -183,6 +248,8 @@ class Simulation {
   Rng& rng() { return rng_; }
   TimingModel& timing() { return *timing_; }
   RegisterSpace& space() { return space_; }
+  /// The scheduler strategy, or null when tie-breaks are FIFO.
+  SchedulerStrategy* strategy() const { return options_.strategy; }
 
   /// The structured trace sink, or null when event tracing is off.
   obs::TraceSink* trace_sink() const { return options_.sink; }
@@ -226,7 +293,8 @@ class Simulation {
   std::size_t trace_length() const { return trace_.size(); }
 
   // --- internal API used by awaiters and Process (do not call directly) ---
-  void schedule_access(Pid pid, std::coroutine_handle<> h);
+  void schedule_access(Pid pid, std::coroutine_handle<> h,
+                       std::uint64_t reg_uid, bool is_write);
   void schedule_delay(Pid pid, Duration d, std::coroutine_handle<> h);
   void on_process_done(Pid pid, std::exception_ptr exception) noexcept;
   void note_read(Pid pid, bool remote);
@@ -239,6 +307,8 @@ class Simulation {
     std::uint64_t seq;  ///< FIFO tie-break => full determinism
     Pid pid;
     std::coroutine_handle<> handle;
+    AccessKind kind;        ///< what linearizes when this event resumes
+    std::uint64_t reg_uid;  ///< register uid for kRead/kWrite; 0 otherwise
   };
   struct EventLater {
     bool operator()(const Event& a, const Event& b) const {
@@ -247,7 +317,11 @@ class Simulation {
     }
   };
 
-  void push_event(Time when, Pid pid, std::coroutine_handle<> h);
+  void push_event(Time when, Pid pid, std::coroutine_handle<> h,
+                  AccessKind kind, std::uint64_t reg_uid);
+  /// Strategy-driven variant of the event-loop step: pops every event
+  /// enabled at the earliest instant and lets the strategy pick.
+  bool pop_next_event(Event& out, Time limit, bool& over_limit);
   bool crashed_by(Pid pid, Time when) const {
     return crash_time_[static_cast<std::size_t>(pid)] <= when;
   }
@@ -288,7 +362,7 @@ struct ReadAwaiter {
   bool await_ready() const noexcept { return false; }
   void await_suspend(std::coroutine_handle<> h) const {
     issued = sim->now();
-    sim->schedule_access(pid, h);
+    sim->schedule_access(pid, h, reg->uid(), /*is_write=*/false);
   }
   T await_resume() const {
     const bool remote = reg->note_read_rmr(pid);
@@ -312,7 +386,7 @@ struct WriteAwaiter {
   bool await_ready() const noexcept { return false; }
   void await_suspend(std::coroutine_handle<> h) {
     issued = sim->now();
-    sim->schedule_access(pid, h);
+    sim->schedule_access(pid, h, reg->uid(), /*is_write=*/true);
   }
   void await_resume() {
     sim->note_write(pid);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "tfr/common/contracts.hpp"
+#include "tfr/sim/simulation.hpp"
 
 namespace tfr::sim {
 
@@ -95,10 +96,25 @@ Duration FailureInjector::access_cost(Pid pid, Time now, Rng& rng) {
       return w.stretched;
     }
   }
-  if (random_p_ > 0.0 && rng.bernoulli(random_p_)) {
-    const Duration cost = rng.uniform(delta_ + 1, random_stretch_max_);
-    note_failure(pid, now, cost);
-    return cost;
+  if (random_p_ > 0.0) {
+    if (strategy_ != nullptr) {
+      // Exploration seam: the probabilistic site becomes an explicit
+      // inject-or-not choice point driven by the strategy.
+      const Duration base_cost = base_->access_cost(pid, now, rng);
+      const std::vector<Duration> choices{base_cost, random_stretch_max_};
+      const std::size_t pick = strategy_->pick_cost(pid, choices);
+      TFR_REQUIRE(pick < choices.size());
+      if (pick == 1) {
+        note_failure(pid, now, random_stretch_max_);
+        return random_stretch_max_;
+      }
+      return base_cost;
+    }
+    if (rng.bernoulli(random_p_)) {
+      const Duration cost = rng.uniform(delta_ + 1, random_stretch_max_);
+      note_failure(pid, now, cost);
+      return cost;
+    }
   }
   return base_->access_cost(pid, now, rng);
 }

@@ -21,6 +21,8 @@
 
 namespace tfr::sim {
 
+class SchedulerStrategy;  // simulation.hpp: the exploration seam
+
 /// Strategy interface: cost of the next shared-memory access of `pid`
 /// issued at virtual time `now`.  Deterministic given the Rng stream.
 class TimingModel {
@@ -119,6 +121,13 @@ class FailureInjector final : public TimingModel {
   /// Emits a kTimingFailure event for every injected failure; null = off.
   void set_trace_sink(obs::TraceSink* sink) { sink_ = sink; }
 
+  /// Routes the random-failure coin through the exploration seam: with a
+  /// strategy attached, each random-failure site becomes an explicit
+  /// inject-or-not choice point (options: base cost, stretched cost)
+  /// decided by SchedulerStrategy::pick_cost instead of the Rng.  Windowed
+  /// failures stay deterministic.  Null restores Rng behaviour.
+  void set_strategy(SchedulerStrategy* strategy) { strategy_ = strategy; }
+
   /// Completion time of the latest failed access so far; kTimeNever never
   /// means "none yet" (returns -1 when no failure has been injected).
   Time last_failure_completion() const { return last_failure_completion_; }
@@ -131,6 +140,7 @@ class FailureInjector final : public TimingModel {
   std::unique_ptr<TimingModel> base_;
   Duration delta_;
   obs::TraceSink* sink_ = nullptr;
+  SchedulerStrategy* strategy_ = nullptr;
   std::vector<FailureWindow> windows_;
   double random_p_ = 0.0;
   Duration random_stretch_max_ = 0;

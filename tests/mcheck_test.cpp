@@ -1,0 +1,174 @@
+// Tests for the mcheck stateless model checker: exhaustive verification
+// of the paper's algorithms on small configurations, the known Fischer
+// counterexample, byte-identical counterexample replay, and the
+// DPOR-vs-naive pruning regression.
+
+#include <gtest/gtest.h>
+
+#include "tfr/mcheck/explorer.hpp"
+#include "tfr/mcheck/scenarios.hpp"
+#include "tfr/obs/replay.hpp"
+
+namespace tfr {
+namespace {
+
+mcheck::ExploreConfig small_config() {
+  mcheck::ExploreConfig config;
+  config.delta = 2;
+  config.failure_cost = 5;
+  config.max_failures = 1;
+  config.slow_budget = 1;
+  return config;
+}
+
+// Algorithm 1, n=2, inputs {0,1}, round bound 2: agreement and validity
+// hold on every execution within the bounds, every failure-free
+// execution decides before round 2, and the DFS runs to completion.
+TEST(McheckConsensus, ExhaustiveNoViolation) {
+  const mcheck::CheckResult result =
+      mcheck::check(mcheck::make_consensus_scenario({}), small_config());
+  EXPECT_FALSE(result.violation) << result.what;
+  EXPECT_TRUE(result.stats.complete);
+  EXPECT_GT(result.stats.executions, 1000u);
+  // With n=2 the sleep-set reduction manifests as whole executions cut at
+  // a node whose every option is asleep.
+  EXPECT_GT(result.stats.sleep_blocked, 0u);
+}
+
+// The sleep-set reduction must explore strictly fewer executions than
+// naive DFS while reaching the same verdict.  A slow-access budget of 0
+// keeps the naive state space small enough for a unit test.
+TEST(McheckConsensus, SleepSetsPruneAgainstNaiveDfs) {
+  mcheck::ExploreConfig config = small_config();
+  config.slow_budget = 0;
+
+  const mcheck::CheckResult reduced =
+      mcheck::check(mcheck::make_consensus_scenario({}), config);
+  config.por = false;
+  const mcheck::CheckResult naive =
+      mcheck::check(mcheck::make_consensus_scenario({}), config);
+
+  EXPECT_FALSE(reduced.violation);
+  EXPECT_FALSE(naive.violation);
+  EXPECT_TRUE(reduced.stats.complete);
+  EXPECT_TRUE(naive.stats.complete);
+  EXPECT_LT(reduced.stats.executions, naive.stats.executions);
+  EXPECT_LT(reduced.stats.states, naive.stats.states);
+  EXPECT_EQ(naive.stats.sleep_blocked, 0u);
+}
+
+// Bare Fischer (Algorithm 2) under a single timing failure: the explorer
+// must find the known mutual-exclusion violation (§3.1) and emit a
+// counterexample that replays byte-identically through the trace layer.
+TEST(McheckFischer, FindsKnownViolationAndReplays) {
+  mcheck::ExploreConfig config = small_config();
+  config.slow_budget = -1;
+  const mcheck::CheckScenario scenario = mcheck::make_mutex_scenario({});
+
+  const mcheck::CheckResult result = mcheck::check(scenario, config);
+  ASSERT_TRUE(result.violation);
+  EXPECT_EQ(result.what, "mutual exclusion violated");
+  EXPECT_FALSE(result.counterexample.timing.script.empty());
+  EXPECT_FALSE(result.counterexample.timing.schedule.empty());
+
+  // Golden replay: the recorded trace must reproduce byte-for-byte.
+  const obs::ReplayResult replayed = obs::replay(
+      result.counterexample,
+      mcheck::counterexample_scenario(scenario, config));
+  EXPECT_TRUE(replayed.identical)
+      << "first divergence at event " << replayed.first_divergence;
+
+  // And the re-run must reproduce the violation itself.
+  const mcheck::CheckOutcome reproduced =
+      mcheck::run_recorded(result.counterexample, scenario, config);
+  EXPECT_FALSE(reproduced.ok);
+  EXPECT_EQ(reproduced.what, "mutual exclusion violated");
+}
+
+// The counterexample survives serialization: save bytes, load them back,
+// and the loaded run still replays byte-identically.
+TEST(McheckFischer, CounterexampleSerializationRoundtrip) {
+  mcheck::ExploreConfig config = small_config();
+  config.slow_budget = -1;
+  const mcheck::CheckScenario scenario = mcheck::make_mutex_scenario({});
+  const mcheck::CheckResult result = mcheck::check(scenario, config);
+  ASSERT_TRUE(result.violation);
+
+  const std::string bytes = result.counterexample.to_bytes();
+  const std::optional<obs::RecordedRun> loaded =
+      obs::RecordedRun::from_bytes(bytes);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->timing.kind, obs::TimingSpec::Kind::kScripted);
+  EXPECT_EQ(loaded->timing.script, result.counterexample.timing.script);
+  EXPECT_EQ(loaded->timing.schedule, result.counterexample.timing.schedule);
+  EXPECT_EQ(loaded->trace, result.counterexample.trace);
+
+  const obs::ReplayResult replayed = obs::replay(
+      *loaded, mcheck::counterexample_scenario(scenario, config));
+  EXPECT_TRUE(replayed.identical);
+}
+
+// Without a timing failure budget Fischer is safe: the same scenario
+// explored with max_failures = 0 must come up clean — the violation
+// really is caused by the injected failure.
+TEST(McheckFischer, SafeWithoutTimingFailures) {
+  mcheck::ExploreConfig config = small_config();
+  config.slow_budget = -1;
+  config.max_failures = 0;
+  const mcheck::CheckResult result =
+      mcheck::check(mcheck::make_mutex_scenario({}), config);
+  EXPECT_FALSE(result.violation) << result.what;
+  EXPECT_TRUE(result.stats.complete);
+}
+
+// Algorithm 3 (Fischer filter over a starvation-free asynchronous A)
+// keeps mutual exclusion even under the timing failure that breaks bare
+// Fischer (Theorem 3.3's safety half), exhaustively for n=2.
+TEST(McheckTfrMutex, ExhaustiveNoViolation) {
+  mcheck::MutexScenarioConfig scenario;
+  scenario.algorithm =
+      mcheck::MutexScenarioConfig::Algorithm::kTfrStarvationFree;
+  const mcheck::CheckResult result =
+      mcheck::check(mcheck::make_mutex_scenario(scenario), small_config());
+  EXPECT_FALSE(result.violation) << result.what;
+  EXPECT_TRUE(result.stats.complete);
+  EXPECT_GT(result.stats.sleep_blocked, 0u);
+}
+
+// A scripted TimingSpec (the counterexample format) roundtrips through
+// the flat serialization, including the schedule and per-access costs.
+TEST(McheckReplayFormat, ScriptedSpecRoundtrip) {
+  obs::RecordedRun run;
+  run.seed = 42;
+  run.timing.kind = obs::TimingSpec::Kind::kScripted;
+  run.timing.lo = 1;
+  run.timing.delta = 2;
+  run.timing.script = {{0, 1}, {1, 5}, {0, 2}};
+  run.timing.schedule = {0, 1, 1, 0};
+  run.trace = "not-a-real-trace";
+
+  const std::optional<obs::RecordedRun> loaded =
+      obs::RecordedRun::from_bytes(run.to_bytes());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->seed, 42u);
+  EXPECT_EQ(loaded->timing.kind, obs::TimingSpec::Kind::kScripted);
+  EXPECT_EQ(loaded->timing.script, run.timing.script);
+  EXPECT_EQ(loaded->timing.schedule, run.timing.schedule);
+  EXPECT_EQ(loaded->trace, run.trace);
+  // A scripted spec never wraps a FailureInjector: the failures are in
+  // the script itself.
+  EXPECT_FALSE(loaded->timing.has_injector());
+}
+
+// The exploration honours its max_executions bound and says so.
+TEST(McheckBounds, AbortsAtMaxExecutions) {
+  mcheck::ExploreConfig config = small_config();
+  config.max_executions = 10;
+  const mcheck::CheckResult result =
+      mcheck::check(mcheck::make_consensus_scenario({}), config);
+  EXPECT_FALSE(result.stats.complete);
+  EXPECT_EQ(result.stats.executions, 10u);
+}
+
+}  // namespace
+}  // namespace tfr

@@ -42,6 +42,21 @@ obs::TimingSpec failing_spec() {
   return spec;
 }
 
+// Forwards access costs to a timing model the caller keeps alive.  Lets a
+// test hand run_consensus (which takes ownership and destroys its timing
+// model with the Simulation) a view of an injector whose counters the test
+// still wants to read after the run.
+class BorrowedTiming final : public sim::TimingModel {
+ public:
+  explicit BorrowedTiming(sim::TimingModel* inner) : inner_(inner) {}
+  sim::Duration access_cost(sim::Pid pid, sim::Time now, Rng& rng) override {
+    return inner_->access_cost(pid, now, rng);
+  }
+
+ private:
+  sim::TimingModel* inner_;
+};
+
 // Scenario body shared by the record/replay tests: 4 participants with
 // split inputs; captures the decision for outcome checks.
 struct ConsensusCapture {
@@ -249,10 +264,10 @@ TEST(TraceMetrics, ConsensusRunMetricsMatchOutcome) {
   injector->add_window(
       {.begin = 0, .end = 3 * kDelta, .victims = {0}, .stretched = 5 * kDelta});
   injector->set_trace_sink(&sink);
-  sim::FailureInjector* injector_view = injector.get();
 
   const core::ConsensusOutcome outcome = core::run_consensus(
-      {0, 1}, kDelta, std::move(injector), /*seed=*/3, sim::kTimeNever, &sink);
+      {0, 1}, kDelta, std::make_unique<BorrowedTiming>(injector.get()),
+      /*seed=*/3, sim::kTimeNever, &sink);
   ASSERT_TRUE(outcome.all_decided);
 
   const obs::TraceMetrics metrics = obs::compute_metrics(sink);
@@ -263,9 +278,9 @@ TEST(TraceMetrics, ConsensusRunMetricsMatchOutcome) {
   EXPECT_EQ(metrics.delays, delays);
   EXPECT_EQ(metrics.decides, 2u);
   EXPECT_EQ(metrics.max_round, outcome.max_round);
-  EXPECT_EQ(metrics.timing_failures, injector_view->failures_injected());
+  EXPECT_EQ(metrics.timing_failures, injector->failures_injected());
   EXPECT_EQ(metrics.last_failure_completion,
-            injector_view->last_failure_completion());
+            injector->last_failure_completion());
   EXPECT_EQ(metrics.last_decision, outcome.last_decision);
   EXPECT_GE(metrics.rmr, metrics.writes);
   // Convergence in Delta units: the exact (last decide − last failure
@@ -274,7 +289,7 @@ TEST(TraceMetrics, ConsensusRunMetricsMatchOutcome) {
   EXPECT_DOUBLE_EQ(
       metrics.convergence_after_failures_in_delta(kDelta),
       static_cast<double>(outcome.last_decision -
-                          injector_view->last_failure_completion()) /
+                          injector->last_failure_completion()) /
           static_cast<double>(kDelta));
 
   // Solo fast path: one proposer decides in round 0 with no delay.
