@@ -68,11 +68,9 @@ const char* variant_name(AblationVariant v) {
 
 }  // namespace
 
-int main() {
-  Section section(std::cout, "E13",
-                  "ablating Algorithm 1: flag-first ordering and delay(Δ) "
-                  "are load-bearing");
-
+TFR_BENCH_EXPERIMENT(E13, "Algorithm 1 design", bench::Tier::kSmoke,
+                     "ablating Algorithm 1: flag-first ordering and "
+                     "delay(Δ) are load-bearing") {
   Table table;
   table.header({"variant", "failure prob", "runs violating agreement",
                 "undecided runs", "worst rounds"});
@@ -99,21 +97,26 @@ int main() {
                  Table::fmt(static_cast<long long>(row.worst_rounds))});
     }
   }
-  table.print(std::cout);
+  table.print(rec.out());
 
-  bench::expect(faithful_clean.violating_runs == 0 &&
-                    faithful_faulty.violating_runs == 0,
-                "faithful Algorithm 1 never violates agreement");
-  bench::expect(faithful_clean.worst_rounds <= 2,
-                "faithful Algorithm 1 uses <= 2 rounds without failures");
-  bench::expect(yfirst_faulty.violating_runs > 0,
-                "y-first variant loses agreement under timing failures "
-                "(the flag-first order is load-bearing)");
-  bench::expect(nodelay_clean.violating_runs == 0 &&
-                    nodelay_faulty.violating_runs == 0,
-                "no-delay variant stays safe (delay is liveness-only)");
-  bench::expect(nodelay_clean.worst_rounds > 2,
-                "no-delay variant exceeds two rounds even without "
-                "failures (the 15 Delta bound is gone)");
-  return bench::finish();
+  rec.metric("yfirst.violating_runs.faulty",
+             static_cast<double>(yfirst_faulty.violating_runs));
+  rec.metric("faithful.worst_rounds.clean",
+             static_cast<double>(faithful_clean.worst_rounds));
+  rec.metric("nodelay.worst_rounds.clean",
+             static_cast<double>(nodelay_clean.worst_rounds));
+  rec.expect(faithful_clean.violating_runs == 0 &&
+                 faithful_faulty.violating_runs == 0,
+             "faithful Algorithm 1 never violates agreement");
+  rec.expect(faithful_clean.worst_rounds <= 2,
+             "faithful Algorithm 1 uses <= 2 rounds without failures");
+  rec.expect(yfirst_faulty.violating_runs > 0,
+             "y-first variant loses agreement under timing failures "
+             "(the flag-first order is load-bearing)");
+  rec.expect(nodelay_clean.violating_runs == 0 &&
+                 nodelay_faulty.violating_runs == 0,
+             "no-delay variant stays safe (delay is liveness-only)");
+  rec.expect(nodelay_clean.worst_rounds > 2,
+             "no-delay variant exceeds two rounds even without "
+             "failures (the 15 Delta bound is gone)");
 }

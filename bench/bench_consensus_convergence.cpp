@@ -31,11 +31,9 @@ constexpr sim::Duration kDelta = 100;
 constexpr std::uint64_t kSeeds = 40;
 }  // namespace
 
-int main() {
-  Section section(std::cout, "E3",
-                  "convergence after a failure burst "
-                  "(Theorem 2.1: decide by round r+1)");
-
+TFR_BENCH_EXPERIMENT(E3, "Theorem 2.1", bench::Tier::kSmoke,
+                     "convergence after a failure burst "
+                     "(Theorem 2.1: decide by round r+1)") {
   Table table;
   table.header({"burst length / Delta", "rounds at stop (mean)",
                 "slack <= 1 (%)", "slack max",
@@ -102,11 +100,14 @@ int main() {
                Table::fmt(static_cast<long long>(slack_max)),
                bench::summarize(post_time, kDelta)});
   }
-  table.print(std::cout);
+  table.print(rec.out());
 
-  bench::expect(worst_slack <= 2,
-                "decision round never exceeds snapshot round + 2 "
-                "(theorem bound + mid-round snapshot slack)");
+  rec.metric("slack.worst", static_cast<double>(worst_slack), "rounds");
+  rec.metric("slack.within_one_pct",
+             within_one_overall / static_cast<double>(cells), "%");
+  rec.expect(worst_slack <= 2,
+             "decision round never exceeds snapshot round + 2 "
+             "(theorem bound + mid-round snapshot slack)");
   // Trace one representative burst run and report the derived metrics
   // (convergence after the last injected failure, in Delta units).
   {
@@ -120,11 +121,10 @@ int main() {
     injector->set_trace_sink(&sink);
     core::run_consensus({0, 1, 0, 1}, kDelta, std::move(injector), 1,
                         sim::kTimeNever, &sink);
-    bench::trace_metrics("E3.burst30", obs::compute_metrics(sink), kDelta);
+    bench::trace_metrics(rec, "burst30", obs::compute_metrics(sink), kDelta);
   }
 
-  bench::expect(within_one_overall / static_cast<double>(cells) >= 90.0,
-                "decision round within snapshot round + 1 for >= 90% of "
-                "processes");
-  return bench::finish();
+  rec.expect(within_one_overall / static_cast<double>(cells) >= 90.0,
+             "decision round within snapshot round + 1 for >= 90% of "
+             "processes");
 }

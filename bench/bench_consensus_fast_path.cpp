@@ -22,11 +22,9 @@ namespace {
 constexpr sim::Duration kDelta = 100;
 }  // namespace
 
-int main() {
-  Section section(std::cout, "E2",
-                  "contention-free fast path: 7 steps, no delay, "
-                  "regardless of timing failures (Theorem 2.1)");
-
+TFR_BENCH_EXPERIMENT(E2, "Theorem 2.1", bench::Tier::kSmoke,
+                     "contention-free fast path: 7 steps, no delay, "
+                     "regardless of timing failures (Theorem 2.1)") {
   Table table("solo proposer");
   table.header({"step cost / Delta", "steps", "delays", "decide time"});
   bool always_7 = true;
@@ -41,10 +39,10 @@ int main() {
                Table::fmt(static_cast<unsigned long long>(out.delays[0])),
                Table::fmt(static_cast<long long>(out.last_decision))});
   }
-  table.print(std::cout);
+  table.print(rec.out());
 
-  bench::expect(always_7, "solo proposer always takes exactly 7 steps");
-  bench::expect(never_delayed, "solo proposer never executes delay()");
+  rec.expect(always_7, "solo proposer always takes exactly 7 steps");
+  rec.expect(never_delayed, "solo proposer never executes delay()");
 
   // Late arrival: one step to adopt an existing decision.
   Table late("late arrival after the decision");
@@ -64,14 +62,13 @@ int main() {
     late.row({Table::fmt(static_cast<long long>(arrival)),
               Table::fmt(static_cast<unsigned long long>(steps))});
   }
-  late.print(std::cout);
-  bench::expect(late_one_step, "a process arriving after the decision "
-                               "terminates after a single step");
+  late.print(rec.out());
+  rec.expect(late_one_step, "a process arriving after the decision "
+                            "terminates after a single step");
 
   // Machine-readable metrics from a traced solo run (fast-path shape).
   obs::TraceSink sink;
   core::run_consensus({1}, kDelta, sim::make_fixed_timing(kDelta), 1,
                       sim::kTimeNever, &sink);
-  bench::trace_metrics("E2.solo", obs::compute_metrics(sink), kDelta);
-  return bench::finish();
+  bench::trace_metrics(rec, "solo", obs::compute_metrics(sink), kDelta);
 }

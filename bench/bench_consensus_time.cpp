@@ -38,11 +38,9 @@ std::unique_ptr<sim::TimingModel> make_schedule(int schedule) {
 
 }  // namespace
 
-int main() {
-  Section section(std::cout, "E1",
-                  "consensus decision time without timing failures "
-                  "(Theorem 2.1: <= 15 Delta)");
-
+TFR_BENCH_EXPERIMENT(E1, "Theorem 2.1", bench::Tier::kSmoke,
+                     "consensus decision time without timing failures "
+                     "(Theorem 2.1: <= 15 Delta)") {
   double worst_over_everything = 0;
   std::size_t worst_rounds = 0;
 
@@ -58,7 +56,7 @@ int main() {
           const auto out = core::run_consensus(
               make_inputs(n, split), kDelta, make_schedule(schedule), seed);
           if (!out.all_decided) {
-            bench::expect(false, "all decided (n=" + std::to_string(n) + ")");
+            rec.expect(false, "all decided (n=" + std::to_string(n) + ")");
             continue;
           }
           times.add(static_cast<double>(out.last_decision));
@@ -73,13 +71,13 @@ int main() {
                    Table::fmt(static_cast<long long>(rounds))});
       }
     }
-    table.print(std::cout);
+    table.print(rec.out());
   }
 
-  bench::expect(worst_over_everything <= 15.0,
-                "worst decision time <= 15 Delta (measured " +
-                    Table::fmt(worst_over_everything) + " Delta)");
-  bench::expect(worst_rounds <= 2,
-                "at most two rounds used without failures");
-  return bench::finish();
+  rec.metric("decide_time.worst", worst_over_everything, "delta");
+  rec.metric("rounds.worst", static_cast<double>(worst_rounds));
+  rec.expect(worst_over_everything <= 15.0,
+             "worst decision time <= 15 Delta (measured " +
+                 Table::fmt(worst_over_everything) + " Delta)");
+  rec.expect(worst_rounds <= 2, "at most two rounds used without failures");
 }

@@ -23,11 +23,9 @@ constexpr std::size_t kProcesses = 8;
 constexpr std::uint64_t kSeeds = 25;
 }  // namespace
 
-int main() {
-  Section section(std::cout, "E4",
-                  "wait-freedom: survivors decide despite crashes "
-                  "(Theorem 2.4)");
-
+TFR_BENCH_EXPERIMENT(E4, "Theorem 2.4", bench::Tier::kSmoke,
+                     "wait-freedom: survivors decide despite crashes "
+                     "(Theorem 2.4)") {
   Table table;
   table.header({"crashes k", "survivors deciding (%)",
                 "decide time / Delta (mean, min..max)", "max round"});
@@ -72,12 +70,12 @@ int main() {
                bench::summarize(times, kDelta),
                Table::fmt(static_cast<long long>(max_round))});
   }
-  table.print(std::cout);
+  table.print(rec.out());
 
-  bench::expect(all_survivors_decide,
-                "every survivor decides for every crash count");
-  bench::expect(worst_time <= 40.0,
-                "survivor decision time stays a small multiple of Delta "
-                "(measured max " + Table::fmt(worst_time) + " Delta)");
-  return bench::finish();
+  rec.metric("decide_time.worst", worst_time, "delta");
+  rec.expect(all_survivors_decide,
+             "every survivor decides for every crash count");
+  rec.expect(worst_time <= 40.0,
+             "survivor decision time stays a small multiple of Delta "
+             "(measured max " + Table::fmt(worst_time) + " Delta)");
 }

@@ -163,10 +163,9 @@ Measured measure(const std::string& object, int n, bool failures) {
 
 }  // namespace
 
-int main() {
-  Section section(std::cout, "E11",
-                  "derived wait-free objects built from consensus (§1.4)");
-
+TFR_BENCH_EXPERIMENT(E11, "section 1.4", bench::Tier::kSmoke,
+                     "derived wait-free objects built from consensus "
+                     "(§1.4)") {
   for (const bool failures : {false, true}) {
     Table table(failures ? "with 10% timing failures" : "without failures");
     table.header({"object", "n", "steps / process (mean)",
@@ -182,7 +181,7 @@ int main() {
                    Table::fmt(static_cast<unsigned long long>(m.registers))});
       }
     }
-    table.print(std::cout);
+    table.print(rec.out());
   }
 
   // Shape checks: election cost ~independent of n; renaming grows with n.
@@ -190,11 +189,14 @@ int main() {
   const auto e8 = measure("election", 8, false);
   const auto r2 = measure("renaming", 2, false);
   const auto r8 = measure("renaming", 8, false);
-  bench::expect(e8.steps.mean() < 3 * e2.steps.mean(),
-                "election cost roughly independent of n "
-                "(bit-width bound, not participant bound)");
-  bench::expect(r8.steps.mean() > 2 * r2.steps.mean(),
-                "renaming cost grows with n (up to n slots contested)");
-  bench::expect(true, "all safety audits passed (monitors/ENSUREs held)");
-  return bench::finish();
+  rec.metric("election.steps.n2", e2.steps.mean());
+  rec.metric("election.steps.n8", e8.steps.mean());
+  rec.metric("renaming.steps.n2", r2.steps.mean());
+  rec.metric("renaming.steps.n8", r8.steps.mean());
+  rec.expect(e8.steps.mean() < 3 * e2.steps.mean(),
+             "election cost roughly independent of n "
+             "(bit-width bound, not participant bound)");
+  rec.expect(r8.steps.mean() > 2 * r2.steps.mean(),
+             "renaming cost grows with n (up to n slots contested)");
+  rec.expect(true, "all safety audits passed (monitors/ENSUREs held)");
 }

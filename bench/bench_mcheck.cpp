@@ -54,10 +54,9 @@ double rate(const Timed& timed) {
 
 }  // namespace
 
-int main() {
-  Section section(std::cout, "E18",
-                  "mcheck exploration throughput and sleep-set reduction");
-
+TFR_BENCH_EXPERIMENT(E18, "systematic exploration", bench::Tier::kFull,
+                     "mcheck exploration throughput and sleep-set "
+                     "reduction") {
   const mcheck::CheckScenario consensus = mcheck::make_consensus_scenario({});
   mcheck::MutexScenarioConfig fischer_cfg;
   const mcheck::CheckScenario fischer =
@@ -90,35 +89,32 @@ int main() {
   row("consensus n=2 (naive DFS)", consensus_naive);
   row("fischer n=2 (1 failure)", fischer_run);
   row("tfr-mutex n=2 (1 failure)", tfr_run);
-  table.print(std::cout);
+  table.print(rec.out());
 
   const double reduction =
       consensus_reduced.result.stats.executions > 0
           ? static_cast<double>(consensus_naive.result.stats.executions) /
                 static_cast<double>(consensus_reduced.result.stats.executions)
           : 0.0;
-  bench::metric("mcheck.consensus.executions",
-                static_cast<double>(consensus_reduced.result.stats.executions));
-  bench::metric("mcheck.consensus.reduction_factor", reduction, "x");
-  bench::metric("mcheck.consensus.exec_per_sec", rate(consensus_reduced),
-                "1/s");
-  bench::metric("mcheck.fischer.executions_to_violation",
-                static_cast<double>(fischer_run.result.stats.executions));
+  rec.metric("consensus.executions",
+             static_cast<double>(consensus_reduced.result.stats.executions));
+  rec.metric("consensus.reduction_factor", reduction, "x");
+  rec.metric("consensus.exec_per_sec", rate(consensus_reduced), "1/s");
+  rec.metric("fischer.executions_to_violation",
+             static_cast<double>(fischer_run.result.stats.executions));
 
-  bench::expect(!consensus_reduced.result.violation &&
-                    consensus_reduced.result.stats.complete,
-                "Algorithm 1 n=2 verifies clean with sleep sets");
-  bench::expect(!consensus_naive.result.violation &&
-                    consensus_naive.result.stats.complete,
-                "naive DFS reaches the same clean verdict");
-  bench::expect(consensus_reduced.result.stats.executions <
-                    consensus_naive.result.stats.executions,
-                "sleep sets explore strictly fewer executions than naive DFS");
-  bench::expect(reduction >= 2.0,
-                "the reduction factor is at least 2x");
-  bench::expect(fischer_run.result.violation,
-                "bare Fischer yields a mutual-exclusion violation");
-  bench::expect(!tfr_run.result.violation && tfr_run.result.stats.complete,
-                "Algorithm 3 n=2 verifies clean under the same failure budget");
-  return bench::finish();
+  rec.expect(!consensus_reduced.result.violation &&
+                 consensus_reduced.result.stats.complete,
+             "Algorithm 1 n=2 verifies clean with sleep sets");
+  rec.expect(!consensus_naive.result.violation &&
+                 consensus_naive.result.stats.complete,
+             "naive DFS reaches the same clean verdict");
+  rec.expect(consensus_reduced.result.stats.executions <
+                 consensus_naive.result.stats.executions,
+             "sleep sets explore strictly fewer executions than naive DFS");
+  rec.expect(reduction >= 2.0, "the reduction factor is at least 2x");
+  rec.expect(fischer_run.result.violation,
+             "bare Fischer yields a mutual-exclusion violation");
+  rec.expect(!tfr_run.result.violation && tfr_run.result.stats.complete,
+             "Algorithm 3 n=2 verifies clean under the same failure budget");
 }

@@ -104,11 +104,9 @@ Row sweep(Corruption corruption) {
 
 }  // namespace
 
-int main() {
-  Section section(std::cout, "E14",
-                  "transient memory failures + timing failures (§4): "
-                  "which corruptions Algorithm 1 tolerates");
-
+TFR_BENCH_EXPERIMENT(E14, "section 4 (open problems)", bench::Tier::kSmoke,
+                     "transient memory failures + timing failures (§4): "
+                     "which corruptions Algorithm 1 tolerates") {
   Table table;
   table.header({"corruption class", "runs with safety violation",
                 "undecided runs", "verdict"});
@@ -131,21 +129,26 @@ int main() {
                Table::fmt(static_cast<unsigned long long>(row.undecided_runs)),
                verdict(row)});
   }
-  table.print(std::cout);
+  table.print(rec.out());
 
-  bench::expect(flag_set.violating_runs == 0,
-                "spurious flag-set corruptions are tolerated "
-                "(cost an extra round at most)");
-  bench::expect(decide_reset.violating_runs == 0,
-                "decide-reset corruptions are tolerated "
-                "(the frozen y[r] forces the same re-decision)");
-  bench::expect(flag_reset.violating_runs + y_overwrite.violating_runs > 0,
-                "flag-reset / y-overwrite corruptions can break agreement "
-                "— charting the open problem's boundary");
-  bench::expect(flag_set.undecided_runs + decide_reset.undecided_runs +
-                        flag_reset.undecided_runs +
-                        y_overwrite.undecided_runs ==
-                    0,
-                "liveness survives every corruption class");
-  return bench::finish();
+  rec.metric("tolerated.violating_runs",
+             static_cast<double>(flag_set.violating_runs +
+                                 decide_reset.violating_runs));
+  rec.metric("unsafe.violating_runs",
+             static_cast<double>(flag_reset.violating_runs +
+                                 y_overwrite.violating_runs));
+  rec.expect(flag_set.violating_runs == 0,
+             "spurious flag-set corruptions are tolerated "
+             "(cost an extra round at most)");
+  rec.expect(decide_reset.violating_runs == 0,
+             "decide-reset corruptions are tolerated "
+             "(the frozen y[r] forces the same re-decision)");
+  rec.expect(flag_reset.violating_runs + y_overwrite.violating_runs > 0,
+             "flag-reset / y-overwrite corruptions can break agreement "
+             "— charting the open problem's boundary");
+  rec.expect(flag_set.undecided_runs + decide_reset.undecided_runs +
+                     flag_reset.undecided_runs +
+                     y_overwrite.undecided_runs ==
+                 0,
+             "liveness survives every corruption class");
 }

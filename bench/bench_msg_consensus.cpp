@@ -61,11 +61,9 @@ Run run_once(int n, std::unique_ptr<sim::TimingModel> timing,
 
 }  // namespace
 
-int main() {
-  Section section(std::cout, "E16",
-                  "Algorithm 1 over message passing (ABD registers): "
-                  "safety always, liveness when message delays behave");
-
+TFR_BENCH_EXPERIMENT(E16, "section 4 (message passing)", bench::Tier::kSmoke,
+                     "Algorithm 1 over message passing (ABD registers): "
+                     "safety always, liveness when message delays behave") {
   // (a) decision time vs message-step cost.
   Table scale("failure-free: decision time vs per-message step cost");
   scale.header({"n", "step cost", "decide time / step (mean, min..max)",
@@ -89,9 +87,10 @@ int main() {
                  Table::fmt(static_cast<unsigned long long>(clean_violations))});
     }
   }
-  scale.print(std::cout);
-  bench::expect(clean_all_decide && clean_violations == 0,
-                "failure-free message consensus always decides, safely");
+  scale.print(rec.out());
+  rec.metric("clean.violations", static_cast<double>(clean_violations));
+  rec.expect(clean_all_decide && clean_violations == 0,
+             "failure-free message consensus always decides, safely");
 
   // (b) late messages (timing failures on channels).
   Table late("5% of channel accesses stretched 40x (late messages)");
@@ -117,12 +116,13 @@ int main() {
               Table::fmt(static_cast<unsigned long long>(late_violations)),
               bench::summarize(times, static_cast<double>(kStep))});
   }
-  late.print(std::cout);
-  bench::expect(late_violations == 0,
-                "late messages never violate agreement/validity");
-  bench::expect(late_all_decide,
-                "decisions still arrive once the late-message storm is "
-                "ridden out");
+  late.print(rec.out());
+  rec.metric("late.violations", static_cast<double>(late_violations));
+  rec.expect(late_violations == 0,
+             "late messages never violate agreement/validity");
+  rec.expect(late_all_decide,
+             "decisions still arrive once the late-message storm is "
+             "ridden out");
 
   // (c) replica crashes: minority harmless; majority stalls but stays safe.
   Table crash("replica crashes (n = 5)");
@@ -141,12 +141,12 @@ int main() {
                r.all_decided ? "yes" : "no",
                Table::fmt(static_cast<unsigned long long>(r.violations))});
   }
-  crash.print(std::cout);
-  bench::expect(minority_ok && crash_violations == 0,
-                "any minority of replica crashes is tolerated");
-  bench::expect(majority_stalls,
-                "a crashed majority stalls liveness (quorums unavailable) "
-                "— while safety still holds");
+  crash.print(rec.out());
+  rec.expect(minority_ok && crash_violations == 0,
+             "any minority of replica crashes is tolerated");
+  rec.expect(majority_stalls,
+             "a crashed majority stalls liveness (quorums unavailable) "
+             "— while safety still holds");
 
   // (d) elections: the timing-dependent baseline vs the resilient one —
   // the message-passing twins of Fischer vs Algorithm 3.
@@ -222,13 +222,16 @@ int main() {
                  Table::fmt(static_cast<unsigned long long>(resilient_clean)),
                  Table::fmt(static_cast<unsigned long long>(
                      resilient_faulty))});
-  elections.print(std::cout);
+  elections.print(rec.out());
 
-  bench::expect(timed_clean == 0,
-                "timed election is correct while messages are on time");
-  bench::expect(timed_faulty > 0,
-                "late messages split the timed election's leadership");
-  bench::expect(resilient_clean == 0 && resilient_faulty == 0,
-                "the resilient election never splits, failures or not");
-  return bench::finish();
+  rec.metric("election.timed.splits_faulty",
+             static_cast<double>(timed_faulty));
+  rec.metric("election.resilient.splits_faulty",
+             static_cast<double>(resilient_faulty));
+  rec.expect(timed_clean == 0,
+             "timed election is correct while messages are on time");
+  rec.expect(timed_faulty > 0,
+             "late messages split the timed election's leadership");
+  rec.expect(resilient_clean == 0 && resilient_faulty == 0,
+             "the resilient election never splits, failures or not");
 }

@@ -59,11 +59,9 @@ sim::Duration post_failure_wait(bool starvation_free, sim::Time horizon,
 
 }  // namespace
 
-int main() {
-  Section section(std::cout, "E8",
-                  "convergence after failures: A deadlock-free "
-                  "(Theorem 3.2) vs A starvation-free (Theorem 3.3)");
-
+TFR_BENCH_EXPERIMENT(E8, "Theorems 3.2/3.3", bench::Tier::kSmoke,
+                     "convergence after failures: A deadlock-free "
+                     "(Theorem 3.2) vs A starvation-free (Theorem 3.3)") {
   Table table;
   table.header({"horizon / Delta", "post-burst wait / Delta, A=sf",
                 "post-burst wait / Delta, A=df"});
@@ -85,17 +83,18 @@ int main() {
                Table::fmt(sf_worst / kDelta, 1),
                Table::fmt(df_worst / kDelta, 1)});
   }
-  table.print(std::cout);
+  table.print(rec.out());
 
   const double sf_spread = *std::max_element(sf_waits.begin(), sf_waits.end()) -
                            *std::min_element(sf_waits.begin(), sf_waits.end());
-  bench::expect(sf_spread == 0.0,
-                "starvation-free wait is horizon-independent (converged)");
-  bench::expect(df_waits.back() >= 0.9 * horizons.back(),
-                "deadlock-free wait tracks the horizon (starvation: the "
-                "slow process never re-enters)");
-  bench::expect(df_waits.back() > 10 * sf_waits.back(),
-                "deadlock-free inner algorithm is >10x worse at the "
-                "largest horizon");
-  return bench::finish();
+  rec.metric("sf.wait.worst", sf_waits.back(), "delta");
+  rec.metric("df.wait.at_largest_horizon", df_waits.back(), "delta");
+  rec.expect(sf_spread == 0.0,
+             "starvation-free wait is horizon-independent (converged)");
+  rec.expect(df_waits.back() >= 0.9 * horizons.back(),
+             "deadlock-free wait tracks the horizon (starvation: the "
+             "slow process never re-enters)");
+  rec.expect(df_waits.back() > 10 * sf_waits.back(),
+             "deadlock-free inner algorithm is >10x worse at the "
+             "largest horizon");
 }

@@ -67,11 +67,10 @@ double per_mille(const Cell& cell) {
 
 }  // namespace
 
-int main() {
-  Section section(std::cout, "E6",
-                  "mutual-exclusion violations under timing failures: "
-                  "Fischer (Algorithm 2) vs time-resilient (Algorithm 3)");
-
+TFR_BENCH_EXPERIMENT(E6, "section 3.1/3.3", bench::Tier::kSmoke,
+                     "mutual-exclusion violations under timing failures: "
+                     "Fischer (Algorithm 2) vs time-resilient "
+                     "(Algorithm 3)") {
   Table table;
   table.header({"failure prob p", "fischer violations / 1000 CS",
                 "tfr(A=sf) violations / 1000 CS"});
@@ -91,16 +90,18 @@ int main() {
     table.row({Table::fmt(p, 2), Table::fmt(per_mille(fischer), 2),
                Table::fmt(per_mille(resilient), 2)});
   }
-  table.print(std::cout);
+  table.print(rec.out());
 
-  bench::expect(fischer_at_zero == 0.0,
-                "Fischer is safe when timing holds (p=0 row is 0)");
-  bench::expect(fischer_total > 0,
-                "Fischer violates mutual exclusion under timing failures");
-  bench::expect(fischer_at_max > 0,
-                "Fischer's violation rate is positive at the highest p");
-  bench::expect(tfr_total == 0,
-                "Algorithm 3 never violates mutual exclusion "
-                "(identically zero across the sweep)");
-  return bench::finish();
+  rec.metric("fischer.violations.total", static_cast<double>(fischer_total));
+  rec.metric("fischer.per_mille_at_max_p", fischer_at_max);
+  rec.metric("tfr.violations.total", static_cast<double>(tfr_total));
+  rec.expect(fischer_at_zero == 0.0,
+             "Fischer is safe when timing holds (p=0 row is 0)");
+  rec.expect(fischer_total > 0,
+             "Fischer violates mutual exclusion under timing failures");
+  rec.expect(fischer_at_max > 0,
+             "Fischer's violation rate is positive at the highest p");
+  rec.expect(tfr_total == 0,
+             "Algorithm 3 never violates mutual exclusion "
+             "(identically zero across the sweep)");
 }

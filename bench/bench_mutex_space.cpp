@@ -40,17 +40,16 @@ std::uint64_t registers_for(const char* name, int n) {
 
 }  // namespace
 
-int main() {
-  Section section(std::cout, "E9",
-                  "register counts vs the Theorem 3.1 lower bound "
-                  "(n registers for n processes)");
-
+TFR_BENCH_EXPERIMENT(E9, "Theorem 3.1", bench::Tier::kSmoke,
+                     "register counts vs the Theorem 3.1 lower bound "
+                     "(n registers for n processes)") {
   Table table;
   table.header({"n", "lower bound", "tfr(sf)", "tfr(df)", "bakery",
                 "bw-bakery", "fischer (not resilient)"});
 
   bool resilient_meet_bound = true;
   bool resilient_linear = true;
+  std::uint64_t sf_n64 = 0;
   for (const int n : {2, 4, 8, 16, 32, 64}) {
     const auto sf = registers_for("tfr(sf)", n);
     const auto df = registers_for("tfr(df)", n);
@@ -60,6 +59,7 @@ int main() {
     resilient_meet_bound &= (sf >= static_cast<std::uint64_t>(n)) &&
                             (df >= static_cast<std::uint64_t>(n));
     resilient_linear &= (sf <= static_cast<std::uint64_t>(3 * n + 8));
+    if (n == 64) sf_n64 = sf;
     table.row({Table::fmt(static_cast<long long>(n)),
                Table::fmt(static_cast<long long>(n)),
                Table::fmt(static_cast<unsigned long long>(sf)),
@@ -68,16 +68,18 @@ int main() {
                Table::fmt(static_cast<unsigned long long>(bw)),
                Table::fmt(static_cast<unsigned long long>(fis))});
   }
-  table.print(std::cout);
+  table.print(rec.out());
 
-  bench::expect(resilient_meet_bound,
-                "time-resilient algorithms allocate >= n registers "
-                "(Theorem 3.1 lower bound respected)");
-  bench::expect(resilient_linear,
-                "Algorithm 3 (A = starvation-free) stays within 3n + 8 "
-                "registers: the bound is asymptotically tight");
-  bench::expect(registers_for("fischer", 64) == 1,
-                "Fischer alone uses one register — and is exactly the "
-                "algorithm that is NOT resilient (cf. E6)");
-  return bench::finish();
+  rec.metric("tfr_sf.registers.n64", static_cast<double>(sf_n64));
+  rec.metric("fischer.registers.n64",
+             static_cast<double>(registers_for("fischer", 64)));
+  rec.expect(resilient_meet_bound,
+             "time-resilient algorithms allocate >= n registers "
+             "(Theorem 3.1 lower bound respected)");
+  rec.expect(resilient_linear,
+             "Algorithm 3 (A = starvation-free) stays within 3n + 8 "
+             "registers: the bound is asymptotically tight");
+  rec.expect(registers_for("fischer", 64) == 1,
+             "Fischer alone uses one register — and is exactly the "
+             "algorithm that is NOT resilient (cf. E6)");
 }

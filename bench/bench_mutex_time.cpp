@@ -71,11 +71,10 @@ double contended_time_complexity(const std::string& name, int n,
 
 }  // namespace
 
-int main() {
-  Section section(std::cout, "E7",
-                  "time complexity without failures: O(Delta) for "
-                  "Algorithm 3 vs Θ(n·Delta) for asynchronous baselines");
-
+TFR_BENCH_EXPERIMENT(E7, "section 3 efficiency", bench::Tier::kSmoke,
+                     "time complexity without failures: O(Delta) for "
+                     "Algorithm 3 vs Θ(n·Delta) for asynchronous "
+                     "baselines") {
   const char* names[] = {"tfr(sf)", "fischer", "bakery", "bw-bakery"};
 
   Table solo("solo entry latency (time units of Delta), Delta = 100");
@@ -97,7 +96,7 @@ int main() {
     }
     solo.row(std::move(row));
   }
-  solo.print(std::cout);
+  solo.print(rec.out());
 
   Table contended("contended time complexity / Delta (worst over seeds)");
   contended.header({"algorithm", "Delta", "n=2", "n=4", "n=8", "n=16"});
@@ -120,18 +119,22 @@ int main() {
       contended.row(std::move(row));
     }
   }
-  contended.print(std::cout);
+  contended.print(rec.out());
 
-  bench::expect(tfr_n128 == tfr_n2,
-                "Algorithm 3 solo latency independent of n");
-  bench::expect(tfr_n2 <= 12.0,
-                "Algorithm 3 solo latency a small multiple of Delta");
-  bench::expect(bakery_n128 >= 10 * bakery_n2,
-                "bakery solo latency grows ~linearly with n");
-  bench::expect(tfr_worst_any_n <= 40.0,
-                "Algorithm 3 contended time complexity stays O(Delta) "
-                "(measured max " + Table::fmt(tfr_worst_any_n) + " Delta)");
-  bench::expect(bakery_n16_best_delta > tfr_worst_any_n,
-                "bakery at n=16 exceeds Algorithm 3's worst cell");
-  return bench::finish();
+  rec.metric("tfr.solo_latency.n2", tfr_n2, "delta");
+  rec.metric("tfr.solo_latency.n128", tfr_n128, "delta");
+  rec.metric("bakery.solo_latency.n2", bakery_n2, "delta");
+  rec.metric("bakery.solo_latency.n128", bakery_n128, "delta");
+  rec.metric("tfr.contended.worst", tfr_worst_any_n, "delta");
+  rec.metric("bakery.contended.n16_best", bakery_n16_best_delta, "delta");
+  rec.expect(tfr_n128 == tfr_n2, "Algorithm 3 solo latency independent of n");
+  rec.expect(tfr_n2 <= 12.0,
+             "Algorithm 3 solo latency a small multiple of Delta");
+  rec.expect(bakery_n128 >= 10 * bakery_n2,
+             "bakery solo latency grows ~linearly with n");
+  rec.expect(tfr_worst_any_n <= 40.0,
+             "Algorithm 3 contended time complexity stays O(Delta) "
+             "(measured max " + Table::fmt(tfr_worst_any_n) + " Delta)");
+  rec.expect(bakery_n16_best_delta > tfr_worst_any_n,
+             "bakery at n=16 exceeds Algorithm 3's worst cell");
 }

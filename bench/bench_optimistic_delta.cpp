@@ -47,11 +47,9 @@ std::unique_ptr<sim::TimingModel> spiky_timing() {
 
 }  // namespace
 
-int main() {
-  Section section(std::cout, "E10",
-                  "optimistic(Delta): safety is free, speed is tunable "
-                  "(and the AIMD estimator tunes it)");
-
+TFR_BENCH_EXPERIMENT(E10, "section 1.2/3.3", bench::Tier::kSmoke,
+                     "optimistic(Delta): safety is free, speed is tunable "
+                     "(and the AIMD estimator tunes it)") {
   Table sweep("assumed delta sweep (true pessimistic bound = 1000, "
               "typical step = 1..20, 2% spikes)");
   sweep.header({"assumed delta", "consensus decide time (mean)",
@@ -102,16 +100,23 @@ int main() {
                Table::fmt(static_cast<unsigned long long>(entries)),
                Table::fmt(static_cast<unsigned long long>(violations))});
   }
-  sweep.print(std::cout);
+  sweep.print(rec.out());
 
-  bench::expect(total_violations == 0,
-                "safety never depends on the assumed delta "
-                "(0 violations across the sweep)");
-  bench::expect(best_small_delta_time * 2 < pessimistic_time,
-                "optimistic delta at least halves consensus decision time "
-                "vs the pessimistic bound");
-  bench::expect(best_small_delta_entries > 2 * pessimistic_entries,
-                "optimistic delta more than doubles mutex throughput");
+  rec.metric("violations.total", static_cast<double>(total_violations));
+  rec.metric("optimistic.decide_time.best_small_delta", best_small_delta_time);
+  rec.metric("pessimistic.decide_time", pessimistic_time);
+  rec.metric("optimistic.cs_entries.best_small_delta",
+             static_cast<double>(best_small_delta_entries));
+  rec.metric("pessimistic.cs_entries",
+             static_cast<double>(pessimistic_entries));
+  rec.expect(total_violations == 0,
+             "safety never depends on the assumed delta "
+             "(0 violations across the sweep)");
+  rec.expect(best_small_delta_time * 2 < pessimistic_time,
+             "optimistic delta at least halves consensus decision time "
+             "vs the pessimistic bound");
+  rec.expect(best_small_delta_entries > 2 * pessimistic_entries,
+             "optimistic delta more than doubles mutex throughput");
 
   // (b) the adaptive estimator across repeated consensus instances.
   Table trace("AIMD estimator trace (one consensus instance per step)");
@@ -145,15 +150,16 @@ int main() {
     }
     final_estimate = estimator.current();
   }
-  trace.print(std::cout);
+  trace.print(rec.out());
 
   // Note: in this environment even a tiny delay usually suffices (a
   // retried round is cheap), so the estimator legitimately settles at the
   // bottom of its range — the key point is that it never needs to climb
   // anywhere near the pessimistic bound.
-  bench::expect(final_estimate <= 200,
-                "estimator settles at or below the common-case cost, far "
-                "below the pessimistic bound (final = " +
-                    Table::fmt(static_cast<long long>(final_estimate)) + ")");
-  return bench::finish();
+  rec.metric("estimator.final_estimate",
+             static_cast<double>(final_estimate));
+  rec.expect(final_estimate <= 200,
+             "estimator settles at or below the common-case cost, far "
+             "below the pessimistic bound (final = " +
+                 Table::fmt(static_cast<long long>(final_estimate)) + ")");
 }

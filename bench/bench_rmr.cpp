@@ -65,8 +65,6 @@ double rmr_per_entry(const std::string& name, int n, std::uint64_t seed) {
          static_cast<double>(monitor.cs_entries());
 }
 
-}  // namespace
-
 double solo_rmr_per_entry(const std::string& name, int n) {
   sim::Simulation s(sim::make_fixed_timing(kDelta));
   std::unique_ptr<mutex::SimMutex> algorithm;
@@ -90,11 +88,11 @@ double solo_rmr_per_entry(const std::string& name, int n) {
          static_cast<double>(monitor.cs_entries());
 }
 
-int main() {
-  Section section(std::cout, "E15",
-                  "remote memory references per CS entry "
-                  "(cache-coherent model; §4 local-spinning direction)");
+}  // namespace
 
+TFR_BENCH_EXPERIMENT(E15, "section 4 (local spinning)", bench::Tier::kSmoke,
+                     "remote memory references per CS entry "
+                     "(cache-coherent model; §4 local-spinning direction)") {
   Table solo_table("solo process (algorithm sized for n)");
   solo_table.header({"algorithm", "n=2", "n=16", "n=128"});
   double tfr_solo_2 = 0, tfr_solo_128 = 0, bakery_solo_2 = 0,
@@ -115,7 +113,7 @@ int main() {
     }
     solo_table.row(std::move(row));
   }
-  solo_table.print(std::cout);
+  solo_table.print(rec.out());
 
   Table table("under contention (all n processes cycling)");
   table.header({"algorithm", "n=2", "n=4", "n=8", "n=16"});
@@ -140,7 +138,7 @@ int main() {
     }
     table.row(std::move(row));
   }
-  table.print(std::cout);
+  table.print(rec.out());
 
   // Consensus RMR: contention-free and contended.
   const auto solo = core::run_consensus({1}, kDelta,
@@ -165,26 +163,23 @@ int main() {
   consensus_table.row({"4 procs split inputs, total",
                        Table::fmt(static_cast<unsigned long long>(
                            contended_rmr))});
-  consensus_table.print(std::cout);
+  consensus_table.print(rec.out());
 
-  bench::expect(tfr_solo_128 <= tfr_solo_2 + 1.0,
-                "solo Algorithm 3 RMR is O(1), independent of n");
-  bench::expect(bakery_solo_128 >= 5 * bakery_solo_2,
-                "solo bakery RMR is Θ(n) (doorway scans; first-touch "
-                "misses amortized over the sessions)");
-  bench::expect(tfr_n16 >= tfr_n2 + 10.0 && bakery_n16 >= bakery_n2 + 10.0,
-                "under contention every algorithm here pays Θ(n) RMR per "
-                "entry — the §4 local-spinning open problem, measured");
-  bench::expect(contended_rmr <= 200,
-                "contended consensus total RMR stays small");
+  rec.expect(tfr_solo_128 <= tfr_solo_2 + 1.0,
+             "solo Algorithm 3 RMR is O(1), independent of n");
+  rec.expect(bakery_solo_128 >= 5 * bakery_solo_2,
+             "solo bakery RMR is Θ(n) (doorway scans; first-touch "
+             "misses amortized over the sessions)");
+  rec.expect(tfr_n16 >= tfr_n2 + 10.0 && bakery_n16 >= bakery_n2 + 10.0,
+             "under contention every algorithm here pays Θ(n) RMR per "
+             "entry — the §4 local-spinning open problem, measured");
+  rec.expect(contended_rmr <= 200,
+             "contended consensus total RMR stays small");
 
-  bench::metric("E15.tfr.solo.rmr_per_entry.n2", tfr_solo_2);
-  bench::metric("E15.tfr.solo.rmr_per_entry.n128", tfr_solo_128);
-  bench::metric("E15.bakery.solo.rmr_per_entry.n2", bakery_solo_2);
-  bench::metric("E15.bakery.solo.rmr_per_entry.n128", bakery_solo_128);
-  bench::metric("E15.consensus.solo.rmr",
-                static_cast<double>(solo.steps[0]));
-  bench::metric("E15.consensus.contended.rmr",
-                static_cast<double>(contended_rmr));
-  return bench::finish();
+  rec.metric("tfr.solo.rmr_per_entry.n2", tfr_solo_2);
+  rec.metric("tfr.solo.rmr_per_entry.n128", tfr_solo_128);
+  rec.metric("bakery.solo.rmr_per_entry.n2", bakery_solo_2);
+  rec.metric("bakery.solo.rmr_per_entry.n128", bakery_solo_128);
+  rec.metric("consensus.solo.rmr", static_cast<double>(solo.steps[0]));
+  rec.metric("consensus.contended.rmr", static_cast<double>(contended_rmr));
 }

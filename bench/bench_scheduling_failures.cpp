@@ -59,11 +59,10 @@ Run run_quantum(int n, sim::Duration quantum, sim::Time confiscate_until,
 
 }  // namespace
 
-int main() {
-  Section section(std::cout, "E17",
-                  "quantum scheduling and scheduling failures (§4): "
-                  "Algorithm 1 with delay(n*quantum)");
-
+TFR_BENCH_EXPERIMENT(E17, "section 4 (scheduling failures)",
+                     bench::Tier::kSmoke,
+                     "quantum scheduling and scheduling failures (§4): "
+                     "Algorithm 1 with delay(n*quantum)") {
   Table clean("no scheduling failures (n = 4, delta_q = 4*quantum)");
   clean.header({"quantum", "decide time / delta_q", "within 15?"});
   bool all_within = true;
@@ -76,10 +75,10 @@ int main() {
                Table::fmt(normalized, 2),
                normalized <= 15.0 ? "yes" : "NO"});
   }
-  clean.print(std::cout);
-  bench::expect(all_within,
-                "decisions within 15 * delta_q at every quantum size "
-                "(the timing-failure bound carries over verbatim)");
+  clean.print(rec.out());
+  rec.expect(all_within,
+             "decisions within 15 * delta_q at every quantum size "
+             "(the timing-failure bound carries over verbatim)");
 
   Table burst("scheduling-failure burst: process 0's quanta confiscated "
               "until T (n = 4, quantum = 16, delta_q = 64)");
@@ -99,12 +98,12 @@ int main() {
                Table::fmt(static_cast<unsigned long long>(r.postponements)),
                Table::fmt(normalized, 2)});
   }
-  burst.print(std::cout);
-  bench::expect(all_safe_and_decided,
-                "confiscation bursts never corrupt the outcome and "
-                "decisions arrive once the scheduler behaves");
-  bench::expect(worst_overrun <= 16.0,
-                "post-burst convergence stays within the usual bound "
-                "(decide time tracks the burst length plus <= 16 delta_q)");
-  return bench::finish();
+  burst.print(rec.out());
+  rec.metric("postburst.overrun.worst", worst_overrun, "delta_q");
+  rec.expect(all_safe_and_decided,
+             "confiscation bursts never corrupt the outcome and "
+             "decisions arrive once the scheduler behaves");
+  rec.expect(worst_overrun <= 16.0,
+             "post-burst convergence stays within the usual bound "
+             "(decide time tracks the burst length plus <= 16 delta_q)");
 }

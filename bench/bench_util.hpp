@@ -1,19 +1,28 @@
-// Shared scaffolding for the experiment harnesses (E1-E11).
+// Shared scaffolding for the experiment harnesses (E1-E18).
 //
-// Each bench binary reproduces one claim of the paper's evaluation
-// (DESIGN.md §3 maps claims to binaries) and prints:
-//   * an aligned table with the measured series, and
-//   * one or more EXPECT lines — machine-greppable shape checks in the
-//     form "EXPECT <description>: PASS|FAIL" that encode what the paper
-//     predicts (who wins, by what factor, where the bound lies).
-// EXPERIMENTS.md records paper-vs-measured for every table printed here.
+// Each experiment reproduces one claim of the paper's evaluation
+// (DESIGN.md §3 maps claims to experiments) and registers itself with
+// the benchkit registry via TFR_BENCH_EXPERIMENT; the `tfr_bench` driver
+// runs the selected tier in parallel workers, prints the aligned tables
+// plus the machine-greppable "EXPECT …: PASS|FAIL" / "METRIC <name> =
+// <value>[ <unit>]" lines, and emits the structured BENCH_*.json report
+// (docs/BENCHMARKS.md documents the schema and workflows).
+//
+// Expect/metric state lives in the per-experiment benchkit::Recorder the
+// registry passes to every run function (`rec` inside the macro body) —
+// there is no process-global failure counter, so experiments are free to
+// run concurrently in one process (and do run concurrently as forked
+// workers).  EXPERIMENTS.md records paper-vs-measured for every table;
+// its metric blocks are generated from bench/baseline.json by
+// scripts/gen_experiments.py.
 
 #pragma once
 
-#include <cstdio>
-#include <iostream>
+#include <cstdint>
 #include <string>
 
+#include "tfr/benchkit/recorder.hpp"
+#include "tfr/benchkit/registry.hpp"
 #include "tfr/common/stats.hpp"
 #include "tfr/common/table.hpp"
 #include "tfr/obs/metrics.hpp"
@@ -21,53 +30,32 @@
 
 namespace tfr::bench {
 
-inline int g_failures = 0;
+using benchkit::Recorder;
+using benchkit::Tier;
 
-/// Prints a shape check; tracks failures for the process exit code.
-inline void expect(bool ok, const std::string& what) {
-  std::cout << "EXPECT " << what << ": " << (ok ? "PASS" : "FAIL") << "\n";
-  if (!ok) ++g_failures;
-}
-
-/// Exit code for main(): 0 iff every expect() passed.
-inline int finish() {
-  if (g_failures > 0)
-    std::cout << "\n" << g_failures << " expectation(s) FAILED\n";
-  return g_failures == 0 ? 0 : 1;
-}
-
-/// Machine-readable metric line, greppable like the EXPECT lines:
-/// "METRIC <name> = <value>[ <unit>]".  Every bench reports its headline
-/// quantities through this so runs can be scraped into dashboards.
-inline void metric(const std::string& name, double value,
-                   const std::string& unit = std::string()) {
-  std::cout << "METRIC " << name << " = " << Table::fmt(value, 4);
-  if (!unit.empty()) std::cout << " " << unit;
-  std::cout << "\n";
-}
-
-/// Reports the standard derived quantities of a recorded trace under
+/// Records the standard derived quantities of a recorded trace under
 /// `prefix` (fast-path hit rate, per-run RMR, convergence after failures
-/// in Δ units when `delta` > 0).
-inline void trace_metrics(const std::string& prefix,
+/// in Δ units when `delta` > 0).  Metric names are experiment-relative;
+/// the report qualifies them with the experiment id.
+inline void trace_metrics(Recorder& rec, const std::string& prefix,
                           const obs::TraceMetrics& m,
                           std::int64_t delta = 0) {
-  metric(prefix + ".accesses", static_cast<double>(m.reads + m.writes));
-  metric(prefix + ".rmr", static_cast<double>(m.rmr));
-  metric(prefix + ".delays", static_cast<double>(m.delays));
+  rec.metric(prefix + ".accesses", static_cast<double>(m.reads + m.writes));
+  rec.metric(prefix + ".rmr", static_cast<double>(m.rmr));
+  rec.metric(prefix + ".delays", static_cast<double>(m.delays));
   if (m.decides > 0) {
-    metric(prefix + ".decides", static_cast<double>(m.decides));
-    metric(prefix + ".fast_path_hit_rate", m.fast_path_hit_rate());
-    metric(prefix + ".max_round", static_cast<double>(m.max_round));
+    rec.metric(prefix + ".decides", static_cast<double>(m.decides));
+    rec.metric(prefix + ".fast_path_hit_rate", m.fast_path_hit_rate());
+    rec.metric(prefix + ".max_round", static_cast<double>(m.max_round));
   }
   if (m.timing_failures > 0)
-    metric(prefix + ".timing_failures",
-           static_cast<double>(m.timing_failures));
+    rec.metric(prefix + ".timing_failures",
+               static_cast<double>(m.timing_failures));
   if (m.violations > 0)
-    metric(prefix + ".violations", static_cast<double>(m.violations));
+    rec.metric(prefix + ".violations", static_cast<double>(m.violations));
   if (delta > 0 && m.timing_failures > 0 && m.last_decision >= 0)
-    metric(prefix + ".convergence_after_failures",
-           m.convergence_after_failures_in_delta(delta), "delta");
+    rec.metric(prefix + ".convergence_after_failures",
+               m.convergence_after_failures_in_delta(delta), "delta");
 }
 
 /// Formats a Samples summary as "mean (min..max)" in the given unit.

@@ -32,11 +32,9 @@ std::vector<int> split_inputs(std::size_t n) {
 }
 }  // namespace
 
-int main() {
-  Section section(std::cout, "E5",
-                  "known-bound Algorithm 1 vs unknown-bound baseline "
-                  "(estimate doubling, after [3])");
-
+TFR_BENCH_EXPERIMENT(E5, "section 1.5", bench::Tier::kSmoke,
+                     "known-bound Algorithm 1 vs unknown-bound baseline "
+                     "(estimate doubling, after [3])") {
   Table table;
   table.header({"true bound beta", "algorithm", "decide time / beta",
                 "rounds (mean)", "rounds (max)"});
@@ -44,6 +42,8 @@ int main() {
   bool known_flat = true;
   bool unknown_more_rounds_somewhere = false;
   double known_worst = 0;
+  double known_rounds_largest_beta = 0;
+  double unknown_rounds_largest_beta = 0;
 
   for (const sim::Duration beta : {64, 256, 1024, 4096}) {
     Samples known_time, unknown_time, known_rounds, unknown_rounds;
@@ -63,6 +63,8 @@ int main() {
                            known_time.max() / static_cast<double>(beta));
     if (unknown_rounds.mean() > known_rounds.mean())
       unknown_more_rounds_somewhere = true;
+    known_rounds_largest_beta = known_rounds.mean();
+    unknown_rounds_largest_beta = unknown_rounds.mean();
 
     table.row({Table::fmt(static_cast<long long>(beta)), "known-bound",
                bench::summarize(known_time, static_cast<double>(beta)),
@@ -73,15 +75,18 @@ int main() {
                Table::fmt(unknown_rounds.mean(), 2),
                Table::fmt(unknown_rounds.max(), 0)});
   }
-  table.print(std::cout);
+  table.print(rec.out());
 
-  bench::expect(known_flat,
-                "known-bound algorithm always decides within two rounds");
-  bench::expect(known_worst <= 15.0,
-                "known-bound normalized decision time <= 15 (measured " +
-                    Table::fmt(known_worst) + ")");
-  bench::expect(unknown_more_rounds_somewhere,
-                "unknown-bound algorithm uses more rounds on average for "
-                "some true bound");
-  return bench::finish();
+  rec.metric("known.normalized_time.worst", known_worst, "beta");
+  rec.metric("known.rounds.mean_at_largest_beta", known_rounds_largest_beta);
+  rec.metric("unknown.rounds.mean_at_largest_beta",
+             unknown_rounds_largest_beta);
+  rec.expect(known_flat,
+             "known-bound algorithm always decides within two rounds");
+  rec.expect(known_worst <= 15.0,
+             "known-bound normalized decision time <= 15 (measured " +
+                 Table::fmt(known_worst) + ")");
+  rec.expect(unknown_more_rounds_somewhere,
+             "unknown-bound algorithm uses more rounds on average for "
+             "some true bound");
 }

@@ -1,0 +1,223 @@
+// tfr_bench — the unified experiment driver (DESIGN.md §3, docs/BENCHMARKS.md).
+//
+// Runs the registered experiments (E1-E18, one per paper claim) in
+// parallel worker processes, prints the classic paper-style tables and
+// EXPECT lines in id order, emits a structured BENCH_<timestamp>.json
+// report, and optionally gates the run against a committed baseline.
+//
+//   tfr_bench --tier smoke --jobs 2                 # fast CI gate
+//   tfr_bench --tier full --json bench/baseline.json  # refresh baseline
+//   tfr_bench --only E6,E7 --baseline bench/baseline.json
+//
+// Exit codes: 0 ok; 1 EXPECT failure or crashed worker; 2 baseline
+// regression; 3 usage error.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tfr/benchkit/baseline.hpp"
+#include "tfr/benchkit/registry.hpp"
+#include "tfr/benchkit/runner.hpp"
+#include "tfr/common/table.hpp"
+
+using namespace tfr;
+using benchkit::Tier;
+
+namespace {
+
+struct Options {
+  Tier tier = Tier::kFull;
+  std::vector<std::string> only;
+  int jobs = 2;
+  bool emit_json = true;
+  std::string json_path;  ///< Empty = BENCH_<timestamp>.json in the cwd.
+  std::string baseline_path;
+  bool list = false;
+};
+
+void usage(std::ostream& os) {
+  os << "usage: tfr_bench [options]\n"
+        "  --list              print the experiment catalog and exit\n"
+        "  --tier smoke|full   tier to run (default full = everything)\n"
+        "  --only E1,E7,...    run exactly these experiments\n"
+        "  --jobs N            parallel worker processes (default 2)\n"
+        "  --json PATH         report path (default BENCH_<timestamp>.json)\n"
+        "  --no-json           skip the JSON report\n"
+        "  --baseline PATH     diff metrics against PATH; exit 2 on "
+        "regression\n";
+}
+
+std::vector<std::string> split_commas(const std::string& arg) {
+  std::vector<std::string> out;
+  std::stringstream stream(arg);
+  std::string token;
+  while (std::getline(stream, token, ','))
+    if (!token.empty()) out.push_back(token);
+  return out;
+}
+
+bool parse_args(int argc, char** argv, Options& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "tfr_bench: " << arg << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      options.list = true;
+    } else if (arg == "--tier") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      const std::string tier = v;
+      if (tier == "smoke") {
+        options.tier = Tier::kSmoke;
+      } else if (tier == "full") {
+        options.tier = Tier::kFull;
+      } else {
+        std::cerr << "tfr_bench: unknown tier '" << tier << "'\n";
+        return false;
+      }
+    } else if (arg == "--only") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options.only = split_commas(v);
+    } else if (arg == "--jobs") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options.jobs = std::max(1, std::atoi(v));
+    } else if (arg == "--json") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options.json_path = v;
+      options.emit_json = true;
+    } else if (arg == "--no-json") {
+      options.emit_json = false;
+    } else if (arg == "--baseline") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options.baseline_path = v;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      std::exit(0);
+    } else {
+      std::cerr << "tfr_bench: unknown option '" << arg << "'\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string default_json_path() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[40];
+  std::strftime(buf, sizeof buf, "BENCH_%Y%m%dT%H%M%SZ.json", &tm);
+  return buf;
+}
+
+std::vector<const benchkit::Experiment*> select(const Options& options,
+                                                bool& ok) {
+  ok = true;
+  auto& registry = benchkit::Registry::instance();
+  if (options.only.empty()) return registry.select(options.tier);
+  std::vector<const benchkit::Experiment*> out;
+  for (const std::string& id : options.only) {
+    const benchkit::Experiment* experiment = registry.find(id);
+    if (experiment == nullptr) {
+      std::cerr << "tfr_bench: unknown experiment '" << id
+                << "' (see --list)\n";
+      ok = false;
+      return {};
+    }
+    out.push_back(experiment);
+  }
+  return out;
+}
+
+void print_catalog() {
+  Table table("experiment catalog");
+  table.header({"id", "tier", "claim", "title"});
+  for (const benchkit::Experiment* experiment :
+       benchkit::Registry::instance().all())
+    table.row({experiment->id, benchkit::tier_name(experiment->tier),
+               experiment->claim, experiment->title});
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!parse_args(argc, argv, options)) {
+    usage(std::cerr);
+    return 3;
+  }
+  if (options.list) {
+    print_catalog();
+    return 0;
+  }
+
+  bool selection_ok = false;
+  const auto experiments = select(options, selection_ok);
+  if (!selection_ok) return 3;
+  if (experiments.empty()) {
+    std::cerr << "tfr_bench: no experiments selected\n";
+    return 3;
+  }
+
+  const auto outcomes = benchkit::run_parallel(experiments, options.jobs);
+  benchkit::print_outcomes(std::cout, outcomes);
+
+  int total_failures = 0;
+  bool all_completed = true;
+  for (const auto& outcome : outcomes) {
+    total_failures += outcome.failures();
+    all_completed &= outcome.completed;
+  }
+
+  const std::string tier_label =
+      options.only.empty() ? benchkit::tier_name(options.tier) : "custom";
+  const benchkit::Json report =
+      benchkit::make_report(outcomes, tier_label);
+  if (options.emit_json) {
+    const std::string path = options.json_path.empty() ? default_json_path()
+                                                       : options.json_path;
+    try {
+      benchkit::save_json_file(path, report);
+      std::cout << "\nwrote " << path << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << "tfr_bench: " << e.what() << "\n";
+      return 3;
+    }
+  }
+
+  bool regression = false;
+  if (!options.baseline_path.empty()) {
+    try {
+      const benchkit::Json baseline =
+          benchkit::load_json_file(options.baseline_path);
+      const auto diff = benchkit::diff_reports(
+          baseline, report, benchkit::tolerance_rules(baseline));
+      std::cout << "\n";
+      benchkit::print_diff(std::cout, diff);
+      regression = !diff.ok();
+    } catch (const std::exception& e) {
+      std::cerr << "tfr_bench: " << e.what() << "\n";
+      return 3;
+    }
+  }
+
+  if (total_failures > 0 || !all_completed) return 1;
+  if (regression) return 2;
+  return 0;
+}

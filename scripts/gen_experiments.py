@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Regenerate the per-experiment result blocks of EXPERIMENTS.md.
+
+Reads a BENCH_*.json report (normally the committed bench/baseline.json)
+and rewrites every marker-delimited block
+
+    <!-- BEGIN GENERATED: E1 -->
+    ...
+    <!-- END GENERATED: E1 -->
+
+with that experiment's claim, tier, headline metrics and check verdicts.
+Text outside the markers is never touched, so the hand-written rationale
+around each experiment lives alongside machine-maintained numbers.
+
+Usage:
+    python3 scripts/gen_experiments.py                 # rewrite in place
+    python3 scripts/gen_experiments.py --check         # exit 1 on drift
+    python3 scripts/gen_experiments.py --json R.json --doc DOC.md
+
+The emitter is deterministic: the same JSON always produces the same
+bytes, which is what the CI drift check (and the round-trip test in
+tests/gen_experiments_test.py) relies on.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+BEGIN = "<!-- BEGIN GENERATED: {id} -->"
+END = "<!-- END GENERATED: {id} -->"
+
+
+def fmt_value(value):
+    """Match the C++ emitter: integral values print as integers, the rest
+    with up to 10 significant digits."""
+    if isinstance(value, (int,)) and not isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return "%.10g" % value
+
+
+def render_block(experiment):
+    lines = []
+    claim = experiment.get("claim", "")
+    tier = experiment.get("tier", "")
+    wall = experiment.get("wall_ms")
+    header = f"**Claim:** {claim} · **Tier:** {tier}"
+    if wall is not None:
+        header += f" · **Wall:** {fmt_value(round(wall))} ms"
+    lines.append(header)
+    lines.append("")
+
+    metrics = experiment.get("metrics", [])
+    if metrics:
+        lines.append("| metric | value | unit |")
+        lines.append("|---|---:|---|")
+        for metric in metrics:
+            unit = metric.get("unit", "")
+            lines.append(
+                f"| `{metric['name']}` | {fmt_value(metric['value'])} "
+                f"| {unit} |"
+            )
+        lines.append("")
+
+    expects = experiment.get("expects", [])
+    passed = sum(1 for e in expects if e.get("pass"))
+    if expects:
+        verdict = "pass" if passed == len(expects) else "**FAIL**"
+        lines.append(f"Checks: {passed}/{len(expects)} {verdict}.")
+    return "\n".join(lines)
+
+
+def regenerate(doc_text, report):
+    """Returns (new_text, replaced_ids, missing_ids)."""
+    replaced, missing = [], []
+    text = doc_text
+    for experiment in report.get("experiments", []):
+        exp_id = experiment["id"]
+        begin = BEGIN.format(id=exp_id)
+        end = END.format(id=exp_id)
+        pattern = re.compile(
+            re.escape(begin) + r".*?" + re.escape(end), re.DOTALL
+        )
+        if not pattern.search(text):
+            missing.append(exp_id)
+            continue
+        block = begin + "\n" + render_block(experiment) + "\n" + end
+        text = pattern.sub(lambda _m: block, text, count=1)
+        replaced.append(exp_id)
+    return text, replaced, missing
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", default="bench/baseline.json",
+                        help="BENCH report to render (default: %(default)s)")
+    parser.add_argument("--doc", default="EXPERIMENTS.md",
+                        help="document to rewrite (default: %(default)s)")
+    parser.add_argument("--check", action="store_true",
+                        help="verify the doc is up to date; write nothing")
+    args = parser.parse_args()
+
+    with open(args.json, encoding="utf-8") as f:
+        report = json.load(f)
+    with open(args.doc, encoding="utf-8") as f:
+        doc_text = f.read()
+
+    new_text, replaced, missing = regenerate(doc_text, report)
+
+    if missing:
+        for exp_id in missing:
+            print(f"error: {args.doc} has no marker block for {exp_id} "
+                  f"(add '{BEGIN.format(id=exp_id)}' ... "
+                  f"'{END.format(id=exp_id)}')", file=sys.stderr)
+        return 1
+
+    if args.check:
+        if new_text != doc_text:
+            print(f"error: {args.doc} is stale — rerun "
+                  f"'python3 scripts/gen_experiments.py' and commit",
+                  file=sys.stderr)
+            return 1
+        print(f"{args.doc}: up to date ({len(replaced)} generated blocks)")
+        return 0
+
+    if new_text != doc_text:
+        with open(args.doc, "w", encoding="utf-8") as f:
+            f.write(new_text)
+        print(f"{args.doc}: rewrote {len(replaced)} generated blocks")
+    else:
+        print(f"{args.doc}: already up to date ({len(replaced)} blocks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,170 @@
+#include "tfr/benchkit/baseline.hpp"
+
+#include <cmath>
+#include <map>
+
+namespace tfr::benchkit {
+
+namespace {
+
+/// Flattens one report's experiments into "<id>.<metric>" -> value,
+/// remembering which experiments the report ran (for the missing-metric
+/// rule, which only applies to experiments present in both documents).
+struct Flat {
+  std::map<std::string, double> metrics;  // ordered for stable diffs
+  std::vector<std::string> experiment_ids;
+};
+
+Flat flatten(const Json& doc) {
+  Flat flat;
+  const Json* experiments = doc.find("experiments");
+  if (experiments == nullptr || !experiments->is_array()) return flat;
+  for (const Json& experiment : experiments->items()) {
+    const Json* id = experiment.find("id");
+    const Json* metrics = experiment.find("metrics");
+    if (id == nullptr || !id->is_string()) continue;
+    flat.experiment_ids.push_back(id->str());
+    if (metrics == nullptr || !metrics->is_array()) continue;
+    for (const Json& metric : metrics->items()) {
+      const Json* name = metric.find("name");
+      const Json* value = metric.find("value");
+      if (name == nullptr || !name->is_string() || value == nullptr ||
+          !value->is_number())
+        continue;
+      flat.metrics[id->str() + "." + name->str()] = value->number_or(0);
+    }
+  }
+  return flat;
+}
+
+bool has_id(const Flat& flat, const std::string& id) {
+  for (const std::string& have : flat.experiment_ids)
+    if (have == id) return true;
+  return false;
+}
+
+std::string id_of(const std::string& key) {
+  return key.substr(0, key.find('.'));
+}
+
+}  // namespace
+
+const char* diff_verdict_name(DiffVerdict verdict) {
+  switch (verdict) {
+    case DiffVerdict::kPass: return "pass";
+    case DiffVerdict::kWarn: return "WARN";
+    case DiffVerdict::kFail: return "FAIL";
+    case DiffVerdict::kMissing: return "MISSING";
+    case DiffVerdict::kNew: return "new";
+    case DiffVerdict::kUngated: return "ungated";
+  }
+  return "?";
+}
+
+bool glob_match(const std::string& pattern, const std::string& text) {
+  // Iterative star-backtracking matcher.
+  std::size_t p = 0, t = 0;
+  std::size_t star = std::string::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      star_t = t;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+std::vector<ToleranceRule> default_tolerance_rules() {
+  return {
+      // Wall-clock throughput depends on the host; track, never gate.
+      {"*.exec_per_sec", {0.0, 0.0, false}},
+      // Simulator metrics are deterministic in virtual time; 5% headroom
+      // absorbs intentional small reworkings without masking regressions.
+      {"*", {0.05, 1e-9, true}},
+  };
+}
+
+std::vector<ToleranceRule> tolerance_rules(const Json& baseline_doc) {
+  std::vector<ToleranceRule> rules;
+  const Json* doc_rules = baseline_doc.find("tolerances");
+  if (doc_rules != nullptr && doc_rules->is_array()) {
+    for (const Json& rule : doc_rules->items()) {
+      const Json* pattern = rule.find("pattern");
+      if (pattern == nullptr || !pattern->is_string()) continue;
+      Tolerance tolerance;
+      if (const Json* rel = rule.find("rel")) tolerance.rel = rel->number_or(tolerance.rel);
+      if (const Json* abs = rule.find("abs")) tolerance.abs = abs->number_or(tolerance.abs);
+      if (const Json* gate = rule.find("gate")) tolerance.gate = gate->bool_or(true);
+      rules.push_back({pattern->str(), tolerance});
+    }
+  }
+  for (ToleranceRule& rule : default_tolerance_rules())
+    rules.push_back(std::move(rule));
+  return rules;
+}
+
+Tolerance tolerance_for(const std::vector<ToleranceRule>& rules,
+                        const std::string& key) {
+  for (const ToleranceRule& rule : rules)
+    if (glob_match(rule.pattern, key)) return rule.tolerance;
+  return Tolerance{};
+}
+
+DiffReport diff_reports(const Json& baseline_doc, const Json& current_doc,
+                        const std::vector<ToleranceRule>& rules) {
+  const Flat base = flatten(baseline_doc);
+  const Flat current = flatten(current_doc);
+  DiffReport report;
+
+  for (const auto& [key, base_value] : base.metrics) {
+    if (!has_id(current, id_of(key)))
+      continue;  // experiment not run this time (e.g. smoke vs full tier)
+    const Tolerance tolerance = tolerance_for(rules, key);
+    DiffEntry entry;
+    entry.key = key;
+    entry.base = base_value;
+    entry.allowed = tolerance.abs + tolerance.rel * std::abs(base_value);
+    const auto found = current.metrics.find(key);
+    if (found == current.metrics.end()) {
+      entry.verdict = DiffVerdict::kMissing;
+      ++report.failures;
+    } else {
+      entry.current = found->second;
+      const double drift = std::abs(entry.current - entry.base);
+      if (!tolerance.gate) {
+        entry.verdict = DiffVerdict::kUngated;
+      } else if (drift <= entry.allowed) {
+        entry.verdict = DiffVerdict::kPass;
+      } else if (drift <= 2 * entry.allowed) {
+        entry.verdict = DiffVerdict::kWarn;
+        ++report.warnings;
+      } else {
+        entry.verdict = DiffVerdict::kFail;
+        ++report.failures;
+      }
+    }
+    report.entries.push_back(std::move(entry));
+  }
+
+  for (const auto& [key, value] : current.metrics) {
+    if (base.metrics.count(key) != 0 || !has_id(base, id_of(key))) continue;
+    DiffEntry entry;
+    entry.key = key;
+    entry.current = value;
+    entry.verdict = DiffVerdict::kNew;
+    report.entries.push_back(std::move(entry));
+  }
+  return report;
+}
+
+}  // namespace tfr::benchkit

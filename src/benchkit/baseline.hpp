@@ -1,0 +1,88 @@
+// Baseline regression gating: diff the metrics of a fresh BENCH_*.json
+// run against a committed baseline (bench/baseline.json) under
+// per-metric tolerance bands, so every paper claim is a tracked time
+// series and CI fails when a headline quantity drifts.
+//
+// Tolerance model — first matching rule wins, keyed on the fully
+// qualified metric name "<experiment id>.<metric>":
+//   * |current - base| <= abs + rel * |base|        -> pass
+//   * |current - base| <= 2 * (abs + rel * |base|)  -> warn (reported,
+//     not fatal: the band's grey zone)
+//   * otherwise                                      -> fail
+//   * rule with gate=false                           -> reported only
+// A metric present in the baseline but absent from the current run of
+// the same experiment is a fail (lost coverage); new metrics and
+// experiments absent from the baseline are informational.
+//
+// Rules come from the baseline document's "tolerances" array (emitted
+// with every report, hand-tunable) with built-in defaults appended, so a
+// freshly regenerated baseline gates sensibly out of the box.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tfr/benchkit/json.hpp"
+
+namespace tfr::benchkit {
+
+struct Tolerance {
+  double rel = 0.05;
+  double abs = 1e-9;
+  bool gate = true;
+};
+
+struct ToleranceRule {
+  std::string pattern;  ///< Glob over "<id>.<metric>": '*' any run, '?' one char.
+  Tolerance tolerance;
+};
+
+enum class DiffVerdict {
+  kPass,
+  kWarn,      ///< Within twice the band — reported, not fatal.
+  kFail,      ///< Outside twice the band.
+  kMissing,   ///< In the baseline, absent from the current run: fatal.
+  kNew,       ///< Not in the baseline: informational.
+  kUngated,   ///< Matched a gate=false rule: informational.
+};
+
+const char* diff_verdict_name(DiffVerdict verdict);
+
+struct DiffEntry {
+  std::string key;  ///< "<experiment id>.<metric name>".
+  double base = 0;
+  double current = 0;
+  double allowed = 0;  ///< The band half-width (abs + rel * |base|).
+  DiffVerdict verdict = DiffVerdict::kPass;
+};
+
+struct DiffReport {
+  std::vector<DiffEntry> entries;
+  int failures = 0;
+  int warnings = 0;
+  bool ok() const { return failures == 0; }
+};
+
+/// '*' / '?' glob match, anchored at both ends.
+bool glob_match(const std::string& pattern, const std::string& text);
+
+/// Built-in rules appended after any document-supplied ones: throughput
+/// metrics (*.exec_per_sec) are ungated, everything else gets the default
+/// Tolerance band.
+std::vector<ToleranceRule> default_tolerance_rules();
+
+/// Document rules ("tolerances" array) followed by the defaults.
+std::vector<ToleranceRule> tolerance_rules(const Json& baseline_doc);
+
+/// First matching rule's tolerance (the rule list always matches: the
+/// defaults end with a "*" rule).
+Tolerance tolerance_for(const std::vector<ToleranceRule>& rules,
+                        const std::string& key);
+
+/// Diffs every experiment of `current_doc` that also exists in
+/// `baseline_doc`.  Both documents use the BENCH_*.json schema.
+DiffReport diff_reports(const Json& baseline_doc, const Json& current_doc,
+                        const std::vector<ToleranceRule>& rules);
+
+}  // namespace tfr::benchkit

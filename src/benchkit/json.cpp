@@ -1,0 +1,342 @@
+#include "tfr/benchkit/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tfr::benchkit {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, std::size_t offset) {
+  throw std::runtime_error("json: " + what + " at offset " +
+                           std::to_string(offset));
+}
+
+/// Numbers print as integers when they are integral and exactly
+/// representable, otherwise with up to 10 significant digits — enough for
+/// every metric the harness records while staying byte-stable.
+std::string format_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  if (v == std::floor(v) && std::abs(v) < 9.0e15)
+    return std::to_string(static_cast<long long>(v));
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_utf8(std::string& out, unsigned code) {
+  if (code < 0x80) {
+    out += static_cast<char>(code);
+  } else if (code < 0x800) {
+    out += static_cast<char>(0xC0 | (code >> 6));
+    out += static_cast<char>(0x80 | (code & 0x3F));
+  } else {
+    out += static_cast<char>(0xE0 | (code >> 12));
+    out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (code & 0x3F));
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters", pos_);
+    return value;
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input", pos_);
+    return text_[pos_];
+  }
+
+  void expect_literal(const char* lit) {
+    for (const char* p = lit; *p; ++p, ++pos_) {
+      if (pos_ >= text_.size() || text_[pos_] != *p)
+        fail(std::string("expected '") + lit + "'", pos_);
+    }
+  }
+
+  Json parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case 'n': expect_literal("null"); return Json();
+      case 't': expect_literal("true"); return Json(true);
+      case 'f': expect_literal("false"); return Json(false);
+      case '"': return Json(parse_string());
+      case '[': return parse_array();
+      case '{': return parse_object();
+      default: return parse_number();
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t begin = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == begin) fail("expected a value", pos_);
+    const std::string token = text_.substr(begin, pos_ - begin);
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') fail("malformed number", begin);
+    return Json(v);
+  }
+
+  std::string parse_string() {
+    ++pos_;  // opening quote
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string", pos_);
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("dangling escape", pos_);
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape", pos_);
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("malformed \\u escape", pos_);
+          }
+          append_utf8(out, code);  // BMP only; ample for harness output
+          break;
+        }
+        default: fail("unknown escape", pos_);
+      }
+    }
+  }
+
+  Json parse_array() {
+    ++pos_;  // '['
+    Json out = Json::array();
+    skip_ws();
+    if (peek() == ']') { ++pos_; return out; }
+    for (;;) {
+      out.push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return out;
+      if (c != ',') fail("expected ',' or ']'", pos_ - 1);
+    }
+  }
+
+  Json parse_object() {
+    ++pos_;  // '{'
+    Json out = Json::object();
+    skip_ws();
+    if (peek() == '}') { ++pos_; return out; }
+    for (;;) {
+      skip_ws();
+      if (peek() != '"') fail("expected a member key", pos_);
+      std::string key = parse_string();
+      skip_ws();
+      if (peek() != ':') fail("expected ':'", pos_);
+      ++pos_;
+      out.set(key, parse_value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return out;
+      if (c != ',') fail("expected ',' or '}'", pos_ - 1);
+    }
+  }
+};
+
+void dump_value(const Json& v, std::string& out, int depth) {
+  const std::string pad(2 * static_cast<std::size_t>(depth), ' ');
+  const std::string inner_pad(2 * static_cast<std::size_t>(depth + 1), ' ');
+  switch (v.type()) {
+    case Json::Type::kNull: out += "null"; break;
+    case Json::Type::kBool: out += v.bool_or(false) ? "true" : "false"; break;
+    case Json::Type::kNumber: out += format_number(v.number_or(0)); break;
+    case Json::Type::kString: append_escaped(out, v.str()); break;
+    case Json::Type::kArray: {
+      if (v.items().empty()) { out += "[]"; break; }
+      out += "[\n";
+      for (std::size_t i = 0; i < v.items().size(); ++i) {
+        out += inner_pad;
+        dump_value(v.items()[i], out, depth + 1);
+        if (i + 1 < v.items().size()) out += ',';
+        out += '\n';
+      }
+      out += pad + "]";
+      break;
+    }
+    case Json::Type::kObject: {
+      if (v.members().empty()) { out += "{}"; break; }
+      out += "{\n";
+      for (std::size_t i = 0; i < v.members().size(); ++i) {
+        out += inner_pad;
+        append_escaped(out, v.members()[i].first);
+        out += ": ";
+        dump_value(v.members()[i].second, out, depth + 1);
+        if (i + 1 < v.members().size()) out += ',';
+        out += '\n';
+      }
+      out += pad + "}";
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+bool Json::bool_or(bool fallback) const {
+  const bool* b = std::get_if<bool>(&value_);
+  return b != nullptr ? *b : fallback;
+}
+
+double Json::number_or(double fallback) const {
+  const double* d = std::get_if<double>(&value_);
+  return d != nullptr ? *d : fallback;
+}
+
+std::string Json::string_or(const std::string& fallback) const {
+  const std::string* s = std::get_if<std::string>(&value_);
+  return s != nullptr ? *s : fallback;
+}
+
+const std::string& Json::str() const {
+  const std::string* s = std::get_if<std::string>(&value_);
+  if (s == nullptr) throw std::runtime_error("json: not a string");
+  return *s;
+}
+
+const Json::Array& Json::items() const {
+  const Array* a = std::get_if<Array>(&value_);
+  if (a == nullptr) throw std::runtime_error("json: not an array");
+  return *a;
+}
+
+const Json::Object& Json::members() const {
+  const Object* o = std::get_if<Object>(&value_);
+  if (o == nullptr) throw std::runtime_error("json: not an object");
+  return *o;
+}
+
+Json& Json::set(const std::string& key, Json value) {
+  Object* o = std::get_if<Object>(&value_);
+  if (o == nullptr) throw std::runtime_error("json: not an object");
+  for (Member& member : *o) {
+    if (member.first == key) {
+      member.second = std::move(value);
+      return *this;
+    }
+  }
+  o->emplace_back(key, std::move(value));
+  return *this;
+}
+
+const Json* Json::find(const std::string& key) const {
+  const Object* o = std::get_if<Object>(&value_);
+  if (o == nullptr) return nullptr;
+  for (const Member& member : *o)
+    if (member.first == key) return &member.second;
+  return nullptr;
+}
+
+Json& Json::push_back(Json value) {
+  Array* a = std::get_if<Array>(&value_);
+  if (a == nullptr) throw std::runtime_error("json: not an array");
+  a->push_back(std::move(value));
+  return *this;
+}
+
+std::size_t Json::size() const {
+  if (const Array* a = std::get_if<Array>(&value_)) return a->size();
+  if (const Object* o = std::get_if<Object>(&value_)) return o->size();
+  return 0;
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_value(*this, out, 0);
+  return out;
+}
+
+Json Json::parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+Json load_json_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("json: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    return Json::parse(buffer.str());
+  } catch (const std::exception& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
+void save_json_file(const std::string& path, const Json& value) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("json: cannot write " + path);
+  out << value.dump() << "\n";
+  if (!out) throw std::runtime_error("json: write failed for " + path);
+}
+
+}  // namespace tfr::benchkit

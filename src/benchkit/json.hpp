@@ -1,0 +1,90 @@
+// Minimal JSON value, parser and emitter for the experiment harness.
+//
+// Scope: exactly what the BENCH_*.json schema and the baseline-diff
+// machinery need — objects with stable (insertion) member order, arrays,
+// strings, numbers, booleans and null.  The emitter is byte-stable for a
+// given value (golden-file tests rely on this); the parser accepts any
+// standard JSON document produced by this emitter or by hand.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace tfr::benchkit {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<Json>;
+  using Member = std::pair<std::string, Json>;
+  /// Members keep insertion order so dumps are deterministic.
+  using Object = std::vector<Member>;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}  // NOLINT(google-explicit-constructor)
+  Json(bool b) : value_(b) {}                // NOLINT(google-explicit-constructor)
+  Json(double v) : value_(v) {}              // NOLINT(google-explicit-constructor)
+  Json(int v) : value_(static_cast<double>(v)) {}  // NOLINT(google-explicit-constructor)
+  Json(std::string s) : value_(std::move(s)) {}    // NOLINT(google-explicit-constructor)
+  Json(const char* s) : value_(std::string(s)) {}  // NOLINT(google-explicit-constructor)
+
+  static Json array() { return Json(Array{}); }
+  static Json object() { return Json(Object{}); }
+
+  Type type() const { return static_cast<Type>(value_.index()); }
+  bool is_null() const { return type() == Type::kNull; }
+  bool is_bool() const { return type() == Type::kBool; }
+  bool is_number() const { return type() == Type::kNumber; }
+  bool is_string() const { return type() == Type::kString; }
+  bool is_array() const { return type() == Type::kArray; }
+  bool is_object() const { return type() == Type::kObject; }
+
+  /// Value accessors with fallbacks; the strict str()/items()/members()
+  /// accessors throw std::runtime_error on a type mismatch.
+  bool bool_or(bool fallback) const;
+  double number_or(double fallback) const;
+  std::string string_or(const std::string& fallback) const;
+  const std::string& str() const;
+  const Array& items() const;
+  const Object& members() const;
+
+  /// Object: appends the member, or replaces the value if the key exists.
+  Json& set(const std::string& key, Json value);
+  /// Object: the member's value, or nullptr when absent (or not an object).
+  const Json* find(const std::string& key) const;
+
+  /// Array: appends an element.
+  Json& push_back(Json value);
+
+  /// Element / member count (0 for scalars).
+  std::size_t size() const;
+
+  /// Serializes with 2-space indentation and "key": value member layout.
+  /// No trailing newline; callers writing files append one.
+  std::string dump() const;
+
+  /// Parses a document.  Throws std::runtime_error with an offset on
+  /// malformed input.
+  static Json parse(const std::string& text);
+
+ private:
+  explicit Json(Array a) : value_(std::move(a)) {}
+  explicit Json(Object o) : value_(std::move(o)) {}
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
+      value_;
+};
+
+/// Reads a whole file and parses it.  Throws std::runtime_error (with the
+/// path in the message) when the file is unreadable or malformed.
+Json load_json_file(const std::string& path);
+
+/// Writes `value.dump()` plus a trailing newline.  Throws on I/O failure.
+void save_json_file(const std::string& path, const Json& value);
+
+}  // namespace tfr::benchkit

@@ -1,0 +1,51 @@
+#include "tfr/benchkit/recorder.hpp"
+
+#include <algorithm>
+
+#include "tfr/common/table.hpp"
+
+namespace tfr::benchkit {
+
+void Recorder::expect(bool ok, const std::string& what) {
+  expects_.push_back({what, ok});
+  text_ << "EXPECT " << what << ": " << (ok ? "PASS" : "FAIL") << "\n";
+}
+
+void Recorder::metric(const std::string& name, double value,
+                      const std::string& unit) {
+  metrics_.push_back({name, value, unit});
+  text_ << "METRIC " << name << " = " << Table::fmt(value, 4);
+  if (!unit.empty()) text_ << " " << unit;
+  text_ << "\n";
+}
+
+int Recorder::failures() const {
+  return static_cast<int>(
+      std::count_if(expects_.begin(), expects_.end(),
+                    [](const ExpectResult& e) { return !e.pass; }));
+}
+
+Json Recorder::to_json(bool include_text) const {
+  Json out = Json::object();
+  Json expects = Json::array();
+  for (const ExpectResult& e : expects_) {
+    Json entry = Json::object();
+    entry.set("what", e.what);
+    entry.set("pass", e.pass);
+    expects.push_back(std::move(entry));
+  }
+  out.set("expects", std::move(expects));
+  Json metrics = Json::array();
+  for (const MetricResult& m : metrics_) {
+    Json entry = Json::object();
+    entry.set("name", m.name);
+    entry.set("value", m.value);
+    if (!m.unit.empty()) entry.set("unit", m.unit);
+    metrics.push_back(std::move(entry));
+  }
+  out.set("metrics", std::move(metrics));
+  if (include_text) out.set("text", text());
+  return out;
+}
+
+}  // namespace tfr::benchkit

@@ -1,0 +1,64 @@
+// Per-experiment result recorder.
+//
+// Replaces the old bench_util.hpp mutable global (`g_failures`): every
+// EXPECT verdict and METRIC sample of one experiment lands in the
+// Recorder the registry hands to its run function, so experiments can run
+// concurrently (one Recorder per worker) and the driver can serialize the
+// structured results into BENCH_*.json instead of scraping stdout.
+//
+// The human-readable side is preserved: expect()/metric() still echo the
+// classic greppable "EXPECT …: PASS|FAIL" / "METRIC <name> = <value>"
+// lines, and out() gives the experiment body a stream for its
+// paper-style tables; the driver prints the captured text per experiment
+// in registry order.
+
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tfr/benchkit/json.hpp"
+
+namespace tfr::benchkit {
+
+struct ExpectResult {
+  std::string what;
+  bool pass = false;
+};
+
+struct MetricResult {
+  std::string name;  ///< Experiment-relative, e.g. "solo.rmr" (no "E15." prefix).
+  double value = 0;
+  std::string unit;  ///< Empty for dimensionless counts/ratios.
+};
+
+class Recorder {
+ public:
+  /// Records a shape check and echoes the EXPECT line.
+  void expect(bool ok, const std::string& what);
+
+  /// Records a headline quantity and echoes the METRIC line.
+  void metric(const std::string& name, double value,
+              const std::string& unit = std::string());
+
+  /// Stream for the experiment's paper-style tables and notes.
+  std::ostream& out() { return text_; }
+
+  int failures() const;
+  const std::vector<ExpectResult>& expects() const { return expects_; }
+  const std::vector<MetricResult>& metrics() const { return metrics_; }
+  /// Everything written to out() plus the echoed EXPECT/METRIC lines.
+  std::string text() const { return text_.str(); }
+
+  /// {"expects": [...], "metrics": [...]} (+ "text" when requested) — the
+  /// schema fragment embedded per experiment in BENCH_*.json.
+  Json to_json(bool include_text) const;
+
+ private:
+  std::ostringstream text_;
+  std::vector<ExpectResult> expects_;
+  std::vector<MetricResult> metrics_;
+};
+
+}  // namespace tfr::benchkit

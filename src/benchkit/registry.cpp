@@ -1,0 +1,74 @@
+#include "tfr/benchkit/registry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tfr::benchkit {
+
+namespace {
+
+/// Numeric suffix of "E<k>" ids for natural ordering; non-conforming ids
+/// sort after all E-ids, lexically.
+long id_rank(const std::string& id) {
+  if (id.size() < 2 || id[0] != 'E') return -1;
+  for (std::size_t i = 1; i < id.size(); ++i)
+    if (id[i] < '0' || id[i] > '9') return -1;
+  return std::strtol(id.c_str() + 1, nullptr, 10);
+}
+
+bool id_before(const std::string& a, const std::string& b) {
+  const long ra = id_rank(a);
+  const long rb = id_rank(b);
+  if (ra >= 0 && rb >= 0) return ra < rb;
+  if (ra >= 0) return true;
+  if (rb >= 0) return false;
+  return a < b;
+}
+
+}  // namespace
+
+const char* tier_name(Tier tier) {
+  return tier == Tier::kSmoke ? "smoke" : "full";
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::add(Experiment experiment) {
+  if (find(experiment.id) != nullptr) {
+    std::fprintf(stderr, "benchkit: duplicate experiment id %s\n",
+                 experiment.id.c_str());
+    std::abort();
+  }
+  experiments_.push_back(std::move(experiment));
+}
+
+const Experiment* Registry::find(const std::string& id) const {
+  for (const Experiment& e : experiments_)
+    if (e.id == id) return &e;
+  return nullptr;
+}
+
+std::vector<const Experiment*> Registry::select(Tier tier) const {
+  std::vector<const Experiment*> out;
+  for (const Experiment& e : experiments_)
+    if (tier == Tier::kFull || e.tier == Tier::kSmoke) out.push_back(&e);
+  std::sort(out.begin(), out.end(),
+            [](const Experiment* a, const Experiment* b) {
+              return id_before(a->id, b->id);
+            });
+  return out;
+}
+
+std::vector<const Experiment*> Registry::all() const {
+  return select(Tier::kFull);
+}
+
+Registrar::Registrar(Experiment experiment) {
+  Registry::instance().add(std::move(experiment));
+}
+
+}  // namespace tfr::benchkit

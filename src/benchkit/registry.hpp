@@ -1,0 +1,74 @@
+// Static experiment registry: the 18 free-standing bench main()s become
+// Experiments registered at load time and run by the single `tfr_bench`
+// driver (bench/tfr_bench_main.cpp).
+//
+// An experiment declares, once: its id ("E1"…), the paper claim it
+// reproduces ("Theorem 2.1"), its tier, and a run function taking the
+// per-experiment Recorder.  The driver selects by tier / id, forks a
+// worker per experiment, prints the captured tables in id order, and
+// emits the structured BENCH_*.json.
+//
+//   TFR_BENCH_EXPERIMENT(E1, "Theorem 2.1", ::tfr::benchkit::Tier::kSmoke,
+//                        "consensus decision time without failures") {
+//     rec.expect(...);   // `rec` is the experiment's Recorder
+//   }
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tfr/benchkit/recorder.hpp"
+
+namespace tfr::benchkit {
+
+/// kSmoke experiments form the fast CI gate (whole tier < 60 s wall);
+/// kFull adds the long-running ones (`--tier full` runs both).
+enum class Tier { kSmoke, kFull };
+
+const char* tier_name(Tier tier);
+
+struct Experiment {
+  std::string id;     ///< "E1" … "E18"; unique.
+  std::string title;  ///< Section banner text.
+  std::string claim;  ///< Paper claim reference, e.g. "Theorem 2.1".
+  Tier tier = Tier::kSmoke;
+  void (*run)(Recorder&) = nullptr;
+};
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  /// Registers an experiment; aborts on a duplicate id (a programming
+  /// error caught at process start).
+  void add(Experiment experiment);
+
+  /// nullptr when no experiment has this id.
+  const Experiment* find(const std::string& id) const;
+
+  /// Experiments of the given tier selection ordered by numeric id
+  /// (E2 before E10).  kSmoke selects the smoke tier only; kFull selects
+  /// everything.
+  std::vector<const Experiment*> select(Tier tier) const;
+
+  std::vector<const Experiment*> all() const;
+
+ private:
+  std::vector<Experiment> experiments_;
+};
+
+struct Registrar {
+  explicit Registrar(Experiment experiment);
+};
+
+}  // namespace tfr::benchkit
+
+/// Defines and registers an experiment run function.  The body sees the
+/// experiment's Recorder as `rec`.
+#define TFR_BENCH_EXPERIMENT(ID, CLAIM, TIER, TITLE)                    \
+  static void tfr_bench_run_##ID(::tfr::benchkit::Recorder& rec);       \
+  static const ::tfr::benchkit::Registrar tfr_bench_registrar_##ID{     \
+      ::tfr::benchkit::Experiment{#ID, TITLE, CLAIM, TIER,              \
+                                  &tfr_bench_run_##ID}};                \
+  static void tfr_bench_run_##ID(::tfr::benchkit::Recorder& rec)

@@ -1,0 +1,311 @@
+#include "tfr/benchkit/runner.hpp"
+
+#include <sys/utsname.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <map>
+#include <stdexcept>
+#include <thread>
+
+#include "tfr/common/table.hpp"
+
+namespace tfr::benchkit {
+
+namespace {
+
+Tier tier_from_name(const std::string& name) {
+  return name == "full" ? Tier::kFull : Tier::kSmoke;
+}
+
+std::string handoff_dir() {
+  const char* base = std::getenv("TMPDIR");
+  std::string templ = std::string(base != nullptr ? base : "/tmp") +
+                      "/tfr_bench.XXXXXX";
+  std::vector<char> buf(templ.begin(), templ.end());
+  buf.push_back('\0');
+  if (mkdtemp(buf.data()) == nullptr)
+    throw std::runtime_error("tfr_bench: mkdtemp failed");
+  return std::string(buf.data());
+}
+
+std::string run_command_line(const char* command) {
+  FILE* pipe = popen(command, "r");
+  if (pipe == nullptr) return std::string();
+  char buf[256];
+  std::string out;
+  while (fgets(buf, sizeof buf, pipe) != nullptr) out += buf;
+  pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r'))
+    out.pop_back();
+  return out;
+}
+
+Json host_metadata() {
+  Json host = Json::object();
+  utsname names{};
+  if (uname(&names) == 0) {
+    host.set("os", std::string(names.sysname) + " " + names.release);
+    host.set("machine", names.machine);
+  }
+  host.set("cores",
+           static_cast<double>(std::thread::hardware_concurrency()));
+  return host;
+}
+
+std::string utc_timestamp(std::time_t now) {
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+Outcome synthetic_failure(const Experiment& experiment,
+                          const std::string& why) {
+  Outcome outcome;
+  outcome.id = experiment.id;
+  outcome.title = experiment.title;
+  outcome.claim = experiment.claim;
+  outcome.tier = experiment.tier;
+  outcome.expects.push_back({why, false});
+  outcome.text = "EXPECT " + why + ": FAIL\n";
+  return outcome;
+}
+
+}  // namespace
+
+int Outcome::failures() const {
+  int n = 0;
+  for (const ExpectResult& e : expects) n += !e.pass;
+  return n;
+}
+
+Outcome run_experiment(const Experiment& experiment) {
+  Outcome outcome;
+  outcome.id = experiment.id;
+  outcome.title = experiment.title;
+  outcome.claim = experiment.claim;
+  outcome.tier = experiment.tier;
+
+  Recorder recorder;
+  const auto begin = std::chrono::steady_clock::now();
+  {
+    Section section(recorder.out(), experiment.id, experiment.title);
+    try {
+      experiment.run(recorder);
+    } catch (const std::exception& e) {
+      recorder.expect(false, std::string("experiment completed without "
+                                         "throwing (got: ") + e.what() + ")");
+    } catch (...) {
+      recorder.expect(false, "experiment completed without throwing");
+    }
+  }
+  outcome.wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - begin)
+          .count();
+  outcome.expects = recorder.expects();
+  outcome.metrics = recorder.metrics();
+  outcome.text = recorder.text();
+  outcome.completed = true;
+  return outcome;
+}
+
+Json outcome_to_json(const Outcome& outcome, bool include_text) {
+  Json out = Json::object();
+  out.set("id", outcome.id);
+  out.set("title", outcome.title);
+  out.set("claim", outcome.claim);
+  out.set("tier", tier_name(outcome.tier));
+  out.set("wall_ms", outcome.wall_ms);
+  Json expects = Json::array();
+  for (const ExpectResult& e : outcome.expects) {
+    Json entry = Json::object();
+    entry.set("what", e.what);
+    entry.set("pass", e.pass);
+    expects.push_back(std::move(entry));
+  }
+  out.set("expects", std::move(expects));
+  Json metrics = Json::array();
+  for (const MetricResult& m : outcome.metrics) {
+    Json entry = Json::object();
+    entry.set("name", m.name);
+    entry.set("value", m.value);
+    if (!m.unit.empty()) entry.set("unit", m.unit);
+    metrics.push_back(std::move(entry));
+  }
+  out.set("metrics", std::move(metrics));
+  if (include_text) out.set("text", outcome.text);
+  return out;
+}
+
+Outcome outcome_from_json(const Json& value) {
+  Outcome outcome;
+  if (const Json* id = value.find("id")) outcome.id = id->string_or("");
+  if (const Json* title = value.find("title"))
+    outcome.title = title->string_or("");
+  if (const Json* claim = value.find("claim"))
+    outcome.claim = claim->string_or("");
+  if (const Json* tier = value.find("tier"))
+    outcome.tier = tier_from_name(tier->string_or("smoke"));
+  if (const Json* wall = value.find("wall_ms"))
+    outcome.wall_ms = wall->number_or(0);
+  if (const Json* expects = value.find("expects"); expects != nullptr &&
+                                                   expects->is_array()) {
+    for (const Json& entry : expects->items()) {
+      ExpectResult e;
+      if (const Json* what = entry.find("what")) e.what = what->string_or("");
+      if (const Json* pass = entry.find("pass")) e.pass = pass->bool_or(false);
+      outcome.expects.push_back(std::move(e));
+    }
+  }
+  if (const Json* metrics = value.find("metrics"); metrics != nullptr &&
+                                                   metrics->is_array()) {
+    for (const Json& entry : metrics->items()) {
+      MetricResult m;
+      if (const Json* name = entry.find("name")) m.name = name->string_or("");
+      if (const Json* v = entry.find("value")) m.value = v->number_or(0);
+      if (const Json* unit = entry.find("unit")) m.unit = unit->string_or("");
+      outcome.metrics.push_back(std::move(m));
+    }
+  }
+  if (const Json* text = value.find("text")) outcome.text = text->string_or("");
+  outcome.completed = true;
+  return outcome;
+}
+
+std::vector<Outcome> run_parallel(
+    const std::vector<const Experiment*>& experiments, int jobs) {
+  if (jobs < 1) jobs = 1;
+  const std::string dir = handoff_dir();
+  std::vector<Outcome> outcomes(experiments.size());
+  std::map<pid_t, std::size_t> running;
+  std::size_t next = 0;
+
+  const auto spawn_one = [&](std::size_t index) {
+    const Experiment& experiment = *experiments[index];
+    std::fflush(nullptr);  // don't duplicate parent stdio buffers
+    const pid_t pid = fork();
+    if (pid < 0) throw std::runtime_error("tfr_bench: fork failed");
+    if (pid == 0) {
+      int status = 1;
+      try {
+        const Outcome outcome = run_experiment(experiment);
+        save_json_file(dir + "/" + experiment.id + ".json",
+                       outcome_to_json(outcome, /*include_text=*/true));
+        status = outcome.failures() == 0 ? 0 : 1;
+      } catch (...) {
+        status = 2;
+      }
+      _exit(status);
+    }
+    running.emplace(pid, index);
+  };
+
+  while (next < experiments.size() || !running.empty()) {
+    while (next < experiments.size() &&
+           running.size() < static_cast<std::size_t>(jobs))
+      spawn_one(next++);
+    int status = 0;
+    const pid_t pid = waitpid(-1, &status, 0);
+    if (pid < 0) throw std::runtime_error("tfr_bench: waitpid failed");
+    const auto found = running.find(pid);
+    if (found == running.end()) continue;
+    const std::size_t index = found->second;
+    running.erase(found);
+    const Experiment& experiment = *experiments[index];
+    const std::string path = dir + "/" + experiment.id + ".json";
+    try {
+      outcomes[index] = outcome_from_json(load_json_file(path));
+    } catch (...) {
+      outcomes[index] = synthetic_failure(
+          experiment, "experiment worker exited cleanly (status " +
+                          std::to_string(status) + ", no result file)");
+    }
+    std::remove(path.c_str());
+  }
+  rmdir(dir.c_str());
+  return outcomes;
+}
+
+Json make_report(const std::vector<Outcome>& outcomes,
+                 const std::string& tier_label) {
+  Json report = Json::object();
+  report.set("schema", "tfr-bench-v1");
+  const std::time_t now = std::time(nullptr);
+  report.set("created", utc_timestamp(now));
+  report.set("created_unix", static_cast<double>(now));
+  report.set("tier", tier_label);
+  report.set("commit",
+             run_command_line("git rev-parse HEAD 2>/dev/null"));
+  report.set("host", host_metadata());
+  Json tolerances = Json::array();
+  for (const ToleranceRule& rule : default_tolerance_rules()) {
+    Json entry = Json::object();
+    entry.set("pattern", rule.pattern);
+    if (rule.tolerance.gate) {
+      entry.set("rel", rule.tolerance.rel);
+      entry.set("abs", rule.tolerance.abs);
+    } else {
+      entry.set("gate", false);
+    }
+    tolerances.push_back(std::move(entry));
+  }
+  report.set("tolerances", std::move(tolerances));
+  Json experiments = Json::array();
+  for (const Outcome& outcome : outcomes)
+    experiments.push_back(outcome_to_json(outcome, /*include_text=*/false));
+  report.set("experiments", std::move(experiments));
+  return report;
+}
+
+void print_outcomes(std::ostream& os, const std::vector<Outcome>& outcomes) {
+  for (const Outcome& outcome : outcomes) os << outcome.text;
+
+  Table summary("run summary");
+  summary.header({"id", "tier", "claim", "expects", "metrics", "wall ms",
+                  "status"});
+  int total_failures = 0;
+  for (const Outcome& outcome : outcomes) {
+    const int failures = outcome.failures();
+    total_failures += failures;
+    const std::size_t passed = outcome.expects.size() -
+                               static_cast<std::size_t>(failures);
+    summary.row({outcome.id, tier_name(outcome.tier), outcome.claim,
+                 Table::fmt(static_cast<unsigned long long>(passed)) + "/" +
+                     Table::fmt(static_cast<unsigned long long>(
+                         outcome.expects.size())),
+                 Table::fmt(static_cast<unsigned long long>(
+                     outcome.metrics.size())),
+                 Table::fmt(outcome.wall_ms, 1),
+                 failures == 0 && outcome.completed ? "ok" : "FAIL"});
+  }
+  summary.print(os);
+  if (total_failures > 0)
+    os << "\n" << total_failures << " expectation(s) FAILED\n";
+}
+
+void print_diff(std::ostream& os, const DiffReport& report) {
+  Table table("baseline diff");
+  table.header({"metric", "baseline", "current", "band", "verdict"});
+  for (const DiffEntry& entry : report.entries) {
+    if (entry.verdict == DiffVerdict::kPass) continue;
+    table.row({entry.key, Table::fmt(entry.base, 4),
+               entry.verdict == DiffVerdict::kMissing
+                   ? "-"
+                   : Table::fmt(entry.current, 4),
+               Table::fmt(entry.allowed, 4),
+               diff_verdict_name(entry.verdict)});
+  }
+  if (table.rows() > 0) table.print(os);
+  os << "baseline: " << report.entries.size() << " metric(s) compared, "
+     << report.failures << " regression(s), " << report.warnings
+     << " warning(s)\n";
+}
+
+}  // namespace tfr::benchkit

@@ -1,0 +1,65 @@
+// The experiment runner behind `tfr_bench`.
+//
+// Runs selected experiments in parallel worker processes (fork per
+// experiment, at most `jobs` in flight).  Process isolation keeps one
+// crashing or wedged experiment from taking the driver down, and keeps
+// the per-experiment Recorder state trivially race-free.  Each worker
+// serializes its Outcome (expect verdicts, metrics, captured table text,
+// wall time) as JSON into a per-experiment handoff file; the parent
+// collects them, prints the classic paper-style output in id order, and
+// assembles the structured BENCH report.
+
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "tfr/benchkit/baseline.hpp"
+#include "tfr/benchkit/json.hpp"
+#include "tfr/benchkit/recorder.hpp"
+#include "tfr/benchkit/registry.hpp"
+
+namespace tfr::benchkit {
+
+struct Outcome {
+  std::string id;
+  std::string title;
+  std::string claim;
+  Tier tier = Tier::kSmoke;
+  std::vector<ExpectResult> expects;
+  std::vector<MetricResult> metrics;
+  std::string text;       ///< Captured tables + EXPECT/METRIC lines.
+  double wall_ms = 0;
+  bool completed = false; ///< Worker produced a result (no crash/timeout).
+  int failures() const;
+};
+
+/// Runs one experiment in the current process: prints the section banner
+/// into the recorder's stream, times the run, and converts a thrown
+/// exception into a failing "completed without throwing" expect.
+Outcome run_experiment(const Experiment& experiment);
+
+/// {"id", "claim", "tier", "wall_ms", "expects", "metrics"} — one entry of
+/// the report's "experiments" array (plus "text" when include_text).
+Json outcome_to_json(const Outcome& outcome, bool include_text);
+Outcome outcome_from_json(const Json& value);
+
+/// Forks one worker per experiment with at most `jobs` in flight and
+/// returns outcomes in the given order.  A worker that dies without a
+/// handoff file yields completed=false with a synthetic failing expect.
+std::vector<Outcome> run_parallel(
+    const std::vector<const Experiment*>& experiments, int jobs);
+
+/// Assembles the BENCH_*.json document: schema tag, host/commit/timestamp
+/// metadata, the default tolerance rules, and one entry per outcome.
+Json make_report(const std::vector<Outcome>& outcomes,
+                 const std::string& tier_label);
+
+/// Prints each outcome's captured text, then the run summary table.
+void print_outcomes(std::ostream& os, const std::vector<Outcome>& outcomes);
+
+/// Prints the baseline diff (every non-pass entry plus a count line).
+void print_diff(std::ostream& os, const DiffReport& report);
+
+}  // namespace tfr::benchkit

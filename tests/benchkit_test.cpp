@@ -1,0 +1,304 @@
+// Tests for the benchkit experiment harness: the JSON value/parser/emitter
+// (golden dumps and round trips), the Recorder, the experiment registry
+// (lookup by id and tier selection), glob matching, and the baseline diff
+// verdicts (pass / warn / fail / missing / new / ungated).
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "tfr/benchkit/baseline.hpp"
+#include "tfr/benchkit/json.hpp"
+#include "tfr/benchkit/recorder.hpp"
+#include "tfr/benchkit/registry.hpp"
+
+namespace tfr::benchkit {
+namespace {
+
+// ---------------------------------------------------------------- JSON --
+
+TEST(Json, GoldenDump) {
+  Json doc = Json::object();
+  doc.set("schema", "tfr-bench-v1");
+  doc.set("count", 3);
+  doc.set("ratio", 2.5);
+  doc.set("ok", true);
+  doc.set("none", Json());
+  Json arr = Json::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  doc.set("items", arr);
+  Json inner = Json::object();
+  inner.set("name", "decide_time.worst");
+  doc.set("inner", inner);
+
+  const std::string expected =
+      "{\n"
+      "  \"schema\": \"tfr-bench-v1\",\n"
+      "  \"count\": 3,\n"
+      "  \"ratio\": 2.5,\n"
+      "  \"ok\": true,\n"
+      "  \"none\": null,\n"
+      "  \"items\": [\n"
+      "    1,\n"
+      "    \"two\"\n"
+      "  ],\n"
+      "  \"inner\": {\n"
+      "    \"name\": \"decide_time.worst\"\n"
+      "  }\n"
+      "}";
+  EXPECT_EQ(doc.dump(), expected);
+}
+
+TEST(Json, DumpIsByteStableAcrossRoundTrips) {
+  Json doc = Json::object();
+  doc.set("b", 1);
+  doc.set("a", 2);  // insertion order, not sorted
+  Json arr = Json::array();
+  arr.push_back(0.125);
+  arr.push_back(-7);
+  doc.set("xs", arr);
+  const std::string once = doc.dump();
+  const std::string twice = Json::parse(once).dump();
+  EXPECT_EQ(once, twice);
+}
+
+TEST(Json, ParsesStandardDocument) {
+  const Json doc = Json::parse(
+      R"({"name": "E1", "pass": true, "vals": [1, 2.5, -3e2], )"
+      R"("nested": {"x": null}, "s": "a\"b\\c\n"})");
+  EXPECT_EQ(doc.find("name")->str(), "E1");
+  EXPECT_TRUE(doc.find("pass")->bool_or(false));
+  ASSERT_EQ(doc.find("vals")->size(), 3u);
+  EXPECT_DOUBLE_EQ(doc.find("vals")->items()[2].number_or(0), -300.0);
+  EXPECT_TRUE(doc.find("nested")->find("x")->is_null());
+  EXPECT_EQ(doc.find("s")->str(), "a\"b\\c\n");
+  EXPECT_EQ(doc.find("absent"), nullptr);
+}
+
+TEST(Json, ParseErrorsThrow) {
+  EXPECT_THROW(Json::parse("{"), std::runtime_error);
+  EXPECT_THROW(Json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(Json::parse("{\"a\": 1} extra"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("true").str(), std::runtime_error);
+}
+
+TEST(Json, SetReplacesExistingKeyInPlace) {
+  Json doc = Json::object();
+  doc.set("a", 1);
+  doc.set("b", 2);
+  doc.set("a", 3);
+  ASSERT_EQ(doc.size(), 2u);
+  EXPECT_EQ(doc.members()[0].first, "a");
+  EXPECT_DOUBLE_EQ(doc.find("a")->number_or(0), 3.0);
+}
+
+// ------------------------------------------------------------ Recorder --
+
+TEST(Recorder, CollectsExpectsMetricsAndText) {
+  Recorder rec;
+  rec.out() << "table line\n";
+  rec.expect(true, "shape holds");
+  rec.expect(false, "shape broken");
+  rec.metric("decide_time.worst", 14, "delta");
+  rec.metric("rounds.worst", 2);
+
+  EXPECT_EQ(rec.failures(), 1);
+  ASSERT_EQ(rec.expects().size(), 2u);
+  EXPECT_TRUE(rec.expects()[0].pass);
+  EXPECT_FALSE(rec.expects()[1].pass);
+  ASSERT_EQ(rec.metrics().size(), 2u);
+  EXPECT_EQ(rec.metrics()[0].unit, "delta");
+  EXPECT_EQ(rec.metrics()[1].unit, "");
+
+  const std::string text = rec.text();
+  EXPECT_NE(text.find("table line"), std::string::npos);
+  EXPECT_NE(text.find("EXPECT shape holds: PASS"), std::string::npos);
+  EXPECT_NE(text.find("EXPECT shape broken: FAIL"), std::string::npos);
+  EXPECT_NE(text.find("METRIC decide_time.worst"), std::string::npos);
+}
+
+TEST(Recorder, ToJsonCarriesTheSchemaFragment) {
+  Recorder rec;
+  rec.expect(true, "ok");
+  rec.metric("m", 1.5, "x");
+  const Json j = rec.to_json(/*include_text=*/false);
+  ASSERT_NE(j.find("expects"), nullptr);
+  ASSERT_NE(j.find("metrics"), nullptr);
+  EXPECT_EQ(j.find("text"), nullptr);
+  const Json& metric = j.find("metrics")->items()[0];
+  EXPECT_EQ(metric.find("name")->str(), "m");
+  EXPECT_DOUBLE_EQ(metric.find("value")->number_or(0), 1.5);
+  EXPECT_EQ(metric.find("unit")->str(), "x");
+}
+
+// ------------------------------------------------------------ Registry --
+
+// Register two fake experiments well clear of the real E1..E18 range.
+TFR_BENCH_EXPERIMENT(E97, "test claim", Tier::kSmoke, "fake smoke") {
+  rec.expect(true, "always");
+}
+TFR_BENCH_EXPERIMENT(E98, "test claim", Tier::kFull, "fake full") {
+  rec.metric("nothing", 0);
+}
+
+TEST(Registry, FindsById) {
+  const Experiment* e = Registry::instance().find("E97");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->title, "fake smoke");
+  EXPECT_EQ(e->claim, "test claim");
+  EXPECT_EQ(e->tier, Tier::kSmoke);
+  EXPECT_EQ(Registry::instance().find("E999"), nullptr);
+}
+
+TEST(Registry, TierSelectionAndOrdering) {
+  const auto smoke = Registry::instance().select(Tier::kSmoke);
+  const auto full = Registry::instance().select(Tier::kFull);
+  bool smoke_has_97 = false, smoke_has_98 = false;
+  for (const auto* e : smoke) {
+    smoke_has_97 |= (e->id == "E97");
+    smoke_has_98 |= (e->id == "E98");
+  }
+  EXPECT_TRUE(smoke_has_97);
+  EXPECT_FALSE(smoke_has_98) << "full-tier experiment leaked into smoke";
+  bool full_has_98 = false;
+  for (const auto* e : full) full_has_98 |= (e->id == "E98");
+  EXPECT_TRUE(full_has_98) << "--tier full selects everything";
+  // Numeric ordering: E97 before E98, and ids ascend numerically.
+  int prev = 0;
+  for (const auto* e : full) {
+    const int num = std::stoi(e->id.substr(1));
+    EXPECT_GT(num, prev) << "ids not in ascending numeric order";
+    prev = num;
+  }
+}
+
+TEST(Registry, RunningAnExperimentFillsItsRecorder) {
+  const Experiment* e = Registry::instance().find("E97");
+  ASSERT_NE(e, nullptr);
+  Recorder rec;
+  e->run(rec);
+  EXPECT_EQ(rec.failures(), 0);
+  EXPECT_EQ(rec.expects().size(), 1u);
+}
+
+// ------------------------------------------------------------ Baseline --
+
+TEST(Baseline, GlobMatch) {
+  EXPECT_TRUE(glob_match("*", "anything.at.all"));
+  EXPECT_TRUE(glob_match("*.exec_per_sec", "E18.consensus.exec_per_sec"));
+  EXPECT_FALSE(glob_match("*.exec_per_sec", "E18.consensus.executions"));
+  EXPECT_TRUE(glob_match("E7.*", "E7.tfr.contended.worst"));
+  EXPECT_FALSE(glob_match("E7.*", "E17.tfr.contended.worst"));
+  EXPECT_TRUE(glob_match("E?.x", "E7.x"));
+  EXPECT_FALSE(glob_match("E?.x", "E17.x"));
+  EXPECT_TRUE(glob_match("a*b*c", "a__b__c"));
+  EXPECT_FALSE(glob_match("a*b*c", "a__c"));
+}
+
+TEST(Baseline, FirstMatchingRuleWins) {
+  std::vector<ToleranceRule> rules;
+  rules.push_back({"E1.*", Tolerance{0.5, 0.0, true}});
+  rules.push_back({"*", Tolerance{0.05, 1e-9, true}});
+  EXPECT_DOUBLE_EQ(tolerance_for(rules, "E1.rounds").rel, 0.5);
+  EXPECT_DOUBLE_EQ(tolerance_for(rules, "E2.rounds").rel, 0.05);
+}
+
+Json report_with_metric(const std::string& id, const std::string& name,
+                        double value) {
+  Json metric = Json::object();
+  metric.set("name", name);
+  metric.set("value", value);
+  Json metrics = Json::array();
+  metrics.push_back(metric);
+  Json experiment = Json::object();
+  experiment.set("id", id);
+  experiment.set("metrics", metrics);
+  Json experiments = Json::array();
+  experiments.push_back(experiment);
+  Json doc = Json::object();
+  doc.set("experiments", experiments);
+  return doc;
+}
+
+TEST(Baseline, DiffVerdicts) {
+  const auto rules = default_tolerance_rules();  // "*" -> rel 5%
+  const Json base = report_with_metric("E1", "m", 100.0);
+
+  // Within the band: pass.
+  {
+    const auto r =
+        diff_reports(base, report_with_metric("E1", "m", 104.0), rules);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.warnings, 0);
+    ASSERT_EQ(r.entries.size(), 1u);
+    EXPECT_EQ(r.entries[0].verdict, DiffVerdict::kPass);
+  }
+  // Between one and two bands: warn, still ok().
+  {
+    const auto r =
+        diff_reports(base, report_with_metric("E1", "m", 108.0), rules);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.warnings, 1);
+    EXPECT_EQ(r.entries[0].verdict, DiffVerdict::kWarn);
+  }
+  // Beyond two bands: fail.
+  {
+    const auto r =
+        diff_reports(base, report_with_metric("E1", "m", 120.0), rules);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.failures, 1);
+    EXPECT_EQ(r.entries[0].verdict, DiffVerdict::kFail);
+  }
+  // Metric lost from the current run of the same experiment: fail.
+  {
+    const auto r =
+        diff_reports(base, report_with_metric("E1", "other", 1.0), rules);
+    EXPECT_FALSE(r.ok());
+    bool missing = false, is_new = false;
+    for (const auto& e : r.entries) {
+      missing |= (e.verdict == DiffVerdict::kMissing && e.key == "E1.m");
+      is_new |= (e.verdict == DiffVerdict::kNew && e.key == "E1.other");
+    }
+    EXPECT_TRUE(missing);
+    EXPECT_TRUE(is_new) << "new metrics are informational, not fatal";
+  }
+  // A whole experiment absent from the baseline is skipped entirely.
+  {
+    const auto r =
+        diff_reports(base, report_with_metric("E2", "m", 9999.0), rules);
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r.entries.empty());
+  }
+}
+
+TEST(Baseline, ExecPerSecIsUngatedByDefault) {
+  const auto rules = default_tolerance_rules();
+  const Json base = report_with_metric("E18", "consensus.exec_per_sec", 1e6);
+  const auto r = diff_reports(
+      base, report_with_metric("E18", "consensus.exec_per_sec", 5e6), rules);
+  EXPECT_TRUE(r.ok()) << "wall-clock throughput must never gate";
+  ASSERT_EQ(r.entries.size(), 1u);
+  EXPECT_EQ(r.entries[0].verdict, DiffVerdict::kUngated);
+}
+
+TEST(Baseline, DocumentRulesPrecedeDefaults) {
+  Json doc = report_with_metric("E1", "m", 100.0);
+  Json rule = Json::object();
+  rule.set("pattern", "E1.m");
+  rule.set("rel", 0.5);
+  rule.set("abs", 0.0);
+  Json tolerances = Json::array();
+  tolerances.push_back(rule);
+  doc.set("tolerances", tolerances);
+
+  const auto rules = tolerance_rules(doc);
+  // 40% drift passes under the document's 50% band (defaults say 5%).
+  const auto r = diff_reports(doc, report_with_metric("E1", "m", 140.0), rules);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.entries[0].verdict, DiffVerdict::kPass);
+}
+
+}  // namespace
+}  // namespace tfr::benchkit

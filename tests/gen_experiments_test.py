@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Round-trip test for scripts/gen_experiments.py on fixture files.
+
+Checks, against tests/fixtures/:
+  1. regenerating the stale fixture doc reproduces the expected doc byte
+     for byte;
+  2. the emitter is deterministic (a second run changes nothing);
+  3. --check exits 0 on an up-to-date doc and 1 on a stale one;
+  4. a report experiment without a marker block in the doc is an error.
+
+Run by ctest as GenExperimentsRoundTrip; also runnable by hand:
+    python3 tests/gen_experiments_test.py \
+        --script scripts/gen_experiments.py --fixtures tests/fixtures
+"""
+
+import argparse
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def run(script, json_path, doc_path, *extra):
+    return subprocess.run(
+        [sys.executable, str(script), "--json", str(json_path),
+         "--doc", str(doc_path), *extra],
+        capture_output=True, text=True, check=False)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--script", required=True, type=Path)
+    parser.add_argument("--fixtures", required=True, type=Path)
+    args = parser.parse_args()
+
+    fixture_json = args.fixtures / "bench_fixture.json"
+    fixture_md = args.fixtures / "experiments_fixture.md"
+    expected_md = args.fixtures / "experiments_fixture.expected.md"
+    failures = []
+
+    with tempfile.TemporaryDirectory() as tmp:
+        doc = Path(tmp) / "doc.md"
+
+        # 1. Regeneration reproduces the expected bytes.
+        shutil.copy(fixture_md, doc)
+        result = run(args.script, fixture_json, doc)
+        if result.returncode != 0:
+            failures.append(f"regeneration failed: {result.stderr}")
+        got = doc.read_text(encoding="utf-8")
+        want = expected_md.read_text(encoding="utf-8")
+        if got != want:
+            failures.append(
+                "regenerated doc differs from expected fixture:\n"
+                f"--- got ---\n{got}\n--- want ---\n{want}")
+
+        # 2. Deterministic: a second run is a no-op.
+        before = doc.read_bytes()
+        result = run(args.script, fixture_json, doc)
+        if result.returncode != 0 or doc.read_bytes() != before:
+            failures.append("second regeneration was not a no-op")
+
+        # 3. --check: clean on fresh, failing on stale.
+        result = run(args.script, fixture_json, doc, "--check")
+        if result.returncode != 0:
+            failures.append(f"--check failed on an up-to-date doc: "
+                            f"{result.stderr}")
+        shutil.copy(fixture_md, doc)
+        result = run(args.script, fixture_json, doc, "--check")
+        if result.returncode == 0:
+            failures.append("--check passed on a stale doc")
+
+        # 4. Missing marker block is an error.
+        doc.write_text("no markers here\n", encoding="utf-8")
+        result = run(args.script, fixture_json, doc)
+        if result.returncode == 0:
+            failures.append("missing marker block was not reported")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("gen_experiments round-trip: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
