@@ -1,4 +1,4 @@
-// Shared scaffolding for the experiment harnesses (E1-E18).
+// Shared scaffolding for the experiment harnesses (E1-E19).
 //
 // Each experiment reproduces one claim of the paper's evaluation
 // (DESIGN.md §3 maps claims to experiments) and registers itself with

@@ -68,6 +68,22 @@ NamedCheck fischer_check() {
   return check;
 }
 
+NamedCheck abd_check() {
+  NamedCheck check;
+  check.name = "abd-n3-minority-down";
+  check.description =
+      "ABD register, n=3, one server crashed: reads/writes linearize";
+  check.scenario = mcheck::make_abd_scenario({});
+  check.config = base_config();
+  // The crash is the fault under exploration; timing stays minimal so the
+  // schedule space (many channel registers) remains tractable.
+  check.config.max_failures = 0;
+  check.config.slow_budget = 0;
+  check.config.max_steps = 600;
+  check.expect_violation = false;
+  return check;
+}
+
 NamedCheck tfr_mutex_check() {
   NamedCheck check;
   check.name = "tfr-mutex-n2";
@@ -173,6 +189,7 @@ bool replay_saved(const NamedCheck& check, const std::string& path) {
 int usage() {
   std::printf(
       "usage: tfr_mcheck [--all] [--consensus] [--fischer] [--tfr-mutex]\n"
+      "                  [--abd]\n"
       "                  [--naive] [--seed N] [--max-executions N]\n"
       "                  [--save FILE] [--replay FILE]\n");
   return 2;
@@ -194,12 +211,15 @@ int main(int argc, char** argv) {
       selected.push_back(consensus_check());
       selected.push_back(fischer_check());
       selected.push_back(tfr_mutex_check());
+      selected.push_back(abd_check());
     } else if (arg == "--consensus") {
       selected.push_back(consensus_check());
     } else if (arg == "--fischer") {
       selected.push_back(fischer_check());
     } else if (arg == "--tfr-mutex") {
       selected.push_back(tfr_mutex_check());
+    } else if (arg == "--abd") {
+      selected.push_back(abd_check());
     } else if (arg == "--naive") {
       naive = true;
     } else if (arg == "--seed" && i + 1 < argc) {
@@ -218,6 +238,7 @@ int main(int argc, char** argv) {
     selected.push_back(consensus_check());
     selected.push_back(fischer_check());
     selected.push_back(tfr_mutex_check());
+    selected.push_back(abd_check());
   }
 
   bool ok = true;

@@ -54,4 +54,18 @@ struct MutexScenarioConfig {
 
 CheckScenario make_mutex_scenario(MutexScenarioConfig config = {});
 
+/// ABD atomic-register emulation with a crashed minority: n nodes, one
+/// server never spawned (its requests are simply never answered), one
+/// writer and one reader client issuing a single operation each.  Safety —
+/// every explored interleaving of the completed operations must be
+/// linearizable against the atomic-register spec — is checked on every
+/// execution, truncated or not; executions stop once both clients finish.
+struct AbdScenarioConfig {
+  int nodes = 3;
+  int crashed_server = 2;  ///< this replica never runs (minority down)
+  std::int64_t written = 7;
+};
+
+CheckScenario make_abd_scenario(AbdScenarioConfig config = {});
+
 }  // namespace tfr::mcheck

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "tfr/common/contracts.hpp"
+#include "tfr/common/rng.hpp"
+#include "tfr/msg/convergence.hpp"
 
 namespace tfr::msg {
 
@@ -49,11 +51,30 @@ sim::Process abd_server(sim::Env env, Network& net, int node, int n) {
   }
 }
 
-AbdClient::AbdClient(Network& net, int node, int n)
-    : net_(&net), node_(node), n_(n) {
+AbdClient::AbdClient(Network& net, int node, int n, RetryPolicy policy)
+    : net_(&net), node_(node), n_(n), policy_(policy) {
   TFR_REQUIRE(n >= 1);
   TFR_REQUIRE(node >= 0 && node < n);
   TFR_REQUIRE(net.endpoints() >= 2 * n);
+  TFR_REQUIRE(policy_.timeout >= 0 && policy_.poll_every >= 1);
+}
+
+sim::Duration AbdClient::jitter_for(std::int64_t rid, int attempt) const {
+  if (policy_.jitter <= 0) return 0;
+  std::uint64_t s = static_cast<std::uint64_t>(node_) ^
+                    static_cast<std::uint64_t>(rid) * 0x9e3779b97f4a7c15ULL ^
+                    static_cast<std::uint64_t>(attempt) * 0xbf58476d1ce4e5b9ULL;
+  return static_cast<sim::Duration>(
+      splitmix64(s) % static_cast<std::uint64_t>(policy_.jitter + 1));
+}
+
+const char* AbdClient::phase_name(std::int32_t ack_type) const {
+  switch (ack_type) {
+    case kTagAck: return "abd.tag";
+    case kReadAck: return "abd.read";
+    case kWriteAck: return "abd.store";
+    default: return "abd";
+  }
 }
 
 sim::Task<AbdClient::Quorum> AbdClient::majority(sim::Env env,
@@ -61,23 +82,91 @@ sim::Task<AbdClient::Quorum> AbdClient::majority(sim::Env env,
                                                  std::int32_t ack_type) {
   const std::int64_t rid = next_rid_++;
   request.rid = rid;
-  co_await net_->multicast(env, node_, n_, 2 * n_, request);
   Quorum quorum;
   int acks = 0;
   const int needed = n_ / 2 + 1;
-  while (acks < needed) {
-    const Message m = co_await net_->recv(env, node_);
-    if (m.rid != rid || m.type != ack_type) continue;  // stale/other ack
+  // acked[i]: server i already contributed to this quorum — a duplicated
+  // or re-sent ack must not be counted twice.
+  std::vector<char> acked(static_cast<std::size_t>(n_), 0);
+
+  auto absorb = [&](const Message& m) {
+    if (m.rid != rid || m.type != ack_type) {
+      ++stale_acks_;  // old rid, other phase, or foreign traffic
+      return;
+    }
+    const int server = m.from - n_;
+    if (server < 0 || server >= n_) return;
+    if (acked[static_cast<std::size_t>(server)]) {
+      ++duplicate_acks_;
+      return;
+    }
+    acked[static_cast<std::size_t>(server)] = 1;
     ++acks;
     if (m.tag > quorum.max_tag) {
       quorum.max_tag = m.tag;
       quorum.value_of_max = m.value;
     }
+  };
+
+  co_await net_->multicast(env, node_, n_, 2 * n_, request);
+
+  if (policy_.timeout == 0) {
+    // Legacy discipline: the network is reliable, block until a majority
+    // answers.  Byte-identical to the pre-hardening client.
+    while (acks < needed) absorb(co_await net_->recv(env, node_));
+    co_return quorum;
   }
-  co_return quorum;
+
+  sim::Duration window = policy_.timeout;
+  sim::Duration pause = policy_.backoff;
+  int attempt = 1;
+  const bool tracing = env.sim().trace_sink() != nullptr;
+  const std::uint32_t label =
+      tracing ? env.sim().trace_label(phase_name(ack_type)) : 0;
+  for (;;) {
+    const sim::Time deadline = env.now() + window;
+    while (acks < needed) {
+      auto m = co_await net_->recv_until(env, node_, deadline,
+                                         policy_.poll_every);
+      if (!m.has_value()) break;  // window expired
+      absorb(*m);
+    }
+    if (acks >= needed) co_return quorum;
+
+    ++timeouts_;
+    if (tracing)
+      env.sim().emit({env.now(), env.pid(), obs::EventKind::kTimeout, window,
+                      rid, label});
+    const sim::Duration wait = pause + jitter_for(rid, attempt);
+    if (wait > 0) {
+      if (tracing)
+        env.sim().emit({env.now(), env.pid(), obs::EventKind::kBackoff, wait,
+                        rid, label});
+      co_await env.delay(wait);
+    }
+    ++retries_;
+    ++attempt;
+    if (tracing)
+      env.sim().emit({env.now(), env.pid(), obs::EventKind::kRetry, attempt,
+                      rid, label});
+    // Servers are idempotent and acks are de-duplicated, so re-asking
+    // everyone (including servers that already answered) is always safe.
+    co_await net_->multicast(env, node_, n_, 2 * n_, request);
+
+    window = static_cast<sim::Duration>(
+        static_cast<double>(window) * policy_.timeout_growth);
+    if (policy_.max_timeout > 0) window = std::min(window, policy_.max_timeout);
+    pause = static_cast<sim::Duration>(
+        static_cast<double>(pause) * policy_.backoff_growth);
+    if (policy_.max_backoff > 0) pause = std::min(pause, policy_.max_backoff);
+  }
 }
 
 sim::Task<void> AbdClient::write(sim::Env env, int reg, std::int64_t value) {
+  std::size_t token = 0;
+  if (monitor_ != nullptr)
+    token = monitor_->on_invoke(node_, reg, /*is_write=*/true, value,
+                                env.now());
   // Phase 1: learn the highest tag at a majority.
   Message query;
   query.type = kTagReq;
@@ -91,9 +180,13 @@ sim::Task<void> AbdClient::write(sim::Env env, int reg, std::int64_t value) {
   store.value = value;
   co_await majority(env, store, kWriteAck);
   ++operations_;
+  if (monitor_ != nullptr) monitor_->on_response(token, value, env.now());
 }
 
 sim::Task<std::int64_t> AbdClient::read(sim::Env env, int reg) {
+  std::size_t token = 0;
+  if (monitor_ != nullptr)
+    token = monitor_->on_invoke(node_, reg, /*is_write=*/false, 0, env.now());
   // Phase 1: collect a majority of (tag, value); adopt the maximum.
   Message query;
   query.type = kReadReq;
@@ -108,6 +201,8 @@ sim::Task<std::int64_t> AbdClient::read(sim::Env env, int reg) {
   store.value = seen.value_of_max;
   co_await majority(env, store, kWriteAck);
   ++operations_;
+  if (monitor_ != nullptr)
+    monitor_->on_response(token, seen.value_of_max, env.now());
   co_return seen.value_of_max;
 }
 

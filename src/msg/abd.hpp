@@ -12,6 +12,16 @@
 // later one — with NO timing assumption; late messages (timing failures
 // on channel registers) delay operations but never unorder them.
 //
+// Under a NetAdversary requests and acks can also be lost or duplicated,
+// so the client is hardened: each majority phase collects acks inside a
+// timeout window, de-duplicates acks per server (a duplicated ack must
+// not fake a quorum), and on expiry re-multicasts the same request —
+// servers are idempotent, so re-asking is always safe — after an
+// exponentially growing backoff pause with deterministic jitter (a pure
+// function of node, rid and attempt, keeping adversarial runs
+// replayable).  The default RetryPolicy{} has timeout 0 = the legacy
+// block-forever behaviour, byte-identical on reliable networks.
+//
 // Each node contributes two endpoints to the Network:
 //   client(i) = i        — runs the node's algorithm and issues ops;
 //   server(i) = n + i    — the replica: stores (tag, value) per logical
@@ -31,6 +41,8 @@
 
 namespace tfr::msg {
 
+class ConvergenceMonitor;
+
 /// Message types of the ABD protocol.
 enum AbdMessageType : std::int32_t {
   kTagReq = 1,   ///< -> server: what is your tag for reg?
@@ -41,8 +53,24 @@ enum AbdMessageType : std::int32_t {
   kReadAck = 6,  ///< <- server: my (tag, value)
 };
 
+/// Retry/backoff discipline for one majority phase.  The zero-initialised
+/// policy (timeout 0) reproduces the legacy behaviour exactly: multicast
+/// once and block until a majority answers.
+struct RetryPolicy {
+  sim::Duration timeout = 0;      ///< ack-collection window; 0 = no retries
+  double timeout_growth = 2.0;    ///< window multiplier per retry
+  sim::Duration max_timeout = 0;  ///< window cap (0 = uncapped)
+  sim::Duration backoff = 0;      ///< base pause before a retry
+  double backoff_growth = 2.0;    ///< pause multiplier per retry
+  sim::Duration max_backoff = 0;  ///< pause cap (0 = uncapped)
+  sim::Duration jitter = 0;       ///< max deterministic jitter added to pause
+  sim::Duration poll_every = 1;   ///< poll period while waiting for acks
+};
+
 /// The replica role of node `node`: answers ABD requests forever.  Spawn
 /// with endpoint id server(node) = n + node.  Crash it to fault the node.
+/// Requests are idempotent (reads are pure; writes compare tags), so
+/// re-delivered or re-sent requests are harmless.
 sim::Process abd_server(sim::Env env, Network& net, int node, int n);
 
 /// The client role: issues linearizable reads/writes of logical
@@ -50,7 +78,7 @@ sim::Process abd_server(sim::Env env, Network& net, int node, int n);
 /// running at endpoint client(node) = node.
 class AbdClient {
  public:
-  AbdClient(Network& net, int node, int n);
+  AbdClient(Network& net, int node, int n, RetryPolicy policy = {});
 
   /// Linearizable write of logical register `reg` (two majority phases).
   sim::Task<void> write(sim::Env env, int reg, std::int64_t value);
@@ -58,7 +86,17 @@ class AbdClient {
   /// Linearizable read of logical register `reg` (query + write-back).
   sim::Task<std::int64_t> read(sim::Env env, int reg);
 
+  /// Attaches a monitor; every subsequent read/write is recorded as an
+  /// invoke/response pair for linearizability + convergence checking.
+  void set_monitor(ConvergenceMonitor* monitor) { monitor_ = monitor; }
+
+  const RetryPolicy& policy() const { return policy_; }
+
   std::uint64_t operations() const { return operations_; }
+  std::uint64_t retries() const { return retries_; }
+  std::uint64_t timeouts() const { return timeouts_; }
+  std::uint64_t duplicate_acks() const { return duplicate_acks_; }
+  std::uint64_t stale_acks() const { return stale_acks_; }
 
  private:
   struct Quorum {
@@ -66,9 +104,10 @@ class AbdClient {
     std::int64_t value_of_max = 0;
   };
 
-  /// Broadcasts `request` to all servers and collects a majority of acks
-  /// of type `ack_type` carrying the current rid; returns the highest
-  /// (tag, value) seen among them.
+  /// Multicasts `request` to all servers and collects a majority of acks
+  /// of type `ack_type` carrying the current rid, de-duplicated per
+  /// server; re-multicasts per the RetryPolicy when the window expires.
+  /// Returns the highest (tag, value) seen among the acks.
   sim::Task<Quorum> majority(sim::Env env, Message request,
                              std::int32_t ack_type);
 
@@ -77,11 +116,23 @@ class AbdClient {
   }
   static std::int64_t tag_counter(std::int64_t tag) { return tag >> 16; }
 
+  /// Deterministic jitter in [0, policy_.jitter] for this retry — a pure
+  /// function of (node, rid, attempt), so runs replay byte-identically.
+  sim::Duration jitter_for(std::int64_t rid, int attempt) const;
+
+  const char* phase_name(std::int32_t ack_type) const;
+
   Network* net_;
   int node_;
   int n_;
+  RetryPolicy policy_;
+  ConvergenceMonitor* monitor_ = nullptr;
   std::int64_t next_rid_ = 1;
   std::uint64_t operations_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t duplicate_acks_ = 0;
+  std::uint64_t stale_acks_ = 0;
 };
 
 }  // namespace tfr::msg

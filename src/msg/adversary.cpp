@@ -1,0 +1,174 @@
+#include "tfr/msg/adversary.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "tfr/common/contracts.hpp"
+
+namespace tfr::msg {
+
+namespace {
+
+/// One decorrelated draw in [0, 1) for decision `salt` of message `seq`
+/// on the channel stream `channel_seed`.  Pure function of its inputs, so
+/// verdicts never depend on scheduling.
+double draw01(std::uint64_t channel_seed, std::uint64_t seq,
+              std::uint64_t salt) {
+  std::uint64_t s =
+      channel_seed + seq * 0x9e3779b97f4a7c15ULL + salt * 0xbf58476d1ce4e5b9ULL;
+  const std::uint64_t h = splitmix64(s);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t draw64(std::uint64_t channel_seed, std::uint64_t seq,
+                     std::uint64_t salt) {
+  std::uint64_t s =
+      channel_seed + seq * 0x9e3779b97f4a7c15ULL + salt * 0x94d049bb133111ebULL;
+  return splitmix64(s);
+}
+
+}  // namespace
+
+bool Partition::cuts(int from, int to, sim::Time now) const {
+  if (now < begin || now >= heal) return false;
+  const bool from_in = std::find(group.begin(), group.end(), from) !=
+                       group.end();
+  const bool to_in = std::find(group.begin(), group.end(), to) != group.end();
+  return from_in != to_in;
+}
+
+void NetAdversary::add_partition(Partition partition) {
+  TFR_REQUIRE(partition.begin >= 0 && partition.heal > partition.begin);
+  partitions_.push_back(std::move(partition));
+}
+
+void NetAdversary::add_down_window(DownWindow window) {
+  TFR_REQUIRE(window.endpoint >= 0);
+  TFR_REQUIRE(window.begin >= 0 && window.end > window.begin);
+  down_windows_.push_back(window);
+}
+
+void NetAdversary::arm(sim::Simulation& simulation) {
+  const std::uint32_t label = simulation.trace_label("partition");
+  for (std::size_t i = 0; i < partitions_.size(); ++i) {
+    const auto index = static_cast<std::int64_t>(i);
+    for (const auto& [boundary, healed] :
+         {std::pair{partitions_[i].begin, std::int64_t{0}},
+          std::pair{partitions_[i].heal, std::int64_t{1}}}) {
+      simulation.schedule_callback(
+          boundary, [&simulation, boundary, healed, index, label] {
+            simulation.emit({boundary, -1, obs::EventKind::kNetPartition,
+                             healed, index, label});
+          });
+    }
+  }
+  const std::uint32_t down_label = simulation.trace_label("node-down");
+  for (const DownWindow& w : down_windows_) {
+    for (const auto& [boundary, healed] :
+         {std::pair{w.begin, std::int64_t{0}},
+          std::pair{w.end, std::int64_t{1}}}) {
+      simulation.schedule_callback(
+          boundary,
+          [&simulation, boundary, healed, endpoint = w.endpoint, down_label] {
+            simulation.emit({boundary, -1, obs::EventKind::kNetPartition,
+                             healed, endpoint, down_label});
+          });
+    }
+  }
+}
+
+const ChannelFaults& NetAdversary::faults_for(int from, int to) const {
+  const auto it = overrides_.find(key(from, to));
+  return it != overrides_.end() ? it->second : default_faults_;
+}
+
+bool NetAdversary::endpoint_down(int endpoint, sim::Time now) const {
+  for (const DownWindow& w : down_windows_) {
+    if (w.endpoint == endpoint && now >= w.begin && now < w.end) return true;
+  }
+  return false;
+}
+
+void NetAdversary::emit(sim::Env env, obs::EventKind kind, std::int64_t a,
+                        std::int64_t b, int from, int to) {
+  sim::Simulation& simulation = env.sim();
+  if (simulation.trace_sink() == nullptr) return;
+  const std::uint32_t label = simulation.trace_label(
+      "ch." + std::to_string(from) + ">" + std::to_string(to));
+  simulation.emit({env.now(), env.pid(), kind, a, b, label});
+}
+
+Delivery NetAdversary::on_send(sim::Env env, int from, int to,
+                               std::uint64_t seq) {
+  ++messages_;
+  const sim::Time now = env.now();
+  Delivery verdict;
+
+  // Partition / outage drops are schedule-driven, not probabilistic.
+  bool cut = endpoint_down(from, now) || endpoint_down(to, now);
+  for (const Partition& p : partitions_) cut = cut || p.cuts(from, to, now);
+  if (cut) {
+    ++partition_drops_;
+    ++drops_;
+    last_injected_ = std::max(last_injected_, now);
+    emit(env, obs::EventKind::kNetDrop, static_cast<std::int64_t>(seq), to,
+         from, to);
+    verdict.dropped = true;
+    return verdict;
+  }
+
+  const ChannelFaults& faults = faults_for(from, to);
+  if (!faults.active()) return verdict;
+
+  std::uint64_t channel_seed = seed_ ^ key(from, to);
+  channel_seed = splitmix64(channel_seed);
+
+  if (faults.drop > 0.0 && draw01(channel_seed, seq, 1) < faults.drop) {
+    ++drops_;
+    last_injected_ = std::max(last_injected_, now);
+    emit(env, obs::EventKind::kNetDrop, static_cast<std::int64_t>(seq), to,
+         from, to);
+    verdict.dropped = true;
+    return verdict;
+  }
+  if (faults.duplicate > 0.0 &&
+      draw01(channel_seed, seq, 2) < faults.duplicate) {
+    ++duplicates_;
+    verdict.copies = 2;
+    last_injected_ = std::max(last_injected_, now);
+    emit(env, obs::EventKind::kNetDuplicate, static_cast<std::int64_t>(seq),
+         verdict.copies - 1, from, to);
+  }
+  if (faults.delay > 0.0 && draw01(channel_seed, seq, 3) < faults.delay) {
+    TFR_REQUIRE(faults.delay_max >= faults.delay_min &&
+                faults.delay_min >= 0);
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(faults.delay_max - faults.delay_min) + 1;
+    verdict.extra_delay =
+        faults.delay_min +
+        static_cast<sim::Duration>(draw64(channel_seed, seq, 4) % span);
+    ++delays_;
+    last_injected_ = std::max(last_injected_, now + verdict.extra_delay);
+    emit(env, obs::EventKind::kNetDelay, verdict.extra_delay,
+         static_cast<std::int64_t>(seq), from, to);
+  }
+  if (faults.reorder > 0.0 && draw01(channel_seed, seq, 5) < faults.reorder) {
+    TFR_REQUIRE(faults.reorder_hold >= 0);
+    verdict.extra_delay += faults.reorder_hold;
+    ++reorders_;
+    last_injected_ = std::max(last_injected_, now + verdict.extra_delay);
+    emit(env, obs::EventKind::kNetDelay, faults.reorder_hold,
+         static_cast<std::int64_t>(seq), from, to);
+  }
+  return verdict;
+}
+
+sim::Time NetAdversary::last_fault_time() const {
+  sim::Time last = last_injected_;
+  for (const Partition& p : partitions_) last = std::max(last, p.heal);
+  for (const DownWindow& w : down_windows_) last = std::max(last, w.end);
+  return last;
+}
+
+}  // namespace tfr::msg

@@ -1,0 +1,165 @@
+// Deterministic network fault adversary for the message layer.
+//
+// The Network's channels assume perfectly reliable delivery; a NetAdversary
+// attached via Network::set_adversary turns them into lossy, duplicating,
+// reordering links with scheduled partitions and node down/recovery
+// windows — the message-passing analogue of the FailureInjector's timing
+// failures (§4: late, lost and repeated messages are the faults that
+// message-passing resilience must ride out).
+//
+// Determinism mirrors rt::FaultInjector: each ordered channel (from, to)
+// owns a private SplitMix64 stream seeded from (adversary seed, from, to),
+// and the verdict for the k-th message on that channel is a pure function
+// of (seed, from, to, k).  Because each channel is SPSC, k is fixed by the
+// sender's program, so two runs with the same seed and the same fault
+// configuration inject byte-identical faults no matter how deliveries
+// interleave — which is what makes adversarial runs replayable through
+// obs::record / obs::replay.
+//
+// Fault vocabulary, decided once per message at send time:
+//   * drop       — the message is never delivered;
+//   * duplicate  — an extra copy is delivered after the first;
+//   * delay      — delivery is postponed by a uniform extra duration
+//                  (late messages; later traffic may overtake — reorder);
+//   * reorder    — a pure hold: delivery waits `reorder_hold` ticks so a
+//                  successor can overtake without the cost of a long delay;
+//   * partition  — messages crossing a scheduled cut are dropped until the
+//                  heal time;
+//   * down node  — messages from/to an endpoint are dropped inside a
+//                  window (a crashed-then-recovered node: its state
+//                  survives, traffic during the outage is lost).
+//
+// Every injected fault emits an obs event (kNetDrop / kNetDuplicate /
+// kNetDelay; partition boundaries emit kNetPartition via arm()) so
+// degradation is visible in the same Chrome-JSON timeline as timing
+// failures and rt stalls.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tfr/common/rng.hpp"
+#include "tfr/sim/simulation.hpp"
+#include "tfr/sim/types.hpp"
+
+namespace tfr::msg {
+
+/// Per-channel fault distribution.  Probabilities are independent per
+/// message; a message can be both duplicated and delayed.  Drop wins over
+/// everything else.
+struct ChannelFaults {
+  double drop = 0.0;       ///< P(message is never delivered)
+  double duplicate = 0.0;  ///< P(one extra copy is delivered)
+  double delay = 0.0;      ///< P(extra delay uniform in [delay_min, delay_max])
+  sim::Duration delay_min = 0;
+  sim::Duration delay_max = 0;
+  double reorder = 0.0;    ///< P(held `reorder_hold` ticks; successors overtake)
+  sim::Duration reorder_hold = 0;
+
+  bool active() const {
+    return drop > 0.0 || duplicate > 0.0 || delay > 0.0 || reorder > 0.0;
+  }
+};
+
+/// A scheduled partition: endpoints in `group` cannot exchange messages
+/// with the complement while begin <= now < heal.  Messages sent across
+/// the cut during the window are dropped (the realistic semantics: links
+/// are dead, senders must retry after the heal).
+struct Partition {
+  sim::Time begin = 0;
+  sim::Time heal = 0;  ///< exclusive
+  std::vector<int> group;
+
+  bool cuts(int from, int to, sim::Time now) const;
+};
+
+/// A node outage: every message sent by or addressed to `endpoint` inside
+/// [begin, end) is dropped.  The node's process keeps running (its state
+/// survives, as with stable storage), so `end` is its recovery instant.
+struct DownWindow {
+  int endpoint = -1;
+  sim::Time begin = 0;
+  sim::Time end = 0;  ///< exclusive: the recovery instant
+};
+
+/// The verdict for one message, decided at send time.
+struct Delivery {
+  bool dropped = false;
+  int copies = 1;               ///< 2 when duplicated
+  sim::Duration extra_delay = 0;  ///< added to the send instant
+};
+
+class NetAdversary {
+ public:
+  explicit NetAdversary(std::uint64_t seed = 42) : seed_(seed) {}
+
+  NetAdversary(const NetAdversary&) = delete;
+  NetAdversary& operator=(const NetAdversary&) = delete;
+
+  /// Faults applied to every channel without a per-channel override.
+  void set_default_faults(ChannelFaults faults) { default_faults_ = faults; }
+
+  /// Per-ordered-channel override (wins over the default).
+  void set_channel_faults(int from, int to, ChannelFaults faults) {
+    overrides_[key(from, to)] = faults;
+  }
+
+  void add_partition(Partition partition);
+  void add_down_window(DownWindow window);
+
+  /// Registers kNetPartition begin/heal markers (and the down windows'
+  /// boundaries) as scheduled callbacks on `simulation`, so the cut shows
+  /// up in the trace even when no message happens to cross it.  Call after
+  /// the partitions/down windows are configured, before run().
+  void arm(sim::Simulation& simulation);
+
+  /// The verdict for message `seq` (0-based per-channel send counter) on
+  /// channel (from, to) sent at `now`.  Called by Network::send; emits
+  /// fault events through `env`'s simulation when tracing is on.
+  Delivery on_send(sim::Env env, int from, int to, std::uint64_t seq);
+
+  /// Completion instant of the latest fault injected or scheduled so far:
+  /// drop/duplicate instants, delayed deliveries' arrival instants,
+  /// partition heals and down-window ends.  -1 when nothing was injected
+  /// and nothing is scheduled — the reference point for "converges after
+  /// the last fault" measurements.
+  sim::Time last_fault_time() const;
+
+  std::uint64_t messages() const { return messages_; }
+  std::uint64_t drops() const { return drops_; }
+  std::uint64_t duplicates() const { return duplicates_; }
+  std::uint64_t delays() const { return delays_; }
+  std::uint64_t reorders() const { return reorders_; }
+  std::uint64_t partition_drops() const { return partition_drops_; }
+
+ private:
+  static std::uint64_t key(int from, int to) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from))
+            << 32) |
+           static_cast<std::uint32_t>(to);
+  }
+
+  const ChannelFaults& faults_for(int from, int to) const;
+  bool endpoint_down(int endpoint, sim::Time now) const;
+  void emit(sim::Env env, obs::EventKind kind, std::int64_t a, std::int64_t b,
+            int from, int to);
+
+  std::uint64_t seed_;
+  ChannelFaults default_faults_;
+  std::map<std::uint64_t, ChannelFaults> overrides_;
+  std::vector<Partition> partitions_;
+  std::vector<DownWindow> down_windows_;
+
+  std::uint64_t messages_ = 0;
+  std::uint64_t drops_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t delays_ = 0;
+  std::uint64_t reorders_ = 0;
+  std::uint64_t partition_drops_ = 0;
+  sim::Time last_injected_ = -1;
+};
+
+}  // namespace tfr::msg

@@ -7,8 +7,9 @@
 namespace tfr::msg {
 
 MsgConsensus::MsgConsensus(Network& net, int n, sim::Duration delta,
-                           int reg_base)
-    : net_(&net), n_(n), delta_(delta), reg_base_(reg_base) {
+                           int reg_base, RetryPolicy policy)
+    : net_(&net), n_(n), delta_(delta), reg_base_(reg_base),
+      policy_(policy) {
   TFR_REQUIRE(n >= 1);
   TFR_REQUIRE(delta >= 1);
   TFR_REQUIRE(reg_base >= 0);
@@ -47,7 +48,7 @@ sim::Task<int> MsgConsensus::propose(sim::Env env, AbdClient& client,
 }
 
 sim::Process MsgConsensus::participant(sim::Env env, int node, int input) {
-  AbdClient client(*net_, node, n_);
+  AbdClient client(*net_, node, n_, policy_);
   const int decided = co_await propose(env, client, input);
   monitor_.on_decide(node, decided, env.now());
 }

@@ -32,8 +32,11 @@ class MsgConsensus {
   /// `reg_base` offsets this instance's logical register ids so multiple
   /// instances (e.g. the bitwise multi-valued construction) can share one
   /// ABD register space; an instance uses ids [reg_base, reg_base+3R+1)
-  /// for R rounds.
-  MsgConsensus(Network& net, int n, sim::Duration delta, int reg_base = 0);
+  /// for R rounds.  `policy` is the retry discipline given to the
+  /// AbdClients that participant() constructs (default: legacy blocking,
+  /// for reliable networks; pass timeouts when a NetAdversary is on).
+  MsgConsensus(Network& net, int n, sim::Duration delta, int reg_base = 0,
+               RetryPolicy policy = {});
 
   /// The full node-client process: propose, then report to the monitor.
   /// Spawn at endpoint client(node) = node; the matching abd_server must
@@ -59,6 +62,7 @@ class MsgConsensus {
   int n_;
   sim::Duration delta_;
   int reg_base_;
+  RetryPolicy policy_;
   sim::DecisionMonitor monitor_;
   std::size_t max_round_ = 0;
 };

@@ -1,0 +1,102 @@
+// Convergence + safety monitor for message-passing executions.
+//
+// Under a NetAdversary the interesting questions are (a) did the protocol
+// stay safe while messages were dropped, duplicated and reordered, and
+// (b) once the adversary went quiet, how quickly did the system converge
+// back to completing operations?  The ConvergenceMonitor answers both:
+//
+//  * Safety — ALWAYS checked, faults or not: every recorded ABD operation
+//    history must be linearizable against the atomic-register spec
+//    (Wing–Gong, spec::RegisterModel), one history per logical register.
+//
+//  * Convergence — every operation that completes after the adversary's
+//    last fault must do so within `bound` ticks of max(its invocation, the
+//    last fault instant), and no operation may be left unfinished.  With
+//    no adversary attached the reference instant is 0, which makes the
+//    bound a plain per-operation latency ceiling.
+//
+// Clients record through on_invoke()/on_response(); AbdClient does this
+// automatically when a monitor is attached.  check() runs both verdicts,
+// bumps safety_violations() and emits obs kViolation events (labels
+// "linearizability" / "convergence" / "unfinished-op") when a simulation
+// is attached, so violations land in the same trace as the faults that
+// caused them.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "tfr/sim/simulation.hpp"
+#include "tfr/sim/types.hpp"
+#include "tfr/spec/history.hpp"
+
+namespace tfr::msg {
+
+class NetAdversary;
+
+class ConvergenceMonitor {
+ public:
+  ConvergenceMonitor() = default;
+
+  ConvergenceMonitor(const ConvergenceMonitor&) = delete;
+  ConvergenceMonitor& operator=(const ConvergenceMonitor&) = delete;
+
+  /// The adversary whose last_fault_time() anchors the convergence check
+  /// (null: anchor at 0, i.e. plain latency ceiling).
+  void set_adversary(const NetAdversary* adversary) { adversary_ = adversary; }
+
+  /// Max ticks an operation may take beyond max(invocation, last fault).
+  void set_bound(sim::Duration bound) { bound_ = bound; }
+  sim::Duration bound() const { return bound_; }
+
+  /// Simulation used for kViolation emission during check() (optional).
+  void set_simulation(sim::Simulation* simulation) { simulation_ = simulation; }
+
+  /// Records the invocation of a read (is_write=false) or write on logical
+  /// register `reg` by `node`; returns a token for on_response().
+  std::size_t on_invoke(int node, int reg, bool is_write, std::int64_t value,
+                        sim::Time now);
+
+  /// Completes the operation `token`; `value` is the read result (ignored
+  /// for writes, pass 0).
+  void on_response(std::size_t token, std::int64_t value, sim::Time now);
+
+  struct Report {
+    bool linearizable = true;
+    bool converged = true;
+    std::uint64_t operations = 0;    ///< completed operations checked
+    std::uint64_t unfinished = 0;    ///< invoked but never completed
+    sim::Duration worst_lag = 0;     ///< max completion lag vs anchor
+    sim::Time anchor = 0;            ///< adversary last-fault instant used
+    bool ok() const { return linearizable && converged && unfinished == 0; }
+  };
+
+  /// Runs both verdicts over everything recorded so far.  Violations
+  /// accumulate in safety_violations() and emit kViolation events when a
+  /// simulation is attached.  Idempotent over the same data (violation
+  /// counts reflect the latest check only).
+  Report check();
+
+  std::uint64_t safety_violations() const { return safety_violations_; }
+  std::uint64_t operations_recorded() const { return tokens_.size(); }
+
+ private:
+  void violation(const char* what);
+
+  const NetAdversary* adversary_ = nullptr;
+  sim::Simulation* simulation_ = nullptr;
+  sim::Duration bound_ = 0;  ///< 0 = convergence check disabled
+
+  std::map<int, spec::History> histories_;  ///< per logical register
+  struct TokenEntry {
+    int reg = 0;
+    std::size_t inner = 0;  ///< token inside histories_[reg]
+    bool done = false;
+  };
+  std::vector<TokenEntry> tokens_;
+  std::uint64_t safety_violations_ = 0;
+};
+
+}  // namespace tfr::msg

@@ -35,13 +35,14 @@ sim::Process TimedElection::participant(sim::Env env, int node) {
   monitor_.on_decide(node, leader, env.now());
 }
 
-MsgElection::MsgElection(Network& net, int n, sim::Duration delta)
-    : net_(&net), n_(n), delta_(delta) {
+MsgElection::MsgElection(Network& net, int n, sim::Duration delta,
+                         RetryPolicy policy)
+    : net_(&net), n_(n), delta_(delta), policy_(policy) {
   TFR_REQUIRE(n >= 1 && n <= (1 << kIdBits));
   bits_.reserve(kIdBits);
   for (int k = 0; k < kIdBits; ++k)
     bits_.push_back(
-        std::make_unique<MsgConsensus>(net, n, delta, bit_base(k)));
+        std::make_unique<MsgConsensus>(net, n, delta, bit_base(k), policy));
 }
 
 sim::Task<int> MsgElection::elect(sim::Env env, AbdClient& client, int id) {
@@ -68,7 +69,7 @@ sim::Task<int> MsgElection::elect(sim::Env env, AbdClient& client, int id) {
 
 sim::Process MsgElection::participant(sim::Env env, int node) {
   monitor_.set_input(node, node);
-  AbdClient client(*net_, node, n_);
+  AbdClient client(*net_, node, n_, policy_);
   const int leader = co_await elect(env, client, node);
   monitor_.on_decide(node, leader, env.now());
 }

@@ -51,7 +51,10 @@ class MsgElection {
  public:
   static constexpr int kIdBits = 10;  ///< up to 1024 node ids
 
-  MsgElection(Network& net, int n, sim::Duration delta);
+  /// `policy` is handed to the AbdClients of participant() and to the
+  /// per-bit MsgConsensus instances (legacy blocking by default).
+  MsgElection(Network& net, int n, sim::Duration delta,
+              RetryPolicy policy = {});
 
   /// Full participant: elect and report to the monitor.  The node's
   /// abd_server must be running.
@@ -73,6 +76,7 @@ class MsgElection {
   Network* net_;
   int n_;
   sim::Duration delta_;
+  RetryPolicy policy_;
   std::vector<std::unique_ptr<MsgConsensus>> bits_;
   sim::DecisionMonitor monitor_;
 };

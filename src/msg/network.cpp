@@ -20,6 +20,9 @@ Network::Network(sim::RegisterSpace& space, int endpoints)
   }
   consumed_.assign(static_cast<std::size_t>(endpoints),
                    std::vector<int>(static_cast<std::size_t>(endpoints), 0));
+  inbound_.assign(static_cast<std::size_t>(endpoints),
+                  std::vector<Inbound>(static_cast<std::size_t>(endpoints)));
+  poll_start_.assign(static_cast<std::size_t>(endpoints), 0);
 }
 
 sim::Task<void> Network::send(sim::Env env, int self, int to, Message m) {
@@ -31,6 +34,17 @@ sim::Task<void> Network::send(sim::Env env, int self, int to, Message m) {
   // knowledge.  Slot is written BEFORE the tail so the receiver never
   // observes an unwritten slot.
   const int slot = ch.sender_next++;
+  if (adversary_ != nullptr) {
+    // The verdict is decided at send time; the sender still pays the full
+    // send cost (the network, not the sender, loses the message), and the
+    // tail still advances so per-channel sequence numbers stay dense.
+    const Delivery verdict = adversary_->on_send(
+        env, self, to, static_cast<std::uint64_t>(slot));
+    ch.meta.resize(static_cast<std::size_t>(slot) + 1);
+    ch.meta[static_cast<std::size_t>(slot)] =
+        SlotMeta{env.now() + verdict.extra_delay,
+                 verdict.dropped ? 0 : verdict.copies};
+  }
   co_await env.write(ch.slots.at(static_cast<std::size_t>(slot)), m);
   co_await env.write(ch.tail, slot + 1);
   ++sent_;
@@ -44,14 +58,58 @@ sim::Task<void> Network::multicast(sim::Env env, int self, int first,
 sim::Task<std::optional<Message>> Network::try_recv(sim::Env env, int self) {
   TFR_REQUIRE(self >= 0 && self < endpoints_);
   auto& cursors = consumed_[static_cast<std::size_t>(self)];
-  for (int from = 0; from < endpoints_; ++from) {
+  auto& states = inbound_[static_cast<std::size_t>(self)];
+  const int start = poll_start_[static_cast<std::size_t>(self)];
+  for (int i = 0; i < endpoints_; ++i) {
+    const int from = (start + i) % endpoints_;
     Channel& ch = channel(from, self);
-    const int tail = co_await env.read(ch.tail);
+    Inbound& in = states[static_cast<std::size_t>(from)];
     int& cursor = cursors[static_cast<std::size_t>(from)];
-    if (tail > cursor) {
+    // Reliable fast path: nothing pending from the unreliable machinery
+    // and no adversary attached — identical to the original SPSC consume.
+    if (adversary_ == nullptr && in.ready.empty() && in.scanned == cursor) {
+      const int tail = co_await env.read(ch.tail);
+      if (tail > cursor) {
+        const Message m =
+            co_await env.read(ch.slots.at(static_cast<std::size_t>(cursor)));
+        ++cursor;
+        in.scanned = cursor;
+        poll_start_[static_cast<std::size_t>(self)] = (from + 1) % endpoints_;
+        co_return m;
+      }
+      continue;
+    }
+    // Unreliable path: classify newly published slots, then deliver the
+    // pending copy with the earliest delivery instant that has arrived.
+    const int tail = co_await env.read(ch.tail);
+    while (in.scanned < tail) {
+      const int slot = in.scanned++;
+      SlotMeta meta{};  // senders without a verdict deliver immediately
+      if (static_cast<std::size_t>(slot) < ch.meta.size())
+        meta = ch.meta[static_cast<std::size_t>(slot)];
+      if (meta.copies > 0)
+        in.ready.push_back({slot, meta.deliver_at, meta.copies});
+    }
+    const sim::Time now = env.now();
+    std::size_t best = in.ready.size();
+    for (std::size_t r = 0; r < in.ready.size(); ++r) {
+      const Inbound::Held& h = in.ready[r];
+      if (h.deliver_at > now) continue;
+      if (best == in.ready.size() ||
+          h.deliver_at < in.ready[best].deliver_at ||
+          (h.deliver_at == in.ready[best].deliver_at &&
+           h.slot < in.ready[best].slot)) {
+        best = r;
+      }
+    }
+    if (best != in.ready.size()) {
+      const int slot = in.ready[best].slot;
       const Message m =
-          co_await env.read(ch.slots.at(static_cast<std::size_t>(cursor)));
-      ++cursor;
+          co_await env.read(ch.slots.at(static_cast<std::size_t>(slot)));
+      if (--in.ready[best].copies == 0)
+        in.ready.erase(in.ready.begin() + static_cast<std::ptrdiff_t>(best));
+      cursor = in.scanned;  // keep the fast-path cursor consistent
+      poll_start_[static_cast<std::size_t>(self)] = (from + 1) % endpoints_;
       co_return m;
     }
   }
@@ -62,6 +120,18 @@ sim::Task<Message> Network::recv(sim::Env env, int self) {
   for (;;) {
     auto m = co_await try_recv(env, self);
     if (m.has_value()) co_return *m;
+  }
+}
+
+sim::Task<std::optional<Message>> Network::recv_until(sim::Env env, int self,
+                                                      sim::Time deadline,
+                                                      sim::Duration poll_every) {
+  TFR_REQUIRE(poll_every >= 1);
+  for (;;) {
+    auto m = co_await try_recv(env, self);
+    if (m.has_value()) co_return m;
+    if (env.now() >= deadline) co_return std::nullopt;
+    co_await env.delay(poll_every);
   }
 }
 

@@ -10,7 +10,18 @@
 // the slot then bumps the tail (2 shared accesses, each <= Δ when timing
 // holds, so a message "arrives" within 2Δ + the receiver's polling step);
 // the receiver polls tails (cache-local while nothing changes) and
-// consumes slots in order.
+// consumes slots in order.  Polling sweeps start at a rotating per-caller
+// index so no inbound channel can be starved by sustained load on a
+// lower-numbered one.
+//
+// A NetAdversary attached via set_adversary() makes delivery unreliable:
+// each message's verdict (drop / duplicate / extra delay) is decided at
+// send time from a per-channel deterministic stream; the receiver's sweep
+// skips dropped slots, holds delayed slots until their delivery instant
+// (later slots may overtake — reordering), and re-delivers duplicated
+// slots once more.  Slot delivery metadata is substrate bookkeeping like
+// the read cursors: it models the link, not algorithm state, so it is
+// untimed by design.
 //
 // Endpoints are small integers in [0, endpoints); the ABD layer maps a
 // node to two endpoints (client + server).
@@ -22,6 +33,7 @@
 #include <optional>
 #include <vector>
 
+#include "tfr/msg/adversary.hpp"
 #include "tfr/sim/register.hpp"
 #include "tfr/sim/simulation.hpp"
 #include "tfr/sim/task.hpp"
@@ -47,6 +59,11 @@ class Network {
 
   int endpoints() const { return endpoints_; }
 
+  /// Attaches the fault adversary (null detaches).  Attach before traffic
+  /// flows; verdicts apply to messages sent while attached.
+  void set_adversary(NetAdversary* adversary) { adversary_ = adversary; }
+  NetAdversary* adversary() const { return adversary_; }
+
   /// Sends `m` to endpoint `to` (2 shared accesses).  m.from is stamped
   /// with `self`.
   sim::Task<void> send(sim::Env env, int self, int to, Message m);
@@ -56,17 +73,32 @@ class Network {
   sim::Task<void> multicast(sim::Env env, int self, int first, int last,
                             Message m);
 
-  /// One polling sweep over all inbound channels of `self`; returns the
-  /// first undelivered message found, or nullopt.  Costs one tail read
-  /// per sender (cache-local when idle) plus one slot read on a hit.
+  /// One polling sweep over all inbound channels of `self`, starting at a
+  /// rotating per-caller index; returns the first deliverable message
+  /// found, or nullopt.  Costs one tail read per sender polled
+  /// (cache-local when idle) plus one slot read on a hit.
   sim::Task<std::optional<Message>> try_recv(sim::Env env, int self);
 
   /// Polls until a message arrives.
   sim::Task<Message> recv(sim::Env env, int self);
 
+  /// Polls until a message arrives or `deadline` passes; between empty
+  /// sweeps waits `poll_every` ticks so the caller does not spin.
+  sim::Task<std::optional<Message>> recv_until(sim::Env env, int self,
+                                               sim::Time deadline,
+                                               sim::Duration poll_every = 1);
+
   std::uint64_t messages_sent() const { return sent_; }
 
  private:
+  /// Delivery metadata for one sent slot, written by the sender at send
+  /// time (adversary verdict) and consumed by the receiver's sweep —
+  /// substrate bookkeeping, same status as the read cursors.
+  struct SlotMeta {
+    sim::Time deliver_at = 0;  ///< earliest delivery instant
+    int copies = 1;            ///< 0 = dropped
+  };
+
   struct Channel {
     Channel(sim::RegisterSpace& space, const std::string& name)
         : slots(space, Message{}, name + ".slot"),
@@ -74,6 +106,18 @@ class Network {
     sim::RegisterArray<Message> slots;
     sim::Register<int> tail;
     int sender_next = 0;  ///< sender-local: slots written so far
+    std::vector<SlotMeta> meta;  ///< sender-appended adversary verdicts
+  };
+
+  /// Receiver-local per-channel delivery state (adversary path).
+  struct Inbound {
+    int scanned = 0;  ///< slots classified so far (<= observed tail)
+    struct Held {
+      int slot = 0;
+      sim::Time deliver_at = 0;
+      int copies = 1;
+    };
+    std::vector<Held> ready;  ///< published, undelivered, not dropped
   };
 
   Channel& channel(int from, int to) {
@@ -84,8 +128,14 @@ class Network {
 
   int endpoints_;
   std::vector<std::unique_ptr<Channel>> channels_;
-  /// consumed_[receiver][sender]: receiver-local read cursors.
+  /// consumed_[receiver][sender]: receiver-local read cursors (reliable
+  /// path; with an adversary the Inbound state supersedes them).
   std::vector<std::vector<int>> consumed_;
+  /// inbound_[receiver][sender]: adversary-path delivery state.
+  std::vector<std::vector<Inbound>> inbound_;
+  /// poll_start_[receiver]: rotating sweep start (fairness under load).
+  std::vector<int> poll_start_;
+  NetAdversary* adversary_ = nullptr;
   std::uint64_t sent_ = 0;
 };
 

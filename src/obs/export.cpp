@@ -54,6 +54,14 @@ KindInfo kind_info(EventKind kind) {
     case EventKind::kCrash: return {"crash", "failure", false};
     case EventKind::kDone: return {"done", "process", false};
     case EventKind::kStall: return {"stall", "failure", false};
+    case EventKind::kNetDrop: return {"net-drop", "network", false};
+    case EventKind::kNetDuplicate: return {"net-duplicate", "network", false};
+    case EventKind::kNetDelay: return {"net-delay", "network", false};
+    case EventKind::kNetPartition: return {"net-partition", "network", false};
+    case EventKind::kRetry: return {"retry", "recovery", false};
+    case EventKind::kTimeout: return {"timeout", "recovery", false};
+    case EventKind::kBackoff: return {"backoff", "recovery", false};
+    case EventKind::kCounter: return {"counter", "counter", false};
   }
   return {"event", "misc", false};
 }
@@ -139,6 +147,27 @@ std::string to_chrome_json(const TraceSink& sink) {
     const KindInfo info = kind_info(e.kind);
     if (!first) out += ",";
     first = false;
+    if (e.kind == EventKind::kCounter) {
+      // Chrome counter track: a/b become two stacked series so stall (or
+      // fault) totals plot over time alongside the span/instant events.
+      out += "{\"ph\":\"C\",\"name\":\"";
+      const std::string_view counter = label_of(e.label);
+      if (counter.empty()) {
+        out += "counter";
+      } else {
+        append_json_escaped(out, counter);
+      }
+      out += "\",\"cat\":\"counter\",\"ts\":";
+      out += std::to_string(e.time);
+      out += ",\"pid\":0,\"tid\":";
+      out += std::to_string(e.pid);
+      out += ",\"args\":{\"count\":";
+      out += std::to_string(e.a);
+      out += ",\"total\":";
+      out += std::to_string(e.b);
+      out += "}}";
+      continue;
+    }
     out += "{\"name\":\"";
     const std::string_view label = label_of(e.label);
     if (!label.empty()) {

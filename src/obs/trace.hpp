@@ -51,6 +51,23 @@ enum class EventKind : std::uint8_t {
   kDone = 13,          ///< process coroutine finished
   kStall = 14,         ///< rt injected stall; a = stall ns, b = visit index,
                        ///< label = injection point
+  kNetDrop = 15,       ///< adversary dropped a message; a = channel seq,
+                       ///< b = receiver endpoint, label = channel
+  kNetDuplicate = 16,  ///< adversary duplicated a message; a = channel seq,
+                       ///< b = extra copies, label = channel
+  kNetDelay = 17,      ///< adversary delayed a message; a = extra delay,
+                       ///< b = channel seq, label = channel
+  kNetPartition = 18,  ///< partition boundary; a = 0 begin / 1 heal,
+                       ///< b = partition index, label = "partition"
+  kRetry = 19,         ///< client re-sent a request; a = attempt, b = rid,
+                       ///< label = phase
+  kTimeout = 20,       ///< client phase timeout expired; a = timeout used,
+                       ///< b = rid, label = phase
+  kBackoff = 21,       ///< client backoff pause; a = pause length, b = rid,
+                       ///< label = phase
+  kCounter = 22,       ///< counter sample; a/b = kind-specific running
+                       ///< totals (e.g. stall count / stalled ns),
+                       ///< label = counter name
 };
 
 /// One trace record.  `time` is virtual ticks in the simulator and

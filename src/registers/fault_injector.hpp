@@ -61,6 +61,8 @@ class FaultInjector {
     auto [it, inserted] = points_.try_emplace(std::move(point));
     it->second.config = config;
     it->second.visits.store(0, std::memory_order_relaxed);
+    it->second.fired.store(0, std::memory_order_relaxed);
+    it->second.stalled_ns.store(0, std::memory_order_relaxed);
     // Derive the point's private stream: hash the name into the seed so
     // distinct points draw from decorrelated SplitMix64 sequences.
     std::uint64_t s = seed_ ^ fnv1a(it->first);
@@ -99,6 +101,13 @@ class FaultInjector {
     }
     if (fire) {
       stalls_.fetch_add(1, std::memory_order_relaxed);
+      const std::uint64_t fired =
+          entry.fired.fetch_add(1, std::memory_order_relaxed) + 1;
+      const std::uint64_t stalled_ns =
+          entry.stalled_ns.fetch_add(
+              static_cast<std::uint64_t>(entry.config.stall.count()),
+              std::memory_order_relaxed) +
+          static_cast<std::uint64_t>(entry.config.stall.count());
       if (sink_ != nullptr) {
         const auto since_origin =
             std::chrono::duration_cast<Nanos>(
@@ -106,6 +115,11 @@ class FaultInjector {
         sink_->append({since_origin.count(), -1, obs::EventKind::kStall,
                        entry.config.stall.count(),
                        static_cast<std::int64_t>(visit), entry.label});
+        // Running per-point totals as a counter sample, so the Chrome
+        // timeline grows a counter track per injection point.
+        sink_->append({since_origin.count(), -1, obs::EventKind::kCounter,
+                       static_cast<std::int64_t>(fired),
+                       static_cast<std::int64_t>(stalled_ns), entry.label});
       }
       spin_for(entry.config.stall);
     }
@@ -114,6 +128,22 @@ class FaultInjector {
 
   std::uint64_t stalls() const {
     return stalls_.load(std::memory_order_relaxed);
+  }
+
+  /// Stalls fired at `point` so far (0 for unknown points).
+  std::uint64_t point_stalls(std::string_view point) const {
+    const auto it = points_.find(point);
+    return it == points_.end()
+               ? 0
+               : it->second.fired.load(std::memory_order_relaxed);
+  }
+
+  /// Total nanoseconds of stall injected at `point` so far.
+  std::uint64_t point_stalled_ns(std::string_view point) const {
+    const auto it = points_.find(point);
+    return it == points_.end()
+               ? 0
+               : it->second.stalled_ns.load(std::memory_order_relaxed);
   }
 
  private:
@@ -131,6 +161,8 @@ class FaultInjector {
     std::uint64_t point_seed = 0;  ///< immutable after configure()
     std::uint32_t label = 0;
     std::atomic<std::uint64_t> visits{0};
+    std::atomic<std::uint64_t> fired{0};       ///< stalls injected here
+    std::atomic<std::uint64_t> stalled_ns{0};  ///< total ns stalled here
   };
 
   std::uint64_t seed_;

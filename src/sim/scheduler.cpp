@@ -31,6 +31,13 @@ bool Simulation::pop_next_event(Event& out, Time limit, bool& over_limit) {
     while (!queue_.empty() && queue_.top().when == when) {
       Event event = queue_.top();
       queue_.pop();
+      if (event.callback >= 0) {
+        // Scheduled callbacks are not scheduling options: they run as soon
+        // as their instant is reached, before the strategy picks.
+        now_ = event.when;
+        callbacks_[static_cast<std::size_t>(event.callback)]();
+        continue;
+      }
       if (crashed_by(event.pid, event.when)) {
         stats_[static_cast<std::size_t>(event.pid)].crashed = true;
         emit({crash_time_[static_cast<std::size_t>(event.pid)], event.pid,
@@ -71,6 +78,12 @@ Simulation::RunResult Simulation::run(Time limit,
       if (top.when > limit) return RunResult::TimeLimit;
       event = top;
       queue_.pop();
+      if (event.callback >= 0) {
+        now_ = event.when;
+        callbacks_[static_cast<std::size_t>(event.callback)]();
+        if (stop && stop()) return RunResult::Stopped;
+        continue;
+      }
       if (crashed_by(event.pid, event.when)) {
         // The access would have linearized at or after the crash instant:
         // it never takes effect and the process takes no further steps.
@@ -93,6 +106,16 @@ Simulation::RunResult Simulation::run(Time limit,
     }
     if (stop && stop()) return RunResult::Stopped;
   }
+}
+
+void Simulation::schedule_callback(Time when, std::function<void()> fn) {
+  TFR_REQUIRE(when >= now_);
+  TFR_REQUIRE(fn != nullptr);
+  callbacks_.push_back(std::move(fn));
+  Event event{when, next_seq_++, /*pid=*/-1, /*handle=*/{},
+              AccessKind::kStart, /*reg_uid=*/0,
+              static_cast<std::int64_t>(callbacks_.size() - 1)};
+  queue_.push(event);
 }
 
 void Simulation::crash_at(Pid pid, Time t) {

@@ -274,6 +274,14 @@ class Simulation {
   RunResult run(Time limit = kTimeNever,
                 const std::function<bool()>& stop = {});
 
+  /// Schedules `fn` to run at virtual time `when` (>= now), outside any
+  /// process — the channel-level interception seam: network adversaries
+  /// use it to mark partition begin/heal instants in the trace and to
+  /// reconfigure fault schedules deterministically mid-run.  Callbacks at
+  /// the same instant run in scheduling order, before process events are
+  /// offered to any SchedulerStrategy; they must not co_await.
+  void schedule_callback(Time when, std::function<void()> fn);
+
   /// Kills `pid` at time t: accesses linearizing at or after t never happen.
   void crash_at(Pid pid, Time t);
 
@@ -309,6 +317,7 @@ class Simulation {
     std::coroutine_handle<> handle;
     AccessKind kind;        ///< what linearizes when this event resumes
     std::uint64_t reg_uid;  ///< register uid for kRead/kWrite; 0 otherwise
+    std::int64_t callback = -1;  ///< index into callbacks_; -1 = process event
   };
   struct EventLater {
     bool operator()(const Event& a, const Event& b) const {
@@ -339,6 +348,7 @@ class Simulation {
   std::vector<Time> crash_time_;
   std::vector<std::uint64_t> crash_access_limit_;
   std::exception_ptr pending_exception_{};
+  std::vector<std::function<void()>> callbacks_;
   struct TraceEvent {
     Time when;
     Pid pid;

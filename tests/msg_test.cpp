@@ -11,9 +11,12 @@
 
 #include "tfr/common/contracts.hpp"
 #include "tfr/msg/abd.hpp"
+#include "tfr/msg/adversary.hpp"
 #include "tfr/msg/consensus_msg.hpp"
+#include "tfr/msg/convergence.hpp"
 #include "tfr/msg/election_msg.hpp"
 #include "tfr/msg/network.hpp"
+#include "tfr/obs/replay.hpp"
 #include "tfr/sim/simulation.hpp"
 #include "tfr/sim/timing.hpp"
 
@@ -396,6 +399,348 @@ TEST(MsgConsensusTest, SurvivesCrashOfOneNodeServerOfFive) {
                                      make_uniform_timing(1, kDelta), 2,
                                      100'000'000, /*crash_servers=*/1);
   EXPECT_EQ(out.violations, 0u);
+}
+
+// --- Network adversary + hardened clients ------------------------------------------
+
+/// Retry discipline sized for kDelta-scale channels: one phase round trip
+/// (multicast + server turnaround + ack) fits comfortably inside the
+/// first window; the cap keeps long partitions from inflating waits
+/// unboundedly.
+RetryPolicy test_policy() {
+  RetryPolicy policy;
+  policy.timeout = 40 * kDelta;
+  policy.timeout_growth = 2.0;
+  policy.max_timeout = 320 * kDelta;
+  policy.backoff = 2 * kDelta;
+  policy.backoff_growth = 2.0;
+  policy.max_backoff = 40 * kDelta;
+  policy.jitter = kDelta;
+  policy.poll_every = 5;
+  return policy;
+}
+
+/// The acceptance-criterion fault mix: 20% drop, 5% duplicate, reorder on.
+ChannelFaults acceptance_faults() {
+  ChannelFaults faults;
+  faults.drop = 0.20;
+  faults.duplicate = 0.05;
+  faults.reorder = 0.25;
+  faults.reorder_hold = 4 * kDelta;
+  return faults;
+}
+
+sim::Process flood_sender(sim::Env env, Network& net, int self, int to) {
+  for (;;) {
+    Message m;
+    m.type = 7;
+    m.value = self * 1000;
+    co_await net.send(env, self, to, m);
+  }
+}
+
+sim::Process counting_receiver(sim::Env env, Network& net, int self,
+                               int count, std::vector<std::int64_t>& got) {
+  for (int k = 0; k < count; ++k) {
+    const Message m = co_await net.recv(env, self);
+    got.push_back(m.value);
+  }
+}
+
+TEST(NetAdversaryTest, RotatingPollPreventsStarvation) {
+  // Sender 0 floods channel 0->2 so it is never empty; under a sweep that
+  // always restarted at sender 0, sender 1's messages were starved
+  // indefinitely.  The rotating start must interleave both senders.
+  sim::Simulation s(make_fixed_timing(1));
+  Network net(s.space(), 3);
+  std::vector<std::int64_t> got;
+  s.spawn([&net, &got](sim::Env env) {
+    return counting_receiver(env, net, 2, 12, got);
+  });
+  s.spawn([&net](sim::Env env) { return flood_sender(env, net, 0, 2); });
+  s.spawn([&net](sim::Env env) { return flood_sender(env, net, 1, 2); });
+  s.run(10'000, [&] { return got.size() >= 12; });
+  ASSERT_EQ(got.size(), 12u);
+  const auto from1 =
+      std::count_if(got.begin(), got.end(),
+                    [](std::int64_t v) { return v == 1000; });
+  EXPECT_GE(from1, 3) << "high-index channel starved by the flood on 0->2";
+  EXPECT_GE(got.size() - static_cast<std::size_t>(from1), 3u);
+}
+
+/// One hardened client's workload: write then read one register, then
+/// bump the completion counter.  (A free coroutine, not a coroutine
+/// lambda: lambda captures do not survive into a coroutine frame.)
+sim::Process hardened_write_read(sim::Env env, AbdClient& client, int reg,
+                                 std::int64_t value, int* done) {
+  co_await client.write(env, reg, value);
+  co_await client.read(env, reg);
+  ++*done;
+}
+
+sim::Process hardened_write_only(sim::Env env, AbdClient& client, int reg,
+                                 std::int64_t value, int* done) {
+  co_await client.write(env, reg, value);
+  ++*done;
+}
+
+/// Hardened two-client ABD workload under `faults`; reports the monitor
+/// verdict and whether every operation completed.
+struct AdversaryRun {
+  bool all_done = false;
+  ConvergenceMonitor::Report report;
+  std::uint64_t injected = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t duplicate_acks = 0;
+};
+
+AdversaryRun run_adversarial_abd(const ChannelFaults& faults,
+                                 std::uint64_t net_seed, std::uint64_t seed,
+                                 sim::Duration bound = 0) {
+  sim::Simulation s(make_uniform_timing(1, kDelta), {.seed = seed});
+  const int n = 3;
+  Network net(s.space(), 2 * n);
+  NetAdversary adversary(net_seed);
+  adversary.set_default_faults(faults);
+  net.set_adversary(&adversary);
+  ConvergenceMonitor monitor;
+  monitor.set_adversary(&adversary);
+  if (bound > 0) monitor.set_bound(bound);
+
+  int done = 0;
+  std::vector<std::unique_ptr<AbdClient>> clients;
+  for (int i = 0; i < n; ++i) {
+    clients.push_back(
+        std::make_unique<AbdClient>(net, i, n, test_policy()));
+    clients.back()->set_monitor(&monitor);
+  }
+  for (int i = 0; i < n; ++i) {
+    s.spawn([&clients, &done, i](sim::Env env) {
+      return hardened_write_read(env, *clients[static_cast<std::size_t>(i)],
+                                 1, 100 + i, &done);
+    });
+  }
+  spawn_servers(s, net, n);
+  s.run(4'000'000'000, [&] { return done == n; });
+
+  AdversaryRun out;
+  out.all_done = done == n;
+  out.report = monitor.check();
+  out.injected = adversary.drops() + adversary.duplicates() +
+                 adversary.delays() + adversary.reorders();
+  for (const auto& c : clients) {
+    out.retries += c->retries();
+    out.duplicate_acks += c->duplicate_acks();
+  }
+  return out;
+}
+
+TEST(NetAdversaryTest, HardenedAbdCompletesUnderAcceptanceFaultMix) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const AdversaryRun out =
+        run_adversarial_abd(acceptance_faults(), /*net_seed=*/7 + seed, seed);
+    EXPECT_TRUE(out.all_done) << "seed=" << seed;
+    EXPECT_GT(out.injected, 0u) << "seed=" << seed;
+    EXPECT_TRUE(out.report.linearizable) << "seed=" << seed;
+    EXPECT_EQ(out.report.unfinished, 0u) << "seed=" << seed;
+  }
+}
+
+TEST(NetAdversaryTest, DuplicatedAcksNeverFakeAQuorum) {
+  // Every message duplicated: a non-deduplicating client would count one
+  // server's ack twice and proceed on a fake majority.  Every run must
+  // both complete and linearize; across the seeds some duplicate must
+  // arrive while its phase is still open and hit the suppression (late
+  // duplicates are absorbed by the stale-rid filter instead).
+  ChannelFaults faults;
+  faults.duplicate = 1.0;
+  std::uint64_t suppressed = 0;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const AdversaryRun out = run_adversarial_abd(faults, 11, seed);
+    EXPECT_TRUE(out.all_done) << "seed=" << seed;
+    EXPECT_TRUE(out.report.linearizable) << "seed=" << seed;
+    suppressed += out.duplicate_acks;
+  }
+  EXPECT_GT(suppressed, 0u);
+}
+
+TEST(NetAdversaryTest, AdversarialRunsAreDeterministic) {
+  // Same adversary seed + fault schedule => byte-identical traces through
+  // obs::record/replay, for each of the drop / duplicate / reorder mixes.
+  ChannelFaults drop_heavy;
+  drop_heavy.drop = 0.3;
+  ChannelFaults dup_heavy;
+  dup_heavy.duplicate = 0.4;
+  ChannelFaults reorder_heavy;
+  reorder_heavy.reorder = 0.5;
+  reorder_heavy.reorder_hold = 6 * kDelta;
+  for (const ChannelFaults& faults :
+       {drop_heavy, dup_heavy, reorder_heavy, acceptance_faults()}) {
+    const obs::Scenario scenario = [faults](sim::Simulation& s) {
+      const int n = 3;
+      Network net(s.space(), 2 * n);
+      NetAdversary adversary(99);
+      adversary.set_default_faults(faults);
+      adversary.add_partition({/*begin=*/50 * kDelta,
+                               /*heal=*/120 * kDelta,
+                               /*group=*/{0, n + 0}});
+      adversary.arm(s);
+      net.set_adversary(&adversary);
+      std::vector<std::unique_ptr<AbdClient>> clients;
+      for (int i = 0; i < n; ++i)
+        clients.push_back(
+            std::make_unique<AbdClient>(net, i, n, test_policy()));
+      int done = 0;
+      for (int i = 0; i < n; ++i) {
+        s.spawn([&clients, &done, i](sim::Env env) {
+          return hardened_write_read(
+              env, *clients[static_cast<std::size_t>(i)], 1, 100 + i, &done);
+        });
+      }
+      spawn_servers(s, net, n);
+      s.run(4'000'000'000, [&done] { return done == 3; });
+    };
+    obs::TimingSpec spec;
+    spec.kind = obs::TimingSpec::Kind::kUniform;
+    spec.lo = 1;
+    spec.hi = kDelta;
+    const obs::RecordedRun run = obs::record(5, spec, scenario);
+    const obs::ReplayResult replayed = obs::replay(run, scenario);
+    EXPECT_TRUE(replayed.identical)
+        << "diverged at event " << replayed.first_divergence
+        << " (drop=" << faults.drop << " dup=" << faults.duplicate
+        << " reorder=" << faults.reorder << ")";
+  }
+}
+
+TEST(NetAdversaryTest, ConvergesWithinBoundAfterPartitionHeal) {
+  // Node 0 (client + server endpoints) is cut off from t=0 until the heal;
+  // its operations stall, retry, and must complete within the monitor's
+  // bound once the partition heals.
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    sim::Simulation s(make_uniform_timing(1, kDelta), {.seed = seed});
+    const int n = 3;
+    Network net(s.space(), 2 * n);
+    NetAdversary adversary(21);
+    const sim::Time heal = 2'000 * kDelta;
+    adversary.add_partition({/*begin=*/0, heal, /*group=*/{0, n + 0}});
+    adversary.arm(s);
+    net.set_adversary(&adversary);
+    ConvergenceMonitor monitor;
+    monitor.set_adversary(&adversary);
+    monitor.set_simulation(&s);
+    monitor.set_bound(1'000 * kDelta);
+
+    int done = 0;
+    std::vector<std::unique_ptr<AbdClient>> clients;
+    for (int i = 0; i < n; ++i) {
+      clients.push_back(
+          std::make_unique<AbdClient>(net, i, n, test_policy()));
+      clients.back()->set_monitor(&monitor);
+    }
+    for (int i = 0; i < n; ++i) {
+      s.spawn([&clients, &done, i](sim::Env env) {
+        return hardened_write_read(env, *clients[static_cast<std::size_t>(i)],
+                                   2, 10 + i, &done);
+      });
+    }
+    spawn_servers(s, net, n);
+    s.run(4'000'000'000, [&] { return done == n; });
+    ASSERT_EQ(done, n) << "seed=" << seed;
+
+    const auto report = monitor.check();
+    EXPECT_TRUE(report.ok()) << "seed=" << seed;
+    EXPECT_TRUE(report.linearizable) << "seed=" << seed;
+    EXPECT_TRUE(report.converged)
+        << "seed=" << seed << " worst lag " << report.worst_lag
+        << " exceeded bound " << monitor.bound();
+    EXPECT_EQ(monitor.safety_violations(), 0u) << "seed=" << seed;
+    EXPECT_GE(report.anchor, heal) << "seed=" << seed;
+    EXPECT_GT(clients[0]->retries(), 0u)
+        << "the partitioned client should have had to retry";
+  }
+}
+
+TEST(NetAdversaryTest, MsgConsensusCompletesUnderAcceptanceFaultMix) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    sim::Simulation s(make_uniform_timing(1, kDelta), {.seed = seed});
+    const int n = 3;
+    Network net(s.space(), 2 * n);
+    NetAdversary adversary(31 + seed);
+    adversary.set_default_faults(acceptance_faults());
+    net.set_adversary(&adversary);
+    MsgConsensus consensus(net, n, 60 * kDelta, /*reg_base=*/0,
+                           test_policy());
+    consensus.monitor().throw_on_violation(false);
+    const std::vector<int> inputs{0, 1, 1};
+    for (int i = 0; i < n; ++i) {
+      consensus.monitor().set_input(i, inputs[static_cast<std::size_t>(i)]);
+      s.spawn([&consensus, i, input = inputs[static_cast<std::size_t>(i)]](
+                  sim::Env env) {
+        return consensus.participant(env, i, input);
+      });
+    }
+    for (int i = 0; i < n; ++i) {
+      s.spawn(
+          [&net, i, n](sim::Env env) { return abd_server(env, net, i, n); });
+    }
+    s.run(8'000'000'000, [&] {
+      return consensus.monitor().decided_count() == static_cast<std::size_t>(n);
+    });
+    EXPECT_TRUE(consensus.monitor().all_decided(n)) << "seed=" << seed;
+    EXPECT_EQ(consensus.monitor().agreement_violations() +
+                  consensus.monitor().validity_violations(),
+              0u)
+        << "seed=" << seed;
+    EXPECT_GT(adversary.drops(), 0u) << "seed=" << seed;
+  }
+}
+
+TEST(NetAdversaryTest, FaultEventsLandInTheTrace) {
+  obs::TraceSink sink;
+  sim::Simulation s(make_uniform_timing(1, kDelta), {.seed = 4, .sink = &sink});
+  const int n = 3;
+  Network net(s.space(), 2 * n);
+  NetAdversary adversary(55);
+  adversary.set_default_faults(acceptance_faults());
+  adversary.add_partition({10 * kDelta, 40 * kDelta, {0, n + 0}});
+  adversary.arm(s);
+  net.set_adversary(&adversary);
+  int done = 0;
+  std::vector<std::unique_ptr<AbdClient>> clients;
+  for (int i = 0; i < n; ++i)
+    clients.push_back(std::make_unique<AbdClient>(net, i, n, test_policy()));
+  for (int i = 0; i < n; ++i) {
+    s.spawn([&clients, &done, i](sim::Env env) {
+      return hardened_write_only(env, *clients[static_cast<std::size_t>(i)],
+                                 1, i, &done);
+    });
+  }
+  spawn_servers(s, net, n);
+  s.run(4'000'000'000, [&] { return done == 3; });
+  ASSERT_EQ(done, 3);
+
+  std::size_t drops = 0, partitions = 0, recovery = 0;
+  for (std::size_t i = 0; i < sink.size(); ++i) {
+    switch (sink[i].kind) {
+      case obs::EventKind::kNetDrop:
+        ++drops;
+        break;
+      case obs::EventKind::kNetPartition:
+        ++partitions;
+        break;
+      case obs::EventKind::kRetry:
+      case obs::EventKind::kTimeout:
+      case obs::EventKind::kBackoff:
+        ++recovery;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_EQ(drops, adversary.drops());
+  EXPECT_EQ(partitions, 2u) << "begin + heal markers";
+  if (adversary.drops() > 0) EXPECT_GT(recovery, 0u);
 }
 
 }  // namespace

@@ -347,10 +347,18 @@ TEST(RtFaultInjector, StallsAppearInTrace) {
   EXPECT_FALSE(faults.maybe_stall("gate"));
   EXPECT_TRUE(faults.maybe_stall("gate"));
   EXPECT_FALSE(faults.maybe_stall("gate"));
-  ASSERT_EQ(sink.size(), 1u);
+  // Each stall emits the kStall instant plus a kCounter sample carrying
+  // the point's running totals (fired count, stalled ns).
+  ASSERT_EQ(sink.size(), 2u);
   EXPECT_EQ(sink[0].kind, obs::EventKind::kStall);
   EXPECT_EQ(sink[0].b, 2);  // the firing visit index
   EXPECT_EQ(sink.label(sink[0].label), "gate");
+  EXPECT_EQ(sink[1].kind, obs::EventKind::kCounter);
+  EXPECT_EQ(sink[1].a, 1);  // first stall at this point
+  EXPECT_EQ(sink[1].b, 0);  // zero-length stall: no ns accumulated
+  EXPECT_EQ(sink.label(sink[1].label), "gate");
+  EXPECT_EQ(faults.point_stalls("gate"), 1u);
+  EXPECT_EQ(faults.point_stalled_ns("gate"), 0u);
 }
 
 }  // namespace

@@ -400,5 +400,36 @@ TEST(DecisionMonitor, FlagsInventedValues) {
   EXPECT_FALSE(mon.validity_holds());
 }
 
+
+TEST(Simulation, ScheduledCallbacksRunAtTheirInstant) {
+  Simulation s(make_fixed_timing(10));
+  Cell c(s.space());
+  s.spawn([&](Env env) { return writer_process(env, c.reg, 5, 3); });
+  std::vector<std::pair<Time, int>> fired;
+  s.schedule_callback(15, [&] { fired.emplace_back(s.now(), 1); });
+  s.schedule_callback(15, [&] { fired.emplace_back(s.now(), 2); });
+  s.schedule_callback(5, [&] {
+    // Callbacks may schedule further callbacks (fault-schedule chaining).
+    s.schedule_callback(25, [&] { fired.emplace_back(s.now(), 3); });
+    fired.emplace_back(s.now(), 0);
+  });
+  EXPECT_EQ(s.run(), Simulation::RunResult::Idle);
+  ASSERT_EQ(fired.size(), 4u);
+  EXPECT_EQ(fired[0], (std::pair<Time, int>{5, 0}));
+  EXPECT_EQ(fired[1], (std::pair<Time, int>{15, 1}));  // same-instant order
+  EXPECT_EQ(fired[2], (std::pair<Time, int>{15, 2}));  // = scheduling order
+  EXPECT_EQ(fired[3], (std::pair<Time, int>{25, 3}));
+  EXPECT_EQ(c.reg.peek(), 7);  // the processes were not disturbed
+}
+
+TEST(Simulation, ScheduledCallbackInThePastIsRejected) {
+  Simulation s(make_fixed_timing(1));
+  Cell c(s.space());
+  s.spawn([&](Env env) { return writer_process(env, c.reg, 1, 3); });
+  EXPECT_EQ(s.run(), Simulation::RunResult::Idle);
+  EXPECT_EQ(s.now(), 3);
+  EXPECT_THROW(s.schedule_callback(1, [] {}), ContractViolation);
+}
+
 }  // namespace
 }  // namespace tfr::sim
