@@ -1,16 +1,24 @@
 // E18 — systematic exploration at a glance: throughput of the mcheck
-// engine and the effect of the sleep-set partial-order reduction.
+// engine, the effect of the sleep-set partial-order reduction, and the
+// work-sharing parallel mode.
 //
 // Workload: the flagship small configurations (Algorithm 1 n=2 round
 // bound 2, bare Fischer n=2, Algorithm 3 n=2), each explored with the
 // reduction on; the consensus scenario additionally with naive DFS to
-// measure the pruning factor.  Series: executions, explored states,
-// executions/second.  Expected shape: the reduced run explores strictly
-// fewer executions than naive DFS with the same (clean) verdict, and
-// bare Fischer yields a violation while Algorithm 3 does not.
+// measure the pruning factor, and the naive run once more with four
+// forked workers (--jobs 4 equivalent) to measure parallel scaling.
+// Series: executions, explored states, executions/second, parallel
+// speedup.  Expected shape: the reduced run explores strictly fewer
+// executions than naive DFS with the same (clean) verdict, bare Fischer
+// yields a violation while Algorithm 3 does not, and the parallel run
+// reproduces the serial counters exactly (its speedup is asserted only
+// on hosts with >= 4 cores; the counters are asserted everywhere).
+// Exploration counters (executions, states, sleep_blocked) are exactly
+// reproducible and baseline-gated with zero tolerance.
 
 #include <chrono>
 #include <iostream>
+#include <thread>
 
 #include "bench_util.hpp"
 #include "tfr/mcheck/explorer.hpp"
@@ -71,8 +79,12 @@ TFR_BENCH_EXPERIMENT(E18, "systematic exploration", bench::Tier::kFull,
   mcheck::ExploreConfig mutex_config = base_config();
   mutex_config.slow_budget = -1;
 
+  mcheck::ExploreConfig naive_parallel = naive;
+  naive_parallel.jobs = 4;
+
   const Timed consensus_reduced = timed_check(consensus, reduced);
   const Timed consensus_naive = timed_check(consensus, naive);
+  const Timed naive_jobs4 = timed_check(consensus, naive_parallel);
   const Timed fischer_run = timed_check(fischer, mutex_config);
   const Timed tfr_run = timed_check(tfr_mutex, base_config());
 
@@ -87,6 +99,7 @@ TFR_BENCH_EXPERIMENT(E18, "systematic exploration", bench::Tier::kFull,
   };
   row("consensus n=2 (sleep sets)", consensus_reduced);
   row("consensus n=2 (naive DFS)", consensus_naive);
+  row("naive DFS, 4 workers", naive_jobs4);
   row("fischer n=2 (1 failure)", fischer_run);
   row("tfr-mutex n=2 (1 failure)", tfr_run);
   table.print(rec.out());
@@ -98,10 +111,27 @@ TFR_BENCH_EXPERIMENT(E18, "systematic exploration", bench::Tier::kFull,
           : 0.0;
   rec.metric("consensus.executions",
              static_cast<double>(consensus_reduced.result.stats.executions));
+  rec.metric("consensus.states",
+             static_cast<double>(consensus_reduced.result.stats.states));
+  rec.metric("consensus.sleep_blocked",
+             static_cast<double>(consensus_reduced.result.stats.sleep_blocked));
   rec.metric("consensus.reduction_factor", reduction, "x");
   rec.metric("consensus.exec_per_sec", rate(consensus_reduced), "1/s");
+  rec.metric("consensus_naive.executions",
+             static_cast<double>(consensus_naive.result.stats.executions));
   rec.metric("fischer.executions_to_violation",
              static_cast<double>(fischer_run.result.stats.executions));
+  rec.metric("tfr_mutex.executions",
+             static_cast<double>(tfr_run.result.stats.executions));
+
+  // Parallel scaling is a property of the host (and meaningless on a
+  // single core), so the wall-clock series is tracked but never gated.
+  const double speedup = naive_jobs4.seconds > 0
+                             ? consensus_naive.seconds / naive_jobs4.seconds
+                             : 0.0;
+  rec.metric("parallel.naive_serial_wall_s", consensus_naive.seconds, "s");
+  rec.metric("parallel.naive_jobs4_wall_s", naive_jobs4.seconds, "s");
+  rec.metric("parallel.naive_jobs4_speedup", speedup, "x");
 
   rec.expect(!consensus_reduced.result.violation &&
                  consensus_reduced.result.stats.complete,
@@ -117,4 +147,17 @@ TFR_BENCH_EXPERIMENT(E18, "systematic exploration", bench::Tier::kFull,
              "bare Fischer yields a mutual-exclusion violation");
   rec.expect(!tfr_run.result.violation && tfr_run.result.stats.complete,
              "Algorithm 3 n=2 verifies clean under the same failure budget");
+  rec.expect(naive_jobs4.result.stats.executions ==
+                     consensus_naive.result.stats.executions &&
+                 naive_jobs4.result.stats.states ==
+                     consensus_naive.result.stats.states &&
+                 naive_jobs4.result.stats.transitions ==
+                     consensus_naive.result.stats.transitions &&
+                 !naive_jobs4.result.violation &&
+                 naive_jobs4.result.stats.complete,
+             "4 forked workers reproduce the serial counters exactly");
+  if (std::thread::hardware_concurrency() >= 4) {
+    rec.expect(speedup >= 2.0,
+               "4 workers explore the naive tree at least 2x faster");
+  }
 }

@@ -88,6 +88,13 @@ std::vector<ToleranceRule> default_tolerance_rules() {
   return {
       // Wall-clock throughput depends on the host; track, never gate.
       {"*.exec_per_sec", {0.0, 0.0, false}},
+      // Parallel scaling (wall seconds, speedup) is host-dependent too.
+      {"E18.parallel.*", {0.0, 0.0, false}},
+      // Exploration completeness counters are exactly reproducible: any
+      // drift means the search itself changed, so gate with zero slack.
+      {"E18.*.executions*", {0.0, 0.0, true}},
+      {"E18.*.states", {0.0, 0.0, true}},
+      {"E18.*.sleep_blocked", {0.0, 0.0, true}},
       // Simulator metrics are deterministic in virtual time; 5% headroom
       // absorbs intentional small reworkings without masking regressions.
       {"*", {0.05, 1e-9, true}},

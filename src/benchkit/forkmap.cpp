@@ -1,0 +1,120 @@
+#include "tfr/benchkit/forkmap.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace tfr::benchkit {
+
+namespace {
+
+std::string make_handoff_dir() {
+  const char* base = std::getenv("TMPDIR");
+  std::string templ =
+      std::string(base != nullptr ? base : "/tmp") + "/tfr_forkmap.XXXXXX";
+  std::vector<char> buf(templ.begin(), templ.end());
+  buf.push_back('\0');
+  if (mkdtemp(buf.data()) == nullptr)
+    throw std::runtime_error("fork_map: mkdtemp failed");
+  return std::string(buf.data());
+}
+
+std::string task_path(const std::string& dir, std::size_t index) {
+  return dir + "/" + std::to_string(index) + ".bin";
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+bool write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+std::vector<ForkResult> fork_map(std::size_t count, int jobs,
+                                 const ForkTask& task,
+                                 const ForkResultHook& on_result) {
+  if (jobs < 1) jobs = 1;
+  std::vector<ForkResult> results(count);
+  if (count == 0) return results;
+  const std::string dir = make_handoff_dir();
+
+  std::map<pid_t, std::size_t> running;
+  ForkMapControl control;
+  std::size_t next = 0;
+
+  const auto spawn_one = [&](std::size_t index) {
+    std::fflush(nullptr);  // don't duplicate parent stdio buffers
+    const pid_t pid = fork();
+    if (pid < 0) throw std::runtime_error("fork_map: fork failed");
+    if (pid == 0) {
+      int status = 1;
+      try {
+        if (write_file(task_path(dir, index), task(index))) status = 0;
+      } catch (...) {
+        status = 2;
+      }
+      _exit(status);
+    }
+    running.emplace(pid, index);
+  };
+
+  const auto kill_cancelled = [&] {
+    for (const auto& [pid, index] : running) {
+      if (index > control.cutoff()) kill(pid, SIGKILL);
+    }
+  };
+
+  while (next < count || !running.empty()) {
+    while (next < count && running.size() < static_cast<std::size_t>(jobs)) {
+      const std::size_t index = next++;
+      if (index > control.cutoff()) {
+        results[index].skipped = true;
+        continue;
+      }
+      spawn_one(index);
+    }
+    if (running.empty()) continue;  // everything left was skipped
+    int status = 0;
+    const pid_t pid = waitpid(-1, &status, 0);
+    if (pid < 0) throw std::runtime_error("fork_map: waitpid failed");
+    const auto found = running.find(pid);
+    if (found == running.end()) continue;
+    const std::size_t index = found->second;
+    running.erase(found);
+    ForkResult& result = results[index];
+    result.status = status;
+    if (index > control.cutoff()) {
+      result.skipped = true;  // cancelled while running (possibly killed)
+    } else {
+      result.completed = read_file(task_path(dir, index), result.payload);
+    }
+    std::remove(task_path(dir, index).c_str());
+    if (on_result && !result.skipped) {
+      const std::size_t before = control.cutoff();
+      on_result(index, result, control);
+      if (control.cutoff() < before) kill_cancelled();
+    }
+  }
+  rmdir(dir.c_str());
+  return results;
+}
+
+}  // namespace tfr::benchkit

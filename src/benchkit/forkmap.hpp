@@ -1,0 +1,71 @@
+// Fork-based parallel map: the process-isolation seam shared by the
+// tfr_bench experiment runner and mcheck's parallel exploration.
+//
+// fork_map() runs `count` tasks in forked child processes with at most
+// `jobs` in flight.  Each child executes task(index) and hands its result
+// bytes back to the parent through a per-task file in a private temp
+// directory (pipes would deadlock past the kernel buffer on large
+// payloads such as counterexample traces).  Process isolation keeps one
+// crashing or wedged task from taking the driver down and makes task
+// state trivially race-free — the child inherits the parent's memory
+// image, so tasks need no input serialization at all.
+//
+// The parent may react to results as they arrive (on_result) and cancel
+// still-pending work: ForkMapControl::skip_after(k) stops tasks with
+// index > k from ever starting and kills the ones already running.
+// mcheck uses this to stop exploring subtrees that lie beyond the
+// first violating one in DFS order.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace tfr::benchkit {
+
+/// What one forked task produced.
+struct ForkResult {
+  /// The child wrote a payload and exited; `payload` is meaningful.
+  bool completed = false;
+  /// The task was cancelled (never started, or killed) via skip_after().
+  bool skipped = false;
+  /// Raw waitpid status of the child (0 when skipped before starting).
+  int status = 0;
+  std::string payload;
+};
+
+/// Handed to the on_result callback; lets the parent cancel pending work.
+class ForkMapControl {
+ public:
+  /// Tasks with index > `index` will not be started; running ones are
+  /// killed and reported as skipped.  Calls only ever tighten the bound.
+  void skip_after(std::size_t index) {
+    if (index < cutoff_) cutoff_ = index;
+  }
+  std::size_t cutoff() const { return cutoff_; }
+
+ private:
+  std::size_t cutoff_ = static_cast<std::size_t>(-1);
+};
+
+/// The child-side body: produce the result bytes for task `index`.
+/// Runs in a forked process; must not rely on being able to mutate
+/// parent state.  A thrown exception marks the task completed=false.
+using ForkTask = std::function<std::string(std::size_t)>;
+
+/// Parent-side hook invoked as each result is reaped (in completion
+/// order, not index order).  May call control.skip_after() to cancel
+/// tasks that are no longer needed.
+using ForkResultHook =
+    std::function<void(std::size_t, const ForkResult&, ForkMapControl&)>;
+
+/// Runs tasks 0..count-1 in forked children, at most `jobs` (>= 1) in
+/// flight, spawning in index order.  Returns one ForkResult per task,
+/// in index order.
+std::vector<ForkResult> fork_map(std::size_t count, int jobs,
+                                 const ForkTask& task,
+                                 const ForkResultHook& on_result = {});
+
+}  // namespace tfr::benchkit

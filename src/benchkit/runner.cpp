@@ -1,17 +1,14 @@
 #include "tfr/benchkit/runner.hpp"
 
 #include <sys/utsname.h>
-#include <sys/wait.h>
-#include <unistd.h>
 
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <ctime>
-#include <map>
 #include <stdexcept>
 #include <thread>
 
+#include "tfr/benchkit/forkmap.hpp"
 #include "tfr/common/table.hpp"
 
 namespace tfr::benchkit {
@@ -20,17 +17,6 @@ namespace {
 
 Tier tier_from_name(const std::string& name) {
   return name == "full" ? Tier::kFull : Tier::kSmoke;
-}
-
-std::string handoff_dir() {
-  const char* base = std::getenv("TMPDIR");
-  std::string templ = std::string(base != nullptr ? base : "/tmp") +
-                      "/tfr_bench.XXXXXX";
-  std::vector<char> buf(templ.begin(), templ.end());
-  buf.push_back('\0');
-  if (mkdtemp(buf.data()) == nullptr)
-    throw std::runtime_error("tfr_bench: mkdtemp failed");
-  return std::string(buf.data());
 }
 
 std::string run_command_line(const char* command) {
@@ -181,55 +167,31 @@ Outcome outcome_from_json(const Json& value) {
 
 std::vector<Outcome> run_parallel(
     const std::vector<const Experiment*>& experiments, int jobs) {
-  if (jobs < 1) jobs = 1;
-  const std::string dir = handoff_dir();
+  // One forked worker per experiment over the shared fork_map seam (also
+  // used by mcheck's parallel exploration); the handoff payload is the
+  // outcome's JSON document.
+  const std::vector<ForkResult> results = fork_map(
+      experiments.size(), jobs,
+      [&experiments](std::size_t index) {
+        return outcome_to_json(run_experiment(*experiments[index]),
+                               /*include_text=*/true)
+            .dump();
+      });
+
   std::vector<Outcome> outcomes(experiments.size());
-  std::map<pid_t, std::size_t> running;
-  std::size_t next = 0;
-
-  const auto spawn_one = [&](std::size_t index) {
+  for (std::size_t index = 0; index < experiments.size(); ++index) {
     const Experiment& experiment = *experiments[index];
-    std::fflush(nullptr);  // don't duplicate parent stdio buffers
-    const pid_t pid = fork();
-    if (pid < 0) throw std::runtime_error("tfr_bench: fork failed");
-    if (pid == 0) {
-      int status = 1;
-      try {
-        const Outcome outcome = run_experiment(experiment);
-        save_json_file(dir + "/" + experiment.id + ".json",
-                       outcome_to_json(outcome, /*include_text=*/true));
-        status = outcome.failures() == 0 ? 0 : 1;
-      } catch (...) {
-        status = 2;
-      }
-      _exit(status);
-    }
-    running.emplace(pid, index);
-  };
-
-  while (next < experiments.size() || !running.empty()) {
-    while (next < experiments.size() &&
-           running.size() < static_cast<std::size_t>(jobs))
-      spawn_one(next++);
-    int status = 0;
-    const pid_t pid = waitpid(-1, &status, 0);
-    if (pid < 0) throw std::runtime_error("tfr_bench: waitpid failed");
-    const auto found = running.find(pid);
-    if (found == running.end()) continue;
-    const std::size_t index = found->second;
-    running.erase(found);
-    const Experiment& experiment = *experiments[index];
-    const std::string path = dir + "/" + experiment.id + ".json";
+    const ForkResult& result = results[index];
     try {
-      outcomes[index] = outcome_from_json(load_json_file(path));
+      if (!result.completed) throw std::runtime_error("no result payload");
+      outcomes[index] = outcome_from_json(Json::parse(result.payload));
     } catch (...) {
       outcomes[index] = synthetic_failure(
           experiment, "experiment worker exited cleanly (status " +
-                          std::to_string(status) + ", no result file)");
+                          std::to_string(result.status) +
+                          ", no result file)");
     }
-    std::remove(path.c_str());
   }
-  rmdir(dir.c_str());
   return outcomes;
 }
 

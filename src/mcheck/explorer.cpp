@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <memory>
+#include <string_view>
 
+#include "tfr/benchkit/forkmap.hpp"
 #include "tfr/common/contracts.hpp"
 
 namespace tfr::mcheck {
@@ -34,6 +36,11 @@ bool in_sleep(const std::vector<sim::EnabledEvent>& sleep, sim::Pid pid) {
                      [pid](const sim::EnabledEvent& e) { return e.pid == pid; });
 }
 
+/// Auto frontier depth: deep enough that even modest branching yields many
+/// more subtrees than workers (load balance), shallow enough that the
+/// enumeration probes stay a negligible fraction of the exploration.
+constexpr std::uint32_t kDefaultPrefixDepth = 6;
+
 class Explorer;
 
 /// TimingModel that routes every access cost through the explorer's
@@ -47,29 +54,79 @@ class ChoiceTiming final : public sim::TimingModel {
   Explorer* engine_;
 };
 
+/// Adds the event counters of `from` into `into` (the complete flag is a
+/// property of the merged whole and is left to the caller).
+void add_counters(ExploreStats& into, const ExploreStats& from) {
+  into.executions += from.executions;
+  into.states += from.states;
+  into.transitions += from.transitions;
+  into.sched_choice_points += from.sched_choice_points;
+  into.cost_choice_points += from.cost_choice_points;
+  into.sleep_pruned += from.sleep_pruned;
+  into.sleep_blocked += from.sleep_blocked;
+  into.truncated += from.truncated;
+}
+
 /// The DFS engine.  Doubles as the SchedulerStrategy of each explored
 /// execution: scheduling and cost queries either replay the stored path
 /// (cursor within path_) or create a fresh node and take its first
 /// non-sleeping branch.
+///
+/// One engine instance runs in one of three modes:
+///  - kSerial: explore the whole tree (jobs == 1, and the reference
+///    semantics every parallel run must reproduce).
+///  - kEnumerate: probe executions only up to the frontier depth; each
+///    depth-d subtree (or shorter leaf) becomes a WorkItem.  Probe run
+///    counters are discarded — the owning worker re-executes and counts —
+///    but fresh prefix nodes, prefix-level backtracking and sleep-blocked
+///    probe executions are enumerator-owned, exactly as in a serial run.
+///  - kWorker: explore one WorkItem's subtree; the path is pre-seeded with
+///    the frontier prefix (replayed, never advanced — fixed_depth_).
 class Explorer final : public sim::SchedulerStrategy {
  public:
-  explicit Explorer(const ExploreConfig& config) : config_(config) {
+  enum class Mode : std::uint8_t { kSerial, kEnumerate, kWorker };
+
+  /// One unit of parallel work: the frontier prefix identifying a subtree.
+  /// Sleep sets are snapshotted as of emission — sound because a prefix
+  /// node's sleep set only changes when the DFS backtracks *through* it,
+  /// which by construction happens after its subtree is fully explored.
+  struct WorkItem {
+    std::vector<Node> prefix;
+  };
+
+  /// Everything the enumeration pass hands to the merge: the work items in
+  /// DFS order, the cumulative enumerator-owned stats at each emission
+  /// (the merge cuts here when item k holds the first violation), and the
+  /// final enumerator stats (the clean-run contribution).
+  struct Frontier {
+    std::vector<WorkItem> items;
+    std::vector<ExploreStats> stats_at_item;
+    ExploreStats final_stats;
+  };
+
+  explicit Explorer(const ExploreConfig& config, Mode mode = Mode::kSerial,
+                    std::uint32_t frontier_depth = 0)
+      : config_(config), mode_(mode), frontier_depth_(frontier_depth) {
     TFR_REQUIRE(config.delta >= 1);
     TFR_REQUIRE(config.failure_cost > config.delta);
     TFR_REQUIRE(config.max_steps >= 1);
+    if (mode_ == Mode::kEnumerate) TFR_REQUIRE(frontier_depth_ >= 1);
   }
 
   CheckResult explore(const CheckScenario& scenario);
+  Frontier enumerate(const CheckScenario& scenario);
+  CheckResult explore_subtree(const CheckScenario& scenario,
+                              const WorkItem& item);
 
   // --- SchedulerStrategy ---
   std::size_t pick(sim::Time now,
                    const std::vector<sim::EnabledEvent>& options) override {
     (void)now;
-    if (blocked_) return 0;
+    if (aborted()) return 0;
     ++steps_;
     ++stats_.transitions;
     const std::size_t chosen = decide_sched(options);
-    if (!blocked_) sched_picks_.push_back(options[chosen].pid);
+    if (!aborted()) sched_picks_.push_back(options[chosen].pid);
     return chosen;
   }
 
@@ -78,24 +135,28 @@ class Explorer final : public sim::SchedulerStrategy {
   std::size_t pick_cost(sim::Pid pid,
                         const std::vector<sim::Duration>& choices) override {
     (void)pid;
-    if (blocked_ || choices.size() < 2) return 0;
-    return decide_cost(choices);
+    if (aborted() || choices.size() < 2) return 0;
+    return decide_cost(choices.data(), choices.size());
   }
 
   /// Cost of one shared access, drawn from the bounded menu.  Called by
-  /// ChoiceTiming for every access of the execution.
+  /// ChoiceTiming for every access of the execution.  The menu lives on
+  /// the stack (at most {1, Δ, failure}) — building a vector here showed
+  /// up as the single hottest allocation of the whole exploration.
   sim::Duration draw_cost(sim::Pid pid, sim::Time now) {
-    if (blocked_) return 1;
-    std::vector<sim::Duration> menu{1};
+    if (aborted()) return 1;
+    sim::Duration menu[3];
+    std::size_t size = 0;
+    menu[size++] = 1;
     if (config_.delta > 1 &&
         (config_.slow_budget < 0 ||
          slow_used_ < static_cast<std::uint32_t>(config_.slow_budget))) {
-      menu.push_back(config_.delta);
+      menu[size++] = config_.delta;
     }
     if (failures_used_ < config_.max_failures)
-      menu.push_back(config_.failure_cost);
-    const std::size_t idx = menu.size() > 1 ? decide_cost(menu) : 0;
-    const sim::Duration cost = blocked_ ? 1 : menu[idx];
+      menu[size++] = config_.failure_cost;
+    const std::size_t idx = size > 1 ? decide_cost(menu, size) : 0;
+    const sim::Duration cost = aborted() ? 1 : menu[idx];
     if (cost > config_.delta) {
       ++failures_used_;
       last_failure_completion_ =
@@ -112,11 +173,37 @@ class Explorer final : public sim::SchedulerStrategy {
     CheckOutcome outcome;
     bool truncated = false;
     bool blocked = false;
+    bool frontier_hit = false;
   };
+
+  /// The execution was cut short: sleep-blocked, or (enumerate mode) it
+  /// reached the work-sharing frontier.  Every later decision defaults.
+  bool aborted() const { return blocked_ || frontier_hit_; }
+
+  void init_simulation() {
+    simulation_ = std::make_unique<sim::Simulation>(
+        std::make_unique<ChoiceTiming>(this),
+        sim::SimulationOptions{.seed = config_.seed, .strategy = this});
+  }
+
+  /// Claims the path slot at path_len_, recycling its heap buffers.  Nodes
+  /// are pooled: advance() only ever rewinds path_len_, so a popped node's
+  /// options/sleep/costs vectors keep their capacity for the next branch —
+  /// after the first few executions the DFS allocates nothing per node.
+  Node& fresh_node() {
+    if (path_len_ == path_.size()) path_.emplace_back();
+    Node& node = path_[path_len_++];
+    node.options.clear();
+    node.sleep.clear();
+    node.costs.clear();
+    node.chosen = 0;
+    node.blocked = false;
+    return node;
+  }
 
   RunVerdict run_one(const CheckScenario& scenario);
   std::size_t decide_sched(const std::vector<sim::EnabledEvent>& options);
-  std::size_t decide_cost(const std::vector<sim::Duration>& menu);
+  std::size_t decide_cost(const sim::Duration* menu, std::size_t size);
   bool advance();
   obs::RecordedRun build_counterexample(const CheckScenario& scenario) const;
 
@@ -131,15 +218,28 @@ class Explorer final : public sim::SchedulerStrategy {
   }
 
   ExploreConfig config_;
+  Mode mode_;
+  std::uint32_t frontier_depth_;
   ExploreStats stats_;
 
-  // DFS path, persistent across executions.
+  /// The one simulation object, reset() between executions so event-queue
+  /// storage, stat vectors and trace buffers are reused (the re-execution
+  /// fast path); run_until() gives the stop predicate static dispatch.
+  std::unique_ptr<sim::Simulation> simulation_;
+
+  // DFS path, persistent across executions.  path_len_ is the live length;
+  // path_.size() is the pool high-water mark.
   std::vector<Node> path_;
+  std::size_t path_len_ = 0;
+  /// Worker mode: nodes below this depth are the frontier prefix — they
+  /// replay but never advance; the subtree above them is this worker's.
+  std::size_t fixed_depth_ = 0;
 
   // Per-execution state.
   std::size_t cursor_ = 0;
   std::vector<sim::EnabledEvent> live_sleep_;
   bool blocked_ = false;
+  bool frontier_hit_ = false;
   std::uint64_t steps_ = 0;
   std::uint32_t slow_used_ = 0;
   std::uint32_t failures_used_ = 0;
@@ -157,7 +257,7 @@ sim::Duration ChoiceTiming::access_cost(sim::Pid pid, sim::Time now,
 std::size_t Explorer::decide_sched(
     const std::vector<sim::EnabledEvent>& options) {
   TFR_REQUIRE(!options.empty());
-  if (cursor_ < path_.size()) {
+  if (cursor_ < path_len_) {
     // Replaying the stored prefix: same scenario + same prior choices
     // must reproduce the same enabled set (the simulator is
     // deterministic), so the stored pick is valid.
@@ -171,9 +271,16 @@ std::size_t Explorer::decide_sched(
     return node.chosen;
   }
 
+  if (mode_ == Mode::kEnumerate && path_len_ >= frontier_depth_) {
+    // The execution is about to leave the shared prefix region: everything
+    // below is one worker's subtree.  Stop probing here.
+    frontier_hit_ = true;
+    return 0;
+  }
+
   // Divergence point: create a fresh node whose sleep set is inherited
   // from the path so far.
-  Node node;
+  Node& node = fresh_node();
   node.kind = Node::Kind::kSched;
   node.options = options;
   if (config_.por) node.sleep = live_sleep_;
@@ -190,10 +297,8 @@ std::size_t Explorer::decide_sched(
       // Every enabled event is asleep: this execution only permutes
       // independent events of ones already explored.  Cut it.
       node.blocked = true;
-      node.chosen = 0;
       blocked_ = true;
       ++stats_.sleep_blocked;
-      path_.push_back(std::move(node));
       ++cursor_;
       return 0;
     }
@@ -201,27 +306,29 @@ std::size_t Explorer::decide_sched(
   node.chosen = chosen;
   ++stats_.states;
   if (options.size() > 1) ++stats_.sched_choice_points;
-  path_.push_back(std::move(node));
   ++cursor_;
-  filter_sleep(path_.back().sleep, options[chosen]);
+  filter_sleep(node.sleep, options[chosen]);
   return chosen;
 }
 
-std::size_t Explorer::decide_cost(const std::vector<sim::Duration>& menu) {
-  if (cursor_ < path_.size()) {
+std::size_t Explorer::decide_cost(const sim::Duration* menu,
+                                  std::size_t size) {
+  if (cursor_ < path_len_) {
     Node& node = path_[cursor_];
     TFR_INVARIANT(node.kind == Node::Kind::kCost);
-    TFR_INVARIANT(node.costs.size() == menu.size());
+    TFR_INVARIANT(node.costs.size() == size);
     ++cursor_;
     return node.chosen;
   }
-  Node node;
+  if (mode_ == Mode::kEnumerate && path_len_ >= frontier_depth_) {
+    frontier_hit_ = true;
+    return 0;
+  }
+  Node& node = fresh_node();
   node.kind = Node::Kind::kCost;
-  node.costs = menu;
-  node.chosen = 0;
+  node.costs.assign(menu, menu + size);
   ++stats_.states;
   ++stats_.cost_choice_points;
-  path_.push_back(std::move(node));
   ++cursor_;
   return 0;
 }
@@ -230,6 +337,7 @@ Explorer::RunVerdict Explorer::run_one(const CheckScenario& scenario) {
   cursor_ = 0;
   live_sleep_.clear();
   blocked_ = false;
+  frontier_hit_ = false;
   steps_ = 0;
   slow_used_ = 0;
   failures_used_ = 0;
@@ -237,31 +345,30 @@ Explorer::RunVerdict Explorer::run_one(const CheckScenario& scenario) {
   cost_draws_.clear();
   sched_picks_.clear();
 
-  sim::Simulation simulation(
-      std::make_unique<ChoiceTiming>(this),
-      sim::SimulationOptions{.seed = config_.seed, .strategy = this});
-  RunHarness harness = scenario(simulation);
+  simulation_->reset(config_.seed);
+  RunHarness harness = scenario(*simulation_);
 
   bool cutoff = false;
-  const auto stop = [&] {
-    if (blocked_) return true;
-    if (steps_ >= config_.max_steps) {
-      cutoff = true;
-      return true;
-    }
-    if (harness.stop && harness.stop()) {
-      cutoff = true;
-      return true;
-    }
-    return false;
-  };
-  const auto result = simulation.run(config_.time_limit, stop);
+  const auto result =
+      simulation_->run_until(config_.time_limit, [this, &harness, &cutoff] {
+        if (aborted()) return true;
+        if (steps_ >= config_.max_steps) {
+          cutoff = true;
+          return true;
+        }
+        if (harness.stop && harness.stop()) {
+          cutoff = true;
+          return true;
+        }
+        return false;
+      });
 
   RunVerdict verdict;
   verdict.blocked = blocked_;
+  verdict.frontier_hit = frontier_hit_;
   verdict.truncated =
       cutoff || result == sim::Simulation::RunResult::TimeLimit;
-  if (!blocked_ && harness.verdict) {
+  if (!aborted() && harness.verdict) {
     RunInfo info;
     info.truncated = verdict.truncated;
     info.failures_injected = failures_used_;
@@ -273,10 +380,10 @@ Explorer::RunVerdict Explorer::run_one(const CheckScenario& scenario) {
 }
 
 bool Explorer::advance() {
-  while (!path_.empty()) {
-    Node& node = path_.back();
+  while (path_len_ > fixed_depth_) {
+    Node& node = path_[path_len_ - 1];
     if (node.blocked) {
-      path_.pop_back();
+      --path_len_;
       continue;
     }
     if (node.kind == Node::Kind::kSched) {
@@ -302,7 +409,7 @@ bool Explorer::advance() {
       ++node.chosen;
       return true;
     }
-    path_.pop_back();
+    --path_len_;
   }
   return false;
 }
@@ -320,6 +427,7 @@ obs::RecordedRun Explorer::build_counterexample(
 }
 
 CheckResult Explorer::explore(const CheckScenario& scenario) {
+  init_simulation();
   CheckResult result;
   for (;;) {
     ++stats_.executions;
@@ -345,9 +453,215 @@ CheckResult Explorer::explore(const CheckScenario& scenario) {
   return result;
 }
 
+Explorer::Frontier Explorer::enumerate(const CheckScenario& scenario) {
+  init_simulation();
+  Frontier frontier;
+  for (;;) {
+    const std::uint64_t transitions_before = stats_.transitions;
+    const RunVerdict verdict = run_one(scenario);
+    if (verdict.blocked) {
+      // A sleep-blocked probe *is* a full execution in serial terms (the
+      // cut happens before the frontier): enumerator-owned.
+      ++stats_.executions;
+      if (verdict.truncated) ++stats_.truncated;
+    } else {
+      // Frontier hit (a depth-d subtree) or a leaf shorter than the
+      // frontier (a one-execution subtree): the owning worker re-executes
+      // and counts the run, so the probe's transition count is discarded.
+      // Fresh prefix nodes stay counted here — serial creates them once,
+      // and workers only ever replay them.
+      stats_.transitions = transitions_before;
+      WorkItem item;
+      item.prefix.assign(path_.begin(),
+                         path_.begin() + static_cast<std::ptrdiff_t>(path_len_));
+      frontier.items.push_back(std::move(item));
+      frontier.stats_at_item.push_back(stats_);
+    }
+    if (!advance()) break;
+  }
+  frontier.final_stats = stats_;
+  return frontier;
+}
+
+CheckResult Explorer::explore_subtree(const CheckScenario& scenario,
+                                      const WorkItem& item) {
+  path_.assign(item.prefix.begin(), item.prefix.end());
+  path_len_ = path_.size();
+  fixed_depth_ = path_len_;
+  return explore(scenario);
+}
+
+// --- worker result wire format (fork_map payload) ------------------------
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_blob(std::string& out, const std::string& bytes) {
+  put_u64(out, bytes.size());
+  out += bytes;
+}
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() {
+    TFR_REQUIRE(pos_ < bytes_.size());
+    return static_cast<std::uint8_t>(bytes_[pos_++]);
+  }
+
+  std::uint64_t u64() {
+    TFR_REQUIRE(pos_ + 8 <= bytes_.size());
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(
+               static_cast<std::uint8_t>(bytes_[pos_ + static_cast<std::size_t>(i)]))
+           << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+
+  std::string blob() {
+    const std::uint64_t size = u64();
+    TFR_REQUIRE(size <= bytes_.size() - pos_);
+    std::string out(bytes_.substr(pos_, size));
+    pos_ += size;
+    return out;
+  }
+
+ private:
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+std::string encode_result(const CheckResult& result) {
+  std::string out;
+  out.push_back(result.violation ? 1 : 0);
+  out.push_back(result.stats.complete ? 1 : 0);
+  put_u64(out, result.stats.executions);
+  put_u64(out, result.stats.states);
+  put_u64(out, result.stats.transitions);
+  put_u64(out, result.stats.sched_choice_points);
+  put_u64(out, result.stats.cost_choice_points);
+  put_u64(out, result.stats.sleep_pruned);
+  put_u64(out, result.stats.sleep_blocked);
+  put_u64(out, result.stats.truncated);
+  put_blob(out, result.what);
+  put_blob(out,
+           result.violation ? result.counterexample.to_bytes() : std::string());
+  return out;
+}
+
+CheckResult decode_result(std::string_view bytes) {
+  ByteReader reader(bytes);
+  CheckResult result;
+  result.violation = reader.u8() != 0;
+  result.stats.complete = reader.u8() != 0;
+  result.stats.executions = reader.u64();
+  result.stats.states = reader.u64();
+  result.stats.transitions = reader.u64();
+  result.stats.sched_choice_points = reader.u64();
+  result.stats.cost_choice_points = reader.u64();
+  result.stats.sleep_pruned = reader.u64();
+  result.stats.sleep_blocked = reader.u64();
+  result.stats.truncated = reader.u64();
+  result.what = reader.blob();
+  const std::string cex = reader.blob();
+  if (result.violation) {
+    auto run = obs::RecordedRun::from_bytes(cex);
+    TFR_REQUIRE(run.has_value());
+    result.counterexample = std::move(*run);
+  }
+  return result;
+}
+
+/// True iff a worker payload reports a violation — cheap peek used by the
+/// fork_map result hook to cancel subtrees past the first violating one.
+bool payload_has_violation(const std::string& payload) {
+  return !payload.empty() && payload[0] != 0;
+}
+
+// --- parallel driver -----------------------------------------------------
+
+CheckResult check_parallel(const CheckScenario& scenario,
+                           const ExploreConfig& config) {
+  const std::uint32_t depth =
+      config.prefix_depth != 0 ? config.prefix_depth : kDefaultPrefixDepth;
+
+  // Phase 1 (in-process): partition the tree at the frontier.
+  Explorer enumerator(config, Explorer::Mode::kEnumerate, depth);
+  const Explorer::Frontier frontier = enumerator.enumerate(scenario);
+
+  if (frontier.items.empty()) {
+    // Degenerate: every probe was sleep-blocked; the enumerator's stats
+    // are the whole exploration.
+    CheckResult result;
+    result.stats = frontier.final_stats;
+    result.stats.complete = true;
+    return result;
+  }
+
+  // Phase 2: one forked worker per subtree.  The child inherits the
+  // scenario and its work item by memory image; only results cross back.
+  // A reported violation cancels every *later* subtree — earlier ones
+  // must still finish so the merged result is cut at the DFS-least
+  // (lexicographically-least decision path) violation, independent of
+  // which worker reported first.
+  const std::vector<benchkit::ForkResult> raw = benchkit::fork_map(
+      frontier.items.size(), config.jobs,
+      [&scenario, &config, &frontier, depth](std::size_t index) {
+        Explorer worker(config, Explorer::Mode::kWorker, depth);
+        return encode_result(
+            worker.explore_subtree(scenario, frontier.items[index]));
+      },
+      [](std::size_t index, const benchkit::ForkResult& result,
+         benchkit::ForkMapControl& control) {
+        if (result.completed && payload_has_violation(result.payload))
+          control.skip_after(index);
+      });
+
+  // Phase 3: deterministic merge, in frontier (= DFS) order.
+  std::vector<CheckResult> decoded;
+  decoded.reserve(raw.size());
+  for (const benchkit::ForkResult& result : raw) {
+    if (result.skipped) break;  // beyond the violation cut, by construction
+    TFR_REQUIRE(result.completed);
+    decoded.push_back(decode_result(result.payload));
+  }
+
+  CheckResult merged;
+  for (std::size_t v = 0; v < decoded.size(); ++v) {
+    if (!decoded[v].violation) continue;
+    // Serial state at this violation: enumerator work up to item v's
+    // emission, the full subtrees before it, and subtree v's partial run.
+    ExploreStats total = frontier.stats_at_item[v];
+    for (std::size_t j = 0; j < v; ++j) add_counters(total, decoded[j].stats);
+    add_counters(total, decoded[v].stats);
+    total.complete = false;
+    merged.violation = true;
+    merged.what = decoded[v].what;
+    merged.counterexample = decoded[v].counterexample;
+    merged.stats = total;
+    return merged;
+  }
+
+  ExploreStats total = frontier.final_stats;
+  bool complete = true;
+  for (const CheckResult& result : decoded) {
+    add_counters(total, result.stats);
+    complete = complete && result.stats.complete;
+  }
+  total.complete = complete;
+  merged.stats = total;
+  return merged;
+}
+
 }  // namespace
 
 CheckResult check(const CheckScenario& scenario, const ExploreConfig& config) {
+  if (config.jobs > 1) return check_parallel(scenario, config);
   Explorer explorer(config);
   return explorer.explore(scenario);
 }

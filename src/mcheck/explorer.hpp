@@ -17,6 +17,11 @@
 // scenario cutoff (e.g. a consensus round bound).  A violating execution
 // is emitted as an obs::RecordedRun — the scripted costs and tie-break
 // schedule — which replays byte-identically through obs::record/replay.
+//
+// With ExploreConfig::jobs > 1 the tree is partitioned at a decision-depth
+// frontier and disjoint subtrees are explored by forked worker processes
+// (benchkit::fork_map); stats, verdict and counterexample are merged so
+// the result is identical to the serial run (see ExploreConfig::jobs).
 
 #pragma once
 
@@ -88,6 +93,19 @@ struct ExploreConfig {
   /// Seed for the simulation Rng (unused by explored scenarios, but part
   /// of the replay artifact).
   std::uint64_t seed = 1;
+  /// Worker processes for exploration.  1 = serial, in-process.  With
+  /// jobs > 1 the decision tree is partitioned at a work-sharing frontier
+  /// (see prefix_depth) and disjoint subtrees are explored by forked
+  /// workers.  Results are merged deterministically: the reported stats,
+  /// verdict and counterexample are identical to a jobs == 1 run — the
+  /// first violation is resolved to the lexicographically-least decision
+  /// path, not to whichever worker won the race.  Sole deviation:
+  /// max_executions is enforced per worker subtree, not globally.
+  int jobs = 1;
+  /// Decision-tree depth of the work-sharing frontier (parallel mode
+  /// only): executions are grouped by their first `prefix_depth` decisions
+  /// and each group becomes one worker's subtree.  0 = auto.
+  std::uint32_t prefix_depth = 0;
 };
 
 struct ExploreStats {

@@ -8,17 +8,23 @@
 //   $ tfr_mcheck --fischer --replay fischer.run # re-check a saved run
 //
 // Options: --naive (disable the sleep-set reduction), --seed N,
-// --max-executions N.  Exit status 0 iff every executed check matched its
-// expectation (violation found / not found, counterexample replays
-// byte-identically).
+// --max-executions N, --jobs N (forked parallel exploration — verdicts,
+// stats and counterexamples are identical to --jobs 1), --prefix-depth N
+// (work-sharing frontier depth; 0 = auto).  Exit status 0 iff every
+// executed check matched its expectation (violation found / not found,
+// counterexample replays byte-identically).  Multi-check runs end with a
+// per-check wall-time summary table.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "tfr/common/table.hpp"
 #include "tfr/mcheck/explorer.hpp"
 #include "tfr/mcheck/scenarios.hpp"
 #include "tfr/obs/replay.hpp"
@@ -115,15 +121,34 @@ void print_stats(const mcheck::ExploreStats& stats) {
       stats.complete ? "yes" : "no");
 }
 
+/// One executed check, as reported in the end-of-run summary table.
+struct CheckReport {
+  std::string name;
+  bool ok = false;
+  bool violation = false;
+  double wall_ms = 0;
+  mcheck::ExploreStats stats;
+};
+
 /// Runs one check and compares against its expectation; on violation the
 /// counterexample is replayed through the obs trace layer and must match
 /// byte-for-byte.  Returns true iff everything matched.
-bool run_check(const NamedCheck& check, const std::string& save_path) {
+bool run_check(const NamedCheck& check, const std::string& save_path,
+               CheckReport& report) {
   std::printf("[mcheck] %s — %s\n", check.name.c_str(),
               check.description.c_str());
+  const auto begin = std::chrono::steady_clock::now();
   const mcheck::CheckResult result = mcheck::check(check.scenario,
                                                    check.config);
+  report.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - begin)
+                       .count();
+  report.name = check.name;
+  report.violation = result.violation;
+  report.stats = result.stats;
   print_stats(result.stats);
+  std::printf("  wall: %.1f ms (jobs=%d)\n", report.wall_ms,
+              check.config.jobs);
 
   bool ok = true;
   if (result.violation != check.expect_violation) {
@@ -165,7 +190,30 @@ bool run_check(const NamedCheck& check, const std::string& save_path) {
     ok = false;
   }
   if (ok) std::printf("  verdict: as expected\n");
+  report.ok = ok;
   return ok;
+}
+
+/// Wall-time summary for multi-check runs (--all or the default set).
+void print_summary(const std::vector<CheckReport>& reports) {
+  tfr::Table table("mcheck summary");
+  table.header({"check", "verdict", "executions", "states", "sleep-pruned",
+                "wall ms", "status"});
+  double total_ms = 0;
+  for (const CheckReport& report : reports) {
+    total_ms += report.wall_ms;
+    table.row({report.name, report.violation ? "violation" : "clean",
+               tfr::Table::fmt(
+                   static_cast<unsigned long long>(report.stats.executions)),
+               tfr::Table::fmt(
+                   static_cast<unsigned long long>(report.stats.states)),
+               tfr::Table::fmt(static_cast<unsigned long long>(
+                   report.stats.sleep_pruned)),
+               tfr::Table::fmt(report.wall_ms, 1),
+               report.ok ? "ok" : "FAIL"});
+  }
+  table.print(std::cout);
+  std::printf("total wall: %.1f ms\n", total_ms);
 }
 
 bool replay_saved(const NamedCheck& check, const std::string& path) {
@@ -191,6 +239,7 @@ int usage() {
       "usage: tfr_mcheck [--all] [--consensus] [--fischer] [--tfr-mutex]\n"
       "                  [--abd]\n"
       "                  [--naive] [--seed N] [--max-executions N]\n"
+      "                  [--jobs N] [--prefix-depth N]\n"
       "                  [--save FILE] [--replay FILE]\n");
   return 2;
 }
@@ -202,6 +251,8 @@ int main(int argc, char** argv) {
   bool naive = false;
   std::uint64_t seed = 1;
   std::uint64_t max_executions = 0;
+  int jobs = 1;
+  std::uint32_t prefix_depth = 0;
   std::string save_path;
   std::string replay_path;
 
@@ -226,6 +277,12 @@ int main(int argc, char** argv) {
       seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--max-executions" && i + 1 < argc) {
       max_executions = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      jobs = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+      if (jobs < 1) return usage();
+    } else if (arg == "--prefix-depth" && i + 1 < argc) {
+      prefix_depth =
+          static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--save" && i + 1 < argc) {
       save_path = argv[++i];
     } else if (arg == "--replay" && i + 1 < argc) {
@@ -242,16 +299,22 @@ int main(int argc, char** argv) {
   }
 
   bool ok = true;
+  std::vector<CheckReport> reports;
   for (NamedCheck& check : selected) {
     if (naive) check.config.por = false;
     check.config.seed = seed;
     if (max_executions > 0) check.config.max_executions = max_executions;
+    check.config.jobs = jobs;
+    check.config.prefix_depth = prefix_depth;
     if (!replay_path.empty()) {
       ok = replay_saved(check, replay_path) && ok;
       continue;
     }
-    ok = run_check(check, save_path) && ok;
+    CheckReport report;
+    ok = run_check(check, save_path, report) && ok;
+    reports.push_back(std::move(report));
   }
+  if (reports.size() > 1) print_summary(reports);
   std::printf("[mcheck] %s\n", ok ? "all checks as expected"
                                   : "EXPECTATION MISMATCH");
   return ok ? 0 : 1;

@@ -37,6 +37,18 @@ class RegisterSpace {
   std::uint64_t total_reads() const { return reads_; }
   std::uint64_t total_writes() const { return writes_; }
 
+  /// Forgets every allocation and access count, restarting uid assignment
+  /// from 1.  Called by Simulation::reset() when a simulation object is
+  /// reused for a fresh execution (the mcheck fast path); all registers of
+  /// the previous run must already be destroyed, so the re-issued uids
+  /// stay unique within each run — which is all the conflict relation
+  /// needs.
+  void reset() {
+    allocated_ = 0;
+    reads_ = 0;
+    writes_ = 0;
+  }
+
  private:
   template <class T>
   friend class Register;

@@ -12,7 +12,25 @@ Simulation::Simulation(std::unique_ptr<TimingModel> timing, Options options)
 Simulation::~Simulation() {
   // Drop pending events before coroutines are destroyed (Process dtors run
   // when processes_ is destroyed); never resume a handle after this point.
-  while (!queue_.empty()) queue_.pop();
+  queue_.clear();
+}
+
+void Simulation::reset(std::uint64_t seed) {
+  // Order matters: pending events reference coroutine frames, so the queue
+  // is emptied before processes_ destroys them — mirroring the destructor.
+  // Every clear() below keeps its vector's capacity; that is the point.
+  queue_.clear();
+  processes_.clear();
+  stats_.clear();
+  crash_time_.clear();
+  crash_access_limit_.clear();
+  callbacks_.clear();
+  trace_.clear();
+  pending_exception_ = nullptr;
+  now_ = 0;
+  next_seq_ = 0;
+  rng_.reseed(seed);
+  space_.reset();
 }
 
 bool Simulation::pop_next_event(Event& out, Time limit, bool& over_limit) {
@@ -21,13 +39,15 @@ bool Simulation::pop_next_event(Event& out, Time limit, bool& over_limit) {
   // decides which linearizes first.  The losers are re-queued and offered
   // again at the next iteration (same instant, one option fewer).
   over_limit = false;
+  std::vector<Event>& ready = ready_scratch_;
+  std::vector<EnabledEvent>& options = options_scratch_;
   while (!queue_.empty()) {
     const Time when = queue_.top().when;
     if (when > limit) {
       over_limit = true;
       return false;
     }
-    std::vector<Event> ready;
+    ready.clear();
     while (!queue_.empty() && queue_.top().when == when) {
       Event event = queue_.top();
       queue_.pop();
@@ -49,8 +69,7 @@ bool Simulation::pop_next_event(Event& out, Time limit, bool& over_limit) {
     if (ready.empty()) continue;  // every gathered event was a crash skip
     std::sort(ready.begin(), ready.end(),
               [](const Event& a, const Event& b) { return a.pid < b.pid; });
-    std::vector<EnabledEvent> options;
-    options.reserve(ready.size());
+    options.clear();
     for (const Event& e : ready)
       options.push_back(EnabledEvent{e.pid, e.kind, e.reg_uid});
     const std::size_t chosen = options_.strategy->pick(when, options);
@@ -66,23 +85,22 @@ bool Simulation::pop_next_event(Event& out, Time limit, bool& over_limit) {
   return false;
 }
 
-Simulation::RunResult Simulation::run(Time limit,
-                                      const std::function<bool()>& stop) {
-  for (;;) {
-    Event event{};
-    if (options_.strategy == nullptr) {
-      // Default path: FIFO tie-break, byte-identical to the pre-seam
-      // simulator (golden traces depend on this).
-      if (queue_.empty()) return RunResult::Idle;
+Simulation::StepOutcome Simulation::run_step(Time limit) {
+  Event event{};
+  if (options_.strategy == nullptr) {
+    // Default path: FIFO tie-break, byte-identical to the pre-seam
+    // simulator (golden traces depend on this).
+    for (;;) {
+      if (queue_.empty()) return StepOutcome::kIdle;
       const Event& top = queue_.top();
-      if (top.when > limit) return RunResult::TimeLimit;
+      if (top.when > limit) return StepOutcome::kOverLimit;
       event = top;
       queue_.pop();
       if (event.callback >= 0) {
         now_ = event.when;
         callbacks_[static_cast<std::size_t>(event.callback)]();
-        if (stop && stop()) return RunResult::Stopped;
-        continue;
+        // A callback counts as progress: the caller's stop predicate runs.
+        return StepOutcome::kProgress;
       }
       if (crashed_by(event.pid, event.when)) {
         // The access would have linearized at or after the crash instant:
@@ -90,22 +108,29 @@ Simulation::RunResult Simulation::run(Time limit,
         stats_[static_cast<std::size_t>(event.pid)].crashed = true;
         emit({crash_time_[static_cast<std::size_t>(event.pid)], event.pid,
               obs::EventKind::kCrash, 0, 0, 0});
-        continue;
+        continue;  // crash skips observe no stop predicate
       }
-    } else {
-      bool over_limit = false;
-      if (!pop_next_event(event, limit, over_limit))
-        return over_limit ? RunResult::TimeLimit : RunResult::Idle;
+      break;
     }
-    TFR_INVARIANT(event.when >= now_);
-    now_ = event.when;
-    event.handle.resume();
-    if (pending_exception_) {
-      std::exception_ptr e = std::exchange(pending_exception_, nullptr);
-      std::rethrow_exception(e);
-    }
-    if (stop && stop()) return RunResult::Stopped;
+  } else {
+    bool over_limit = false;
+    if (!pop_next_event(event, limit, over_limit))
+      return over_limit ? StepOutcome::kOverLimit : StepOutcome::kIdle;
   }
+  TFR_INVARIANT(event.when >= now_);
+  now_ = event.when;
+  event.handle.resume();
+  if (pending_exception_) {
+    std::exception_ptr e = std::exchange(pending_exception_, nullptr);
+    std::rethrow_exception(e);
+  }
+  return StepOutcome::kProgress;
+}
+
+Simulation::RunResult Simulation::run(Time limit,
+                                      const std::function<bool()>& stop) {
+  if (stop) return run_until(limit, [&stop] { return stop(); });
+  return run_until(limit, [] { return false; });
 }
 
 void Simulation::schedule_callback(Time when, std::function<void()> fn) {
@@ -142,12 +167,14 @@ bool Simulation::all_done() const {
 }
 
 std::vector<std::pair<Time, Pid>> Simulation::pending_events() const {
-  auto copy = queue_;
+  std::vector<Event> copy = queue_.raw();
+  std::sort(copy.begin(), copy.end(), [](const Event& a, const Event& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  });
   std::vector<std::pair<Time, Pid>> events;
-  while (!copy.empty()) {
-    events.emplace_back(copy.top().when, copy.top().pid);
-    copy.pop();
-  }
+  events.reserve(copy.size());
+  for (const Event& e : copy) events.emplace_back(e.when, e.pid);
   return events;
 }
 

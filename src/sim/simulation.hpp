@@ -15,12 +15,12 @@
 
 #pragma once
 
+#include <algorithm>
 #include <coroutine>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <string_view>
 #include <type_traits>
 #include <utility>
@@ -244,6 +244,19 @@ class Simulation {
     return pid;
   }
 
+  /// Rewinds the simulation to its just-constructed state while *keeping*
+  /// every heap buffer at capacity: the event heap's backing vector, the
+  /// per-process stat/crash vectors, the linearization trace and the
+  /// callback list are cleared but not freed.  This is the re-execution
+  /// fast path for stateless exploration (mcheck runs the same scenario
+  /// hundreds of thousands of times): reconstructing a Simulation per run
+  /// pays allocation and teardown on every execution, reset() pays it
+  /// once.  The timing model, options (sink/strategy/trace flag) and all
+  /// buffer capacities survive; processes, pending events, callbacks,
+  /// stats, register accounting and the Rng do not.  Callers must drop
+  /// any objects referencing the previous run's registers first.
+  void reset(std::uint64_t seed);
+
   Time now() const { return now_; }
   Rng& rng() { return rng_; }
   TimingModel& timing() { return *timing_; }
@@ -273,6 +286,21 @@ class Simulation {
   /// (including contract violations in algorithm code) are rethrown here.
   RunResult run(Time limit = kTimeNever,
                 const std::function<bool()>& stop = {});
+
+  /// Statically-dispatched twin of run(): the stop predicate is a template
+  /// parameter, so a lambda inlines into the event loop instead of paying
+  /// a std::function indirection per event.  This is the hot path for
+  /// mcheck's re-execution engine, which evaluates its stop condition
+  /// after every scheduler pick.
+  template <class Stop>
+  RunResult run_until(Time limit, Stop&& stop) {
+    for (;;) {
+      const StepOutcome outcome = run_step(limit);
+      if (outcome == StepOutcome::kIdle) return RunResult::Idle;
+      if (outcome == StepOutcome::kOverLimit) return RunResult::TimeLimit;
+      if (stop()) return RunResult::Stopped;
+    }
+  }
 
   /// Schedules `fn` to run at virtual time `when` (>= now), outside any
   /// process — the channel-level interception seam: network adversaries
@@ -326,6 +354,41 @@ class Simulation {
     }
   };
 
+  /// Min-heap of pending events over a flat vector that is *pooled*: pop()
+  /// and clear() never release storage, so a simulation that is reset()
+  /// and re-driven (the mcheck fast path) reaches a steady state with zero
+  /// per-push allocations.  Ordering is identical to the
+  /// std::priority_queue<Event, vector, EventLater> it replaces.
+  class EventHeap {
+   public:
+    bool empty() const { return events_.empty(); }
+    std::size_t size() const { return events_.size(); }
+    const Event& top() const { return events_.front(); }
+    void push(const Event& event) {
+      events_.push_back(event);
+      std::push_heap(events_.begin(), events_.end(), EventLater{});
+    }
+    void pop() {
+      std::pop_heap(events_.begin(), events_.end(), EventLater{});
+      events_.pop_back();
+    }
+    void clear() { events_.clear(); }
+    /// Heap-ordered backing storage (diagnosis: pending_events()).
+    const std::vector<Event>& raw() const { return events_; }
+    std::size_t capacity() const { return events_.capacity(); }
+
+   private:
+    std::vector<Event> events_;
+  };
+
+  enum class StepOutcome : std::uint8_t { kIdle, kOverLimit, kProgress };
+
+  /// Executes exactly one callback or process event (skipping crashed
+  /// entries, which observe no stop predicate — matching run()'s historic
+  /// behaviour).  Factored out of run() so run_until() can template the
+  /// stop predicate around it.
+  StepOutcome run_step(Time limit);
+
   void push_event(Time when, Pid pid, std::coroutine_handle<> h,
                   AccessKind kind, std::uint64_t reg_uid);
   /// Strategy-driven variant of the event-loop step: pops every event
@@ -342,7 +405,12 @@ class Simulation {
   RegisterSpace space_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  EventHeap queue_;
+  /// Scratch for the strategy-driven step (pop_next_event): cleared and
+  /// refilled every pick, never shrunk — per-step allocations would
+  /// dominate mcheck's replay loop.
+  std::vector<Event> ready_scratch_;
+  std::vector<EnabledEvent> options_scratch_;
   std::vector<Process> processes_;
   std::vector<ProcessStats> stats_;
   std::vector<Time> crash_time_;

@@ -170,5 +170,111 @@ TEST(McheckBounds, AbortsAtMaxExecutions) {
   EXPECT_EQ(result.stats.executions, 10u);
 }
 
+// --- parallel exploration: jobs > 1 must be indistinguishable ------------
+
+void expect_stats_equal(const mcheck::ExploreStats& parallel,
+                        const mcheck::ExploreStats& serial) {
+  EXPECT_EQ(parallel.executions, serial.executions);
+  EXPECT_EQ(parallel.states, serial.states);
+  EXPECT_EQ(parallel.transitions, serial.transitions);
+  EXPECT_EQ(parallel.sched_choice_points, serial.sched_choice_points);
+  EXPECT_EQ(parallel.cost_choice_points, serial.cost_choice_points);
+  EXPECT_EQ(parallel.sleep_pruned, serial.sleep_pruned);
+  EXPECT_EQ(parallel.sleep_blocked, serial.sleep_blocked);
+  EXPECT_EQ(parallel.truncated, serial.truncated);
+  EXPECT_EQ(parallel.complete, serial.complete);
+}
+
+/// Runs the scenario serially and at jobs {2, 4}; every parallel result
+/// must match the serial one exactly — verdict, the full ExploreStats,
+/// and (for violations) the counterexample artifact byte-for-byte.
+void expect_parallel_equivalent(const mcheck::CheckScenario& scenario,
+                                const mcheck::ExploreConfig& base) {
+  mcheck::ExploreConfig config = base;
+  config.jobs = 1;
+  const mcheck::CheckResult serial = mcheck::check(scenario, config);
+  for (const int jobs : {2, 4}) {
+    SCOPED_TRACE("jobs=" + std::to_string(jobs));
+    config.jobs = jobs;
+    const mcheck::CheckResult parallel = mcheck::check(scenario, config);
+    EXPECT_EQ(parallel.violation, serial.violation);
+    EXPECT_EQ(parallel.what, serial.what);
+    expect_stats_equal(parallel.stats, serial.stats);
+    if (serial.violation) {
+      EXPECT_EQ(parallel.counterexample.to_bytes(),
+                serial.counterexample.to_bytes());
+    }
+  }
+}
+
+// Algorithm 1 (clean verdict): the work-sharing frontier partitions a
+// sleep-set-reduced tree; merged stats must equal the serial count of
+// every event class, including the ones incurred at prefix depths.
+TEST(McheckParallel, ConsensusMatchesSerial) {
+  expect_parallel_equivalent(mcheck::make_consensus_scenario({}),
+                             small_config());
+}
+
+// Bare Fischer (violating): the merged result must pick the DFS-least
+// violating execution — the same one the serial run finds first — and
+// hand back a byte-identical counterexample, no matter which worker
+// reported a violation first.
+TEST(McheckParallel, FischerViolationMatchesSerial) {
+  mcheck::ExploreConfig config = small_config();
+  config.slow_budget = -1;
+  expect_parallel_equivalent(mcheck::make_mutex_scenario({}), config);
+}
+
+// Algorithm 3 over starvation-free A (clean, heavy sleep-set activity).
+TEST(McheckParallel, TfrMutexMatchesSerial) {
+  mcheck::MutexScenarioConfig scenario;
+  scenario.algorithm =
+      mcheck::MutexScenarioConfig::Algorithm::kTfrStarvationFree;
+  expect_parallel_equivalent(mcheck::make_mutex_scenario(scenario),
+                             small_config());
+}
+
+// ABD with a crashed minority (clean, message-passing over channel
+// registers, sleep-blocked probes at shallow depths).
+TEST(McheckParallel, AbdMatchesSerial) {
+  mcheck::ExploreConfig config = small_config();
+  config.max_failures = 0;
+  config.slow_budget = 0;
+  config.max_steps = 600;
+  expect_parallel_equivalent(mcheck::make_abd_scenario({}), config);
+}
+
+// The frontier depth only changes how work is partitioned, never what is
+// counted: extreme depths (1 = a handful of huge subtrees, 64 = every
+// probe ends as a short-leaf singleton item) must all reproduce the
+// serial stats.
+TEST(McheckParallel, PrefixDepthInsensitive) {
+  mcheck::ExploreConfig config = small_config();
+  config.slow_budget = 0;
+  const mcheck::CheckScenario scenario = mcheck::make_consensus_scenario({});
+  config.jobs = 1;
+  const mcheck::CheckResult serial = mcheck::check(scenario, config);
+  for (const std::uint32_t depth : {1u, 3u, 64u}) {
+    SCOPED_TRACE("prefix_depth=" + std::to_string(depth));
+    config.jobs = 2;
+    config.prefix_depth = depth;
+    const mcheck::CheckResult parallel = mcheck::check(scenario, config);
+    EXPECT_FALSE(parallel.violation);
+    expect_stats_equal(parallel.stats, serial.stats);
+  }
+}
+
+// max_executions is documented as per-worker-subtree in parallel mode;
+// hitting it in any subtree must still be reported as an incomplete
+// exploration.
+TEST(McheckParallel, MaxExecutionsReportsIncomplete) {
+  mcheck::ExploreConfig config = small_config();
+  config.max_executions = 10;
+  config.jobs = 2;
+  const mcheck::CheckResult result =
+      mcheck::check(mcheck::make_consensus_scenario({}), config);
+  EXPECT_FALSE(result.stats.complete);
+}
+
 }  // namespace
 }  // namespace tfr

@@ -1,0 +1,119 @@
+// Steady-state allocation regression for the Simulation::reset() fast
+// path.  mcheck re-executes one scenario hundreds of thousands of times;
+// the whole point of reset() (vs. reconstructing the Simulation) is that
+// event-queue storage, per-process stat vectors, the linearization trace
+// buffer and the strategy scratch vectors are *reused*.  This test counts
+// global operator new calls per reset+rerun iteration: after a warm-up
+// run every iteration must allocate exactly the same (small) amount — the
+// unavoidable per-spawn coroutine frames — or someone reintroduced
+// per-event churn.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "tfr/sim/simulation.hpp"
+#include "tfr/sim/timing.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_alloc_calls{0};
+
+}  // namespace
+
+// Counting overrides for the whole test binary.  Deliberately minimal:
+// route through malloc/free and count calls; gtest's own allocations are
+// outside the measured windows.
+void* operator new(std::size_t size) {
+  g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace tfr {
+namespace {
+
+sim::Process ping_pong(sim::Env env, sim::Register<int>& mine,
+                       sim::Register<int>& theirs, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    const int seen = co_await env.read(theirs);
+    co_await env.write(mine, seen + 1);
+    co_await env.delay(1);
+  }
+}
+
+/// One reset+rerun iteration; returns how many operator new calls it made.
+std::uint64_t run_iteration(sim::Simulation& simulation) {
+  const std::uint64_t before =
+      g_alloc_calls.load(std::memory_order_relaxed);
+  simulation.reset(1);
+  sim::Register<int> a(simulation.space(), 0, "a");
+  sim::Register<int> b(simulation.space(), 0, "b");
+  simulation.spawn(
+      [&](sim::Env env) { return ping_pong(env, a, b, /*rounds=*/8); });
+  simulation.spawn(
+      [&](sim::Env env) { return ping_pong(env, b, a, /*rounds=*/8); });
+  EXPECT_EQ(simulation.run(), sim::Simulation::RunResult::Idle);
+  return g_alloc_calls.load(std::memory_order_relaxed) - before;
+}
+
+// FIFO tie-breaks (no strategy): the default event loop must reach an
+// allocation steady state — the only per-iteration allocations are the
+// two coroutine frames the scenario itself spawns.
+TEST(SimAllocRegression, ResetReachesSteadyState) {
+  sim::Simulation simulation(std::make_unique<sim::FixedTiming>(1),
+                             sim::SimulationOptions{.seed = 1, .trace = true});
+  const std::uint64_t warmup = run_iteration(simulation);
+  const std::uint64_t steady = run_iteration(simulation);
+  EXPECT_LE(steady, warmup);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(run_iteration(simulation), steady) << "iteration " << i;
+  }
+  // Two spawns → two coroutine frames; a small slack tolerates frame-size
+  // bookkeeping differences across compilers, but per-event or per-step
+  // churn (dozens of events per run) would blow well past it.
+  EXPECT_LE(steady, 8u);
+}
+
+/// Strategy that always picks the first enabled option — enough to force
+/// the event loop through the strategy-driven path (pop_next_event and
+/// its scratch vectors) instead of the FIFO fast path.
+class PickFirst final : public sim::SchedulerStrategy {
+ public:
+  std::size_t pick(sim::Time,
+                   const std::vector<sim::EnabledEvent>&) override {
+    return 0;
+  }
+};
+
+// Strategy-driven tie-breaks (the mcheck replay loop): the per-pick
+// ready/options scratch must be pooled, not rebuilt — same steady-state
+// requirement as the FIFO path.
+TEST(SimAllocRegression, StrategyPathReachesSteadyState) {
+  PickFirst strategy;
+  sim::SimulationOptions options;
+  options.seed = 1;
+  options.strategy = &strategy;
+  sim::Simulation simulation(std::make_unique<sim::FixedTiming>(1), options);
+  const std::uint64_t warmup = run_iteration(simulation);
+  const std::uint64_t steady = run_iteration(simulation);
+  EXPECT_LE(steady, warmup);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(run_iteration(simulation), steady) << "iteration " << i;
+  }
+  EXPECT_LE(steady, 8u);
+}
+
+}  // namespace
+}  // namespace tfr
