@@ -2,13 +2,17 @@
 // family on std::atomic registers: uncontended lock/unlock latency per
 // algorithm (the cost a downstream user actually pays), the effect of the
 // assumed optimistic(Delta) on Algorithm 3's fast path, and contended
-// throughput.
+// throughput.  The registered E12 shootout (bench_rt_shootout.cpp) covers
+// contended throughput / p99 wait / cpu-wall at scale; this binary keeps
+// the per-operation latency numbers, now including the shootout's
+// atomic/std::mutex/spin-yield adapters for apples-to-apples latency.
 
 #include <benchmark/benchmark.h>
 
 #include <memory>
 #include <thread>
 
+#include "tfr/mutex/lock_adapters.hpp"
 #include "tfr/mutex/mutex_rt.hpp"
 
 namespace {
@@ -24,7 +28,10 @@ std::unique_ptr<RtMutex> make_mutex(int algo, int n, Nanos delta) {
     case 4:
       return std::make_unique<StarvationFreeRt>(
           n, std::make_unique<LamportFastRt>(n));
-    default: return make_tfr_mutex_rt(n, delta);
+    case 5: return make_tfr_mutex_rt(n, delta);
+    case 6: return std::make_unique<AtomicMutexLock>();
+    case 7: return std::make_unique<StdMutexLock>();
+    default: return std::make_unique<SpinYieldLock>();
   }
 }
 
@@ -35,7 +42,10 @@ const char* algo_name(int algo) {
     case 2: return "bakery";
     case 3: return "bw-bakery";
     case 4: return "starvation-free";
-    default: return "tfr(sf)";
+    case 5: return "tfr(sf)";
+    case 6: return "atomic";
+    case 7: return "std::mutex";
+    default: return "spin-yield";
   }
 }
 
@@ -50,7 +60,7 @@ void BM_UncontendedLockUnlock(benchmark::State& state) {
   state.SetLabel(std::string(algo_name(algo)) + ", n=" + std::to_string(n));
 }
 BENCHMARK(BM_UncontendedLockUnlock)
-    ->ArgsProduct({{0, 1, 2, 3, 4, 5}, {4, 64}});
+    ->ArgsProduct({{0, 1, 2, 3, 4, 5, 6, 7, 8}, {4, 64}});
 
 void BM_TfrFastPathVsDelta(benchmark::State& state) {
   // Algorithm 3 pays one delay(delta) per uncontended acquisition: the
@@ -80,7 +90,7 @@ void BM_ContendedThroughput(benchmark::State& state) {
   state.SetLabel(std::string(algo_name(algo)) + ", " +
                  std::to_string(threads) + " threads x 50 sessions");
 }
-BENCHMARK(BM_ContendedThroughput)->ArgsProduct({{2, 3, 5}, {2, 4}});
+BENCHMARK(BM_ContendedThroughput)->ArgsProduct({{2, 3, 5, 6, 7}, {2, 4}});
 
 }  // namespace
 

@@ -1,0 +1,68 @@
+// RtMutex adapters for the E12 contended shootout and the stress tests:
+// the locks the tfr family is measured against.  None of these are
+// register-based algorithms from the paper — they are the reference
+// points the §3.3 practicality claim needs on real hardware:
+//
+//   * AtomicMutexLock — the 4-byte futex-class AtomicMutex (src/rt/
+//     atomic_mutex.hpp): what a production lock on this substrate costs.
+//   * StdMutexLock    — std::mutex, the platform's native blocking lock.
+//   * SpinYieldLock   — test-and-set with a yield-spin wait loop: the
+//     pre-blocking behaviour of every rt wait loop, kept as the
+//     core-burning reference the CPU-time/wall-time detector is
+//     calibrated against.
+
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "tfr/mutex/mutex_rt.hpp"
+#include "tfr/rt/atomic_mutex.hpp"
+
+namespace tfr::rt {
+
+class AtomicMutexLock final : public RtMutex {
+ public:
+  explicit AtomicMutexLock(unsigned spin_budget = kDefaultSpinBudget)
+      : spin_budget_(spin_budget) {}
+
+  void lock(int /*id*/) override { mutex_.spin_lock(spin_budget_); }
+  void unlock(int /*id*/) override { mutex_.unlock(); }
+  std::string name() const override { return "atomic"; }
+
+ private:
+  unsigned spin_budget_;
+  AtomicMutex mutex_;
+};
+
+class StdMutexLock final : public RtMutex {
+ public:
+  void lock(int /*id*/) override { mutex_.lock(); }
+  void unlock(int /*id*/) override { mutex_.unlock(); }
+  std::string name() const override { return "std::mutex"; }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// Test-and-set spinlock that yields between attempts — exactly the
+/// "polite" unbounded spin the blocking substrate replaced.  Progresses
+/// even at threads >> cores (yield cedes the core), but every waiter
+/// stays runnable, so CPU time ≈ min(threads, cores) × wall time.
+class SpinYieldLock final : public RtMutex {
+ public:
+  void lock(int /*id*/) override {
+    while (locked_.exchange(true, std::memory_order_acquire))
+      std::this_thread::yield();
+  }
+  void unlock(int /*id*/) override {
+    locked_.store(false, std::memory_order_release);
+  }
+  std::string name() const override { return "spin-yield"; }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+}  // namespace tfr::rt

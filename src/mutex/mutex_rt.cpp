@@ -1,7 +1,10 @@
 #include "tfr/mutex/mutex_rt.hpp"
 
+#include <time.h>
+
 #include <algorithm>
 #include <atomic>
+#include <vector>
 
 #include "tfr/common/contracts.hpp"
 
@@ -9,20 +12,32 @@ namespace tfr::rt {
 
 namespace {
 
-/// Spin-wait step: be polite to the OS scheduler so oversubscribed runs
-/// (more threads than cores) keep making progress.
-inline void relax() { std::this_thread::yield(); }
-
 std::unique_ptr<AtomicRegister<int>[]> make_int_registers(int n, int init) {
   auto regs = std::make_unique<AtomicRegister<int>[]>(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) regs[static_cast<std::size_t>(i)].write(init);
   return regs;
 }
 
+/// CPU time consumed by the whole process so far, in seconds.  Inside
+/// run_rt_mutex_workload only the workload's threads run, so the delta
+/// across the run is the workload's own CPU bill.
+double process_cpu_seconds() {
+  timespec ts{};
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) != 0) return 0.0;
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
 }  // namespace
 
 // --------------------------------------------------------------------------
 // Fischer
+//
+// Wait/notify protocol (shared by every algorithm below): waiters park on
+// the lock's EventCount via wait_until_changed; every write that can turn
+// some waiter's predicate true is followed by events_.advance().  Writes
+// that only *falsify* predicates (x := me, flag := 1, choosing := 1, the
+// doorway's ticket grab) never need an advance — nobody waits for them.
 
 FischerRt::FischerRt(Nanos delta, FaultInjector* faults)
     : delta_(delta), faults_(faults) {
@@ -32,7 +47,7 @@ FischerRt::FischerRt(Nanos delta, FaultInjector* faults)
 void FischerRt::lock(int id) {
   const int me = id + 1;
   for (;;) {
-    while (x_.read() != 0) relax();  // await (x = 0)
+    wait_until_changed(events_, [&] { return x_.read() == 0; });  // await (x = 0)
     // The gate's vulnerable window: a stall here longer than Δ is exactly
     // the timing failure that breaks mutual exclusion (§3.1).
     maybe_stall(faults_, "fischer.gate");
@@ -42,7 +57,10 @@ void FischerRt::lock(int id) {
   }
 }
 
-void FischerRt::unlock(int /*id*/) { x_.write(0); }
+void FischerRt::unlock(int /*id*/) {
+  x_.write(0);
+  events_.advance();
+}
 
 // --------------------------------------------------------------------------
 // Lamport's fast mutex
@@ -59,17 +77,21 @@ void LamportFastRt::lock(int id) {
     x_.write(me);
     if (y_.read() != 0) {
       b_[static_cast<std::size_t>(id)].write(0);
-      while (y_.read() != 0) relax();
+      events_.advance();
+      wait_until_changed(events_, [&] { return y_.read() == 0; });
       continue;
     }
     y_.write(me);
     if (x_.read() != me) {
       b_[static_cast<std::size_t>(id)].write(0);
+      events_.advance();
       for (int j = 0; j < n_; ++j) {
-        while (b_[static_cast<std::size_t>(j)].read() != 0) relax();
+        wait_until_changed(events_, [&, j] {
+          return b_[static_cast<std::size_t>(j)].read() == 0;
+        });
       }
       if (y_.read() != me) {
-        while (y_.read() != 0) relax();
+        wait_until_changed(events_, [&] { return y_.read() == 0; });
         continue;
       }
     }
@@ -80,6 +102,7 @@ void LamportFastRt::lock(int id) {
 void LamportFastRt::unlock(int id) {
   y_.write(0);
   b_[static_cast<std::size_t>(id)].write(0);
+  events_.advance();
 }
 
 // --------------------------------------------------------------------------
@@ -103,19 +126,22 @@ void BakeryRt::lock(int id) {
   const int mine = max_seen + 1;
   number_[static_cast<std::size_t>(id)].write(mine);
   choosing_[static_cast<std::size_t>(id)].write(0);
+  events_.advance();
   for (int j = 0; j < n_; ++j) {
     if (j == id) continue;
-    while (choosing_[static_cast<std::size_t>(j)].read() != 0) relax();
-    for (;;) {
+    wait_until_changed(events_, [&, j] {
+      return choosing_[static_cast<std::size_t>(j)].read() == 0;
+    });
+    wait_until_changed(events_, [&, j, mine] {
       const int nj = number_[static_cast<std::size_t>(j)].read();
-      if (nj == 0 || nj > mine || (nj == mine && j > id)) break;
-      relax();
-    }
+      return nj == 0 || nj > mine || (nj == mine && j > id);
+    });
   }
 }
 
 void BakeryRt::unlock(int id) {
   number_[static_cast<std::size_t>(id)].write(0);
+  events_.advance();
 }
 
 // --------------------------------------------------------------------------
@@ -148,25 +174,29 @@ void BlackWhiteBakeryRt::lock(int id) {
       Ticket{static_cast<std::int32_t>(mycolor),
              static_cast<std::int32_t>(mine)});
   choosing_[static_cast<std::size_t>(id)].write(0);
+  events_.advance();
   for (int j = 0; j < n_; ++j) {
     if (j == id) continue;
-    while (choosing_[static_cast<std::size_t>(j)].read() != 0) relax();
-    for (;;) {
+    wait_until_changed(events_, [&, j] {
+      return choosing_[static_cast<std::size_t>(j)].read() == 0;
+    });
+    // Multi-register predicate (ticket_[j] AND color_): both unblocking
+    // transitions — j clearing its ticket, the generation color flipping —
+    // happen in some unlock(), which advances the shared eventcount.
+    wait_until_changed(events_, [&, j, mine, mycolor] {
       const Ticket t = ticket_[static_cast<std::size_t>(j)].read();
-      if (t.num == 0) break;
-      if (t.color == mycolor) {
-        if (t.num > mine || (t.num == mine && j > id)) break;
-      } else {
-        if (color_.read() != mycolor) break;  // we are the old generation
-      }
-      relax();
-    }
+      if (t.num == 0) return true;
+      if (t.color == mycolor)
+        return t.num > mine || (t.num == mine && j > id);
+      return color_.read() != mycolor;  // we are the old generation
+    });
   }
 }
 
 void BlackWhiteBakeryRt::unlock(int id) {
   color_.write(1 - mycolor_[static_cast<std::size_t>(id)]);
   ticket_[static_cast<std::size_t>(id)].write(Ticket{});
+  events_.advance();
 }
 
 // --------------------------------------------------------------------------
@@ -181,12 +211,10 @@ StarvationFreeRt::StarvationFreeRt(int n, std::unique_ptr<RtMutex> inner)
 void StarvationFreeRt::lock(int id) {
   TFR_REQUIRE(id >= 0 && id < n_);
   flag_[static_cast<std::size_t>(id)].write(1);
-  for (;;) {
+  wait_until_changed(events_, [&] {
     const int t = turn_.read();
-    if (t == id) break;
-    if (flag_[static_cast<std::size_t>(t)].read() == 0) break;
-    relax();
-  }
+    return t == id || flag_[static_cast<std::size_t>(t)].read() == 0;
+  });
   inner_->lock(id);
 }
 
@@ -195,6 +223,7 @@ void StarvationFreeRt::unlock(int id) {
   const int t = turn_.read();
   if (flag_[static_cast<std::size_t>(t)].read() == 0)
     turn_.write((t + 1) % n_);
+  events_.advance();
   inner_->unlock(id);
 }
 
@@ -212,10 +241,10 @@ void TfrMutexRt::lock(int id) {
   const int me = id + 1;
   bool first_attempt = true;
   for (;;) {
-    while (x_.read() != 0) relax();
+    wait_until_changed(events_, [&] { return x_.read() == 0; });
     maybe_stall(faults_, "fischer.gate");
     x_.write(me);
-    spin_for(delta_);
+    spin_for(delta_);  // delay(Δ) stays a precise busy-wait
     if (x_.read() == me) break;
     first_attempt = false;
   }
@@ -226,7 +255,10 @@ void TfrMutexRt::lock(int id) {
 
 void TfrMutexRt::unlock(int id) {
   inner_->unlock(id);
-  if (x_.read() == id + 1) x_.write(0);
+  if (x_.read() == id + 1) {
+    x_.write(0);
+    events_.advance();
+  }
 }
 
 std::unique_ptr<TfrMutexRt> make_tfr_mutex_rt(int n, Nanos delta,
@@ -248,15 +280,20 @@ RtWorkloadResult run_rt_mutex_workload(RtMutex& mutex,
   std::atomic<std::uint64_t> violations{0};
   std::atomic<std::uint64_t> entries{0};
   std::atomic<std::int64_t> max_wait_ns{0};
+  std::vector<std::vector<std::int64_t>> waits(
+      static_cast<std::size_t>(config.threads));
 
   auto worker = [&](int id) {
+    auto& my_waits = waits[static_cast<std::size_t>(id)];
+    my_waits.reserve(static_cast<std::size_t>(config.sessions));
     for (int s = 0; s < config.sessions; ++s) {
-      if (config.ncs_time.count() > 0) spin_for(config.ncs_time);
+      if (config.ncs_time.count() > 0) sleep_spin_for(config.ncs_time);
       const auto wait_begin = std::chrono::steady_clock::now();
       mutex.lock(id);
       const auto waited = std::chrono::duration_cast<Nanos>(
                               std::chrono::steady_clock::now() - wait_begin)
                               .count();
+      my_waits.push_back(waited);
       std::int64_t seen = max_wait_ns.load(std::memory_order_relaxed);
       while (waited > seen &&
              !max_wait_ns.compare_exchange_weak(seen, waited,
@@ -265,12 +302,13 @@ RtWorkloadResult run_rt_mutex_workload(RtMutex& mutex,
       if (occupancy.fetch_add(1, std::memory_order_seq_cst) != 0)
         violations.fetch_add(1, std::memory_order_relaxed);
       entries.fetch_add(1, std::memory_order_relaxed);
-      if (config.cs_time.count() > 0) spin_for(config.cs_time);
+      if (config.cs_time.count() > 0) sleep_spin_for(config.cs_time);
       occupancy.fetch_sub(1, std::memory_order_seq_cst);
       mutex.unlock(id);
     }
   };
 
+  const double cpu_start = process_cpu_seconds();
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(config.threads));
@@ -279,12 +317,27 @@ RtWorkloadResult run_rt_mutex_workload(RtMutex& mutex,
   const auto wall = std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - start)
                         .count();
+  const double cpu = process_cpu_seconds() - cpu_start;
+
+  std::vector<std::int64_t> all_waits;
+  all_waits.reserve(static_cast<std::size_t>(config.threads) *
+                    static_cast<std::size_t>(config.sessions));
+  for (auto& w : waits) all_waits.insert(all_waits.end(), w.begin(), w.end());
+  std::sort(all_waits.begin(), all_waits.end());
+  const std::size_t p99_index =
+      all_waits.empty() ? 0 : (all_waits.size() * 99) / 100;
+  const std::int64_t p99 =
+      all_waits.empty()
+          ? 0
+          : all_waits[std::min(p99_index, all_waits.size() - 1)];
 
   return RtWorkloadResult{
       .violations = violations.load(),
       .cs_entries = entries.load(),
       .max_wait = Nanos{max_wait_ns.load()},
+      .p99_wait = Nanos{p99},
       .wall_seconds = wall,
+      .cpu_seconds = cpu,
   };
 }
 

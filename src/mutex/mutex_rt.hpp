@@ -1,9 +1,13 @@
 // Mutual-exclusion algorithms — real-thread edition (std::atomic registers).
 //
 // Same algorithm set as mutex_sim.hpp; see that header for the catalogue
-// and the role each plays in the paper.  Spin loops yield to the OS
-// scheduler so the suite behaves on machines with fewer cores than
-// threads (a paper-faithful source of "timing failures", incidentally).
+// and the role each plays in the paper.  Every unbounded await-loop
+// blocks on the lock's EventCount (rt/atomic_mutex.hpp) after a short
+// spin budget instead of yield-spinning, so waiters cost no CPU on
+// machines with fewer cores than threads — delay(Δ) itself stays a
+// precise busy-wait, which is all the Δ reasoning needs (docs/MODEL.md
+// "Blocking lock substrate").  Protocol: any register write that can
+// turn some waiter's predicate true is followed by events_.advance().
 //
 // Injection points (see registers/fault_injector.hpp):
 //   "fischer.gate"  — between reading x = 0 and writing x := i; stalling
@@ -21,6 +25,7 @@
 
 #include "tfr/registers/atomic_register.hpp"
 #include "tfr/registers/fault_injector.hpp"
+#include "tfr/rt/atomic_mutex.hpp"
 
 namespace tfr::rt {
 
@@ -46,6 +51,7 @@ class FischerRt final : public RtMutex {
   Nanos delta_;
   FaultInjector* faults_;
   AtomicRegister<int> x_{0};
+  EventCount events_;
 };
 
 /// Lamport's fast mutex (deadlock-free, not starvation-free).
@@ -62,6 +68,7 @@ class LamportFastRt final : public RtMutex {
   AtomicRegister<int> x_{0};
   AtomicRegister<int> y_{0};
   std::unique_ptr<AtomicRegister<int>[]> b_;
+  EventCount events_;
 };
 
 /// Lamport's bakery (starvation-free, FIFO, unbounded tickets).
@@ -77,6 +84,7 @@ class BakeryRt final : public RtMutex {
   int n_;
   std::unique_ptr<AtomicRegister<int>[]> choosing_;
   std::unique_ptr<AtomicRegister<int>[]> number_;
+  EventCount events_;
 };
 
 /// Taubenfeld's black-white bakery (starvation-free, bounded tickets).
@@ -99,6 +107,7 @@ class BlackWhiteBakeryRt final : public RtMutex {
   std::unique_ptr<AtomicRegister<int>[]> choosing_;
   std::unique_ptr<AtomicRegister<Ticket>[]> ticket_;
   std::vector<int> mycolor_;
+  EventCount events_;
 };
 
 /// Deadlock-free → starvation-free doorway transformation (see
@@ -118,6 +127,7 @@ class StarvationFreeRt final : public RtMutex {
   std::unique_ptr<RtMutex> inner_;
   std::unique_ptr<AtomicRegister<int>[]> flag_;
   AtomicRegister<int> turn_{0};
+  EventCount events_;
 };
 
 /// Algorithm 3 — the time-resilient mutex: Fischer filter around an inner
@@ -143,6 +153,7 @@ class TfrMutexRt final : public RtMutex {
   std::unique_ptr<RtMutex> inner_;
   FaultInjector* faults_;
   AtomicRegister<int> x_{0};
+  EventCount events_;
   std::atomic<std::uint64_t> first_try_{0};
   std::atomic<std::uint64_t> retried_{0};
 };
@@ -154,7 +165,11 @@ std::unique_ptr<TfrMutexRt> make_tfr_mutex_rt(int n, Nanos delta,
 
 // ---------------------------------------------------------------------------
 // Harness: n threads cycling NCS → lock → CS → unlock with an occupancy
-// probe that counts mutual-exclusion violations.
+// probe that counts mutual-exclusion violations.  CS/NCS residency uses
+// sleep_spin_for, so only the locks' own spin budgets burn CPU; the
+// CPU-time/wall-time ratio of the whole run is the core-burning
+// detector — ~1 (or below, with sleeping phases) for blocking locks,
+// ~min(threads, cores) for spinning ones.
 
 struct RtWorkloadConfig {
   int threads = 2;
@@ -167,7 +182,14 @@ struct RtWorkloadResult {
   std::uint64_t violations = 0;   ///< CS occupancy > 1 observations
   std::uint64_t cs_entries = 0;
   Nanos max_wait{0};              ///< longest lock() latency
+  Nanos p99_wait{0};              ///< 99th-percentile lock() latency
   double wall_seconds = 0.0;
+  double cpu_seconds = 0.0;       ///< process CPU time over the run
+
+  /// The core-burning detector: CPU time per unit wall time.
+  double cpu_wall_ratio() const {
+    return wall_seconds > 0 ? cpu_seconds / wall_seconds : 0.0;
+  }
 };
 
 RtWorkloadResult run_rt_mutex_workload(RtMutex& mutex,

@@ -44,6 +44,20 @@ inline void spin_for(Nanos d) {
   }
 }
 
+/// Waits for at least `d` without monopolizing a core: sleeps until
+/// ~100 µs before the deadline, then busy-spins the tail for precision.
+/// Use for coarse workload simulation (NCS/CS residency, injected
+/// multi-ms stalls); keep spin_for for delay(Δ) itself, whose whole job
+/// is to not suffer a scheduler-induced timing failure.
+inline void sleep_spin_for(Nanos d) {
+  constexpr Nanos kSpinTail{100'000};
+  const auto deadline = std::chrono::steady_clock::now() + d;
+  if (d > kSpinTail) std::this_thread::sleep_until(deadline - kSpinTail);
+  while (std::chrono::steady_clock::now() < deadline) {
+    // spin out the tail
+  }
+}
+
 class FaultInjector {
  public:
   struct PointConfig {

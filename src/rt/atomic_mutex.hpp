@@ -1,0 +1,182 @@
+// Futex-class blocking primitives for the real-thread runtime.
+//
+// Every rt wait loop used to be an unbounded yield-spin: each waiter kept
+// a core busy, so oversubscribed runs (threads > cores) burned CPU
+// proportional to the thread count — exactly the regime where the paper's
+// timing failures live, and exactly where a measurement harness must not
+// perturb the system it measures.  This header provides the two blocking
+// substrates that replace those spins:
+//
+//   * AtomicMutex — a 4-byte std::mutex-compatible lock on C++20
+//     std::atomic::wait/notify_one (futex on Linux), with a tunable
+//     spin-then-wait budget.  Three states: free, locked, locked with
+//     (possible) waiters; unlock syscalls only in the contended case.
+//
+//   * EventCount + wait_until_changed() — a condition-variable-style
+//     eventcount for the algorithms' await-loops, whose predicates read
+//     *registers* (often several of them: the black-white bakery waits on
+//     ticket_[j] AND color_).  Waiters snapshot the epoch, re-check the
+//     predicate, and block until the epoch moves; state writers bump the
+//     epoch after any write that can turn a predicate true.  The
+//     epoch-before-predicate order (all seq_cst) makes lost wakeups
+//     impossible: a writer's state change is visible to any waiter that
+//     observed the pre-bump epoch.
+//
+// The spin budget bridges the two regimes: short critical sections are
+// won within a few hundred PAUSE iterations without touching the kernel;
+// past the budget the waiter parks and costs nothing until notified.
+// Algorithm 3's Δ reasoning is untouched — delay(Δ) is still the precise
+// busy-wait spin_for(); only *unbounded* waits (await x = 0, bakery
+// scans, turn waits) block.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#if !defined(__x86_64__) && !defined(__i386__) && !defined(__aarch64__)
+#include <thread>
+#endif
+
+namespace tfr::rt {
+
+/// One polite spin iteration: de-pipelines the loop without yielding the
+/// core (PAUSE/YIELD are ~dozens of cycles; a scheduler yield is ~µs).
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Default spin-then-wait budget, in cpu_relax() iterations.  Sized so an
+/// uncontended-to-lightly-contended handoff (a few hundred ns of critical
+/// section) resolves without a futex round trip, while a preempted or
+/// long-CS owner parks waiters well under a scheduler quantum.
+inline constexpr unsigned kDefaultSpinBudget = 256;
+
+/// A 4-byte mutex on std::atomic::wait/notify_one (the atomic_sync
+/// design).  States: kFree, kLocked (no waiter has ever blocked during
+/// this hold), kContended (a waiter may be parked: unlock must notify).
+/// Satisfies Lockable, so std::lock_guard / std::unique_lock work.
+class AtomicMutex {
+ public:
+  AtomicMutex() = default;
+  AtomicMutex(const AtomicMutex&) = delete;
+  AtomicMutex& operator=(const AtomicMutex&) = delete;
+
+  void lock() noexcept { spin_lock(kDefaultSpinBudget); }
+
+  /// lock() with an explicit spin budget: try the fast path, spin up to
+  /// `spin_budget` relax iterations, then park until notified.
+  void spin_lock(unsigned spin_budget) noexcept {
+    std::uint32_t expected = kFree;
+    if (state_.compare_exchange_strong(expected, kLocked,
+                                       std::memory_order_acquire,
+                                       std::memory_order_relaxed))
+      return;
+    for (unsigned i = 0; i < spin_budget; ++i) {
+      cpu_relax();
+      if (state_.load(std::memory_order_relaxed) == kFree) {
+        expected = kFree;
+        if (state_.compare_exchange_weak(expected, kLocked,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed))
+          return;
+      }
+    }
+    // Blocking phase.  Claim the lock and advertise contention in one
+    // exchange; whoever finds kFree here owns the lock but must leave
+    // kContended behind — another waiter may already be parked.
+    while (state_.exchange(kContended, std::memory_order_acquire) != kFree)
+      state_.wait(kContended, std::memory_order_relaxed);
+  }
+
+  bool try_lock() noexcept {
+    std::uint32_t expected = kFree;
+    return state_.compare_exchange_strong(expected, kLocked,
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed);
+  }
+
+  void unlock() noexcept {
+    if (state_.exchange(kFree, std::memory_order_release) == kContended)
+      state_.notify_one();
+  }
+
+  /// True while any thread holds the lock (diagnostic; racy by nature).
+  bool is_locked() const noexcept {
+    return state_.load(std::memory_order_relaxed) != kFree;
+  }
+
+ private:
+  static constexpr std::uint32_t kFree = 0;
+  static constexpr std::uint32_t kLocked = 1;
+  static constexpr std::uint32_t kContended = 2;
+
+  std::atomic<std::uint32_t> state_{kFree};
+};
+
+static_assert(sizeof(AtomicMutex) == 4,
+              "the whole point: one futex word, nothing else");
+
+/// Eventcount: a 4-byte epoch that waiters block on and state writers
+/// bump.  The protocol (wait side in wait_until_changed below):
+///
+///   writer:  write the registers, then advance()
+///   waiter:  seen = epoch(); if (!pred()) wait_changed(seen)
+///
+/// advance() uses notify_all because distinct waiters wait on distinct
+/// predicates (different bakery tickets, different turn values); a
+/// notify_one could wake only a waiter whose predicate is still false.
+class EventCount {
+ public:
+  EventCount() = default;
+  EventCount(const EventCount&) = delete;
+  EventCount& operator=(const EventCount&) = delete;
+
+  std::uint32_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_seq_cst);
+  }
+
+  /// Publishes "state changed": epoch moves, parked waiters re-check.
+  /// Call after the register write(s) the waiters' predicates read.
+  void advance() noexcept {
+    epoch_.fetch_add(1, std::memory_order_seq_cst);
+    epoch_.notify_all();
+  }
+
+  /// Blocks until the epoch differs from `seen` (wraps are harmless: any
+  /// change wakes).  Returns on spurious wakeups too — callers re-check.
+  void wait_changed(std::uint32_t seen) const noexcept {
+    epoch_.wait(seen, std::memory_order_seq_cst);
+  }
+
+ private:
+  std::atomic<std::uint32_t> epoch_{0};
+};
+
+static_assert(sizeof(EventCount) == 4, "one futex word, nothing else");
+
+/// The shared await-loop: spins `spin_budget` relax iterations re-checking
+/// `pred`, then parks on `events` until an advance().  `pred` may read any
+/// number of registers; correctness only requires that every write that
+/// can flip it true is followed by events.advance().
+template <class Pred>
+inline void wait_until_changed(const EventCount& events, Pred&& pred,
+                               unsigned spin_budget = kDefaultSpinBudget) {
+  for (unsigned i = 0; i < spin_budget; ++i) {
+    if (pred()) return;
+    cpu_relax();
+  }
+  for (;;) {
+    const std::uint32_t seen = events.epoch();
+    if (pred()) return;
+    events.wait_changed(seen);
+  }
+}
+
+}  // namespace tfr::rt
