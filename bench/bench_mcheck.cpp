@@ -1,20 +1,26 @@
 // E18 — systematic exploration at a glance: throughput of the mcheck
-// engine, the effect of the sleep-set partial-order reduction, and the
-// work-sharing parallel mode.
+// engine, the layered partial-order reductions (sleep sets, source-set
+// DPOR), the work-sharing parallel mode, and the real-thread scenarios
+// explored through the atomic interposition seam.
 //
 // Workload: the flagship small configurations (Algorithm 1 n=2 round
 // bound 2, bare Fischer n=2, Algorithm 3 n=2), each explored with the
-// reduction on; the consensus scenario additionally with naive DFS to
-// measure the pruning factor, and the naive run once more with four
-// forked workers (--jobs 4 equivalent) to measure parallel scaling.
+// default source-set DPOR; the consensus scenario additionally with
+// plain sleep sets (DPOR ablation) and with naive DFS to measure the
+// pruning factors, the naive run once more with four forked workers
+// (--jobs 4 equivalent) to measure parallel scaling, and the four rt
+// checks (real Fischer / Algorithm 3 / AtomicMutex code instantiated
+// over ShimAtomics, plus the EventCount torn-epoch lost-wakeup hunt).
 // Series: executions, explored states, executions/second, parallel
-// speedup.  Expected shape: the reduced run explores strictly fewer
-// executions than naive DFS with the same (clean) verdict, bare Fischer
-// yields a violation while Algorithm 3 does not, and the parallel run
-// reproduces the serial counters exactly (its speedup is asserted only
-// on hosts with >= 4 cores; the counters are asserted everywhere).
-// Exploration counters (executions, states, sleep_blocked) are exactly
-// reproducible and baseline-gated with zero tolerance.
+// speedup.  Expected shape: DPOR < sleep sets < naive DFS on the same
+// (clean) verdict, bare Fischer yields a violation while Algorithm 3
+// does not — through the seam exactly as in the simulator transcription
+// — the torn epoch loses a wakeup while the documented order does not,
+// and the parallel run reproduces the serial counters exactly (its
+// speedup is asserted only on hosts with >= 4 cores; the counters are
+// asserted everywhere).  Exploration counters (executions, states,
+// sleep_blocked, races, source_pruned) are exactly reproducible and
+// baseline-gated with zero tolerance, for the sim and rt rows alike.
 
 #include <chrono>
 #include <iostream>
@@ -22,6 +28,7 @@
 
 #include "bench_util.hpp"
 #include "tfr/mcheck/explorer.hpp"
+#include "tfr/mcheck/rt_scenarios.hpp"
 #include "tfr/mcheck/scenarios.hpp"
 
 using namespace tfr;
@@ -73,20 +80,44 @@ TFR_BENCH_EXPERIMENT(E18, "systematic exploration", bench::Tier::kFull,
   tfr_cfg.algorithm = mcheck::MutexScenarioConfig::Algorithm::kTfrStarvationFree;
   const mcheck::CheckScenario tfr_mutex = mcheck::make_mutex_scenario(tfr_cfg);
 
+  mcheck::RtMutexScenarioConfig rt_tfr_cfg;
+  rt_tfr_cfg.algorithm =
+      mcheck::RtMutexScenarioConfig::Algorithm::kTfrStarvationFree;
+  mcheck::RtMutexScenarioConfig rt_lock_cfg;
+  rt_lock_cfg.algorithm = mcheck::RtMutexScenarioConfig::Algorithm::kAtomicLock;
+  mcheck::RtEventCountScenarioConfig ec_fixed_cfg;
+  ec_fixed_cfg.torn_epoch = false;
+
   mcheck::ExploreConfig reduced = base_config();
+  mcheck::ExploreConfig sleep_only = base_config();
+  sleep_only.reduction = mcheck::Reduction::kSleepSets;
   mcheck::ExploreConfig naive = base_config();
-  naive.por = false;
+  naive.reduction = mcheck::Reduction::kNone;
   mcheck::ExploreConfig mutex_config = base_config();
   mutex_config.slow_budget = -1;
+  mcheck::ExploreConfig eventcount_config = base_config();
+  eventcount_config.max_failures = 0;
+  eventcount_config.slow_budget = 0;
 
   mcheck::ExploreConfig naive_parallel = naive;
   naive_parallel.jobs = 4;
 
   const Timed consensus_reduced = timed_check(consensus, reduced);
+  const Timed consensus_sleep = timed_check(consensus, sleep_only);
   const Timed consensus_naive = timed_check(consensus, naive);
   const Timed naive_jobs4 = timed_check(consensus, naive_parallel);
   const Timed fischer_run = timed_check(fischer, mutex_config);
   const Timed tfr_run = timed_check(tfr_mutex, base_config());
+  const Timed rt_fischer_run =
+      timed_check(mcheck::make_rt_mutex_scenario({}), base_config());
+  const Timed rt_tfr_run =
+      timed_check(mcheck::make_rt_mutex_scenario(rt_tfr_cfg), base_config());
+  const Timed rt_lock_run =
+      timed_check(mcheck::make_rt_mutex_scenario(rt_lock_cfg), base_config());
+  const Timed ec_torn_run = timed_check(mcheck::make_rt_eventcount_scenario({}),
+                                        eventcount_config);
+  const Timed ec_fixed_run = timed_check(
+      mcheck::make_rt_eventcount_scenario(ec_fixed_cfg), eventcount_config);
 
   Table table;
   table.header({"check", "executions", "states", "violation", "exec/s"});
@@ -97,11 +128,17 @@ TFR_BENCH_EXPERIMENT(E18, "systematic exploration", bench::Tier::kFull,
                timed.result.violation ? "yes" : "no",
                Table::fmt(rate(timed), 0)});
   };
-  row("consensus n=2 (sleep sets)", consensus_reduced);
+  row("consensus n=2 (source DPOR)", consensus_reduced);
+  row("consensus n=2 (sleep sets)", consensus_sleep);
   row("consensus n=2 (naive DFS)", consensus_naive);
   row("naive DFS, 4 workers", naive_jobs4);
   row("fischer n=2 (1 failure)", fischer_run);
   row("tfr-mutex n=2 (1 failure)", tfr_run);
+  row("rt fischer n=2 (shim)", rt_fischer_run);
+  row("rt tfr-mutex n=2 (shim)", rt_tfr_run);
+  row("rt atomic-lock n=2 (shim)", rt_lock_run);
+  row("rt eventcount torn (shim)", ec_torn_run);
+  row("rt eventcount fixed (shim)", ec_fixed_run);
   table.print(rec.out());
 
   const double reduction =
@@ -115,14 +152,34 @@ TFR_BENCH_EXPERIMENT(E18, "systematic exploration", bench::Tier::kFull,
              static_cast<double>(consensus_reduced.result.stats.states));
   rec.metric("consensus.sleep_blocked",
              static_cast<double>(consensus_reduced.result.stats.sleep_blocked));
+  rec.metric("consensus.races",
+             static_cast<double>(consensus_reduced.result.stats.races_detected));
+  rec.metric("consensus.source_pruned",
+             static_cast<double>(consensus_reduced.result.stats.source_pruned));
   rec.metric("consensus.reduction_factor", reduction, "x");
   rec.metric("consensus.exec_per_sec", rate(consensus_reduced), "1/s");
+  rec.metric("consensus_sleepsets.executions",
+             static_cast<double>(consensus_sleep.result.stats.executions));
   rec.metric("consensus_naive.executions",
              static_cast<double>(consensus_naive.result.stats.executions));
   rec.metric("fischer.executions_to_violation",
              static_cast<double>(fischer_run.result.stats.executions));
   rec.metric("tfr_mutex.executions",
              static_cast<double>(tfr_run.result.stats.executions));
+  rec.metric("rt_fischer.executions_to_violation",
+             static_cast<double>(rt_fischer_run.result.stats.executions));
+  rec.metric("rt_fischer.races",
+             static_cast<double>(rt_fischer_run.result.stats.races_detected));
+  rec.metric("rt_tfr_mutex.executions",
+             static_cast<double>(rt_tfr_run.result.stats.executions));
+  rec.metric("rt_tfr_mutex.states",
+             static_cast<double>(rt_tfr_run.result.stats.states));
+  rec.metric("rt_atomic_lock.executions",
+             static_cast<double>(rt_lock_run.result.stats.executions));
+  rec.metric("rt_eventcount_torn.executions",
+             static_cast<double>(ec_torn_run.result.stats.executions));
+  rec.metric("rt_eventcount_fixed.executions",
+             static_cast<double>(ec_fixed_run.result.stats.executions));
 
   // Parallel scaling is a property of the host (and meaningless on a
   // single core), so the wall-clock series is tracked but never gated.
@@ -135,18 +192,35 @@ TFR_BENCH_EXPERIMENT(E18, "systematic exploration", bench::Tier::kFull,
 
   rec.expect(!consensus_reduced.result.violation &&
                  consensus_reduced.result.stats.complete,
-             "Algorithm 1 n=2 verifies clean with sleep sets");
+             "Algorithm 1 n=2 verifies clean with source-set DPOR");
   rec.expect(!consensus_naive.result.violation &&
                  consensus_naive.result.stats.complete,
              "naive DFS reaches the same clean verdict");
   rec.expect(consensus_reduced.result.stats.executions <
                  consensus_naive.result.stats.executions,
-             "sleep sets explore strictly fewer executions than naive DFS");
+             "the reduction explores strictly fewer executions than naive DFS");
+  rec.expect(consensus_reduced.result.stats.executions <
+                     consensus_sleep.result.stats.executions &&
+                 !consensus_sleep.result.violation &&
+                 consensus_sleep.result.stats.complete,
+             "source-set DPOR prunes strictly beyond plain sleep sets");
   rec.expect(reduction >= 2.0, "the reduction factor is at least 2x");
   rec.expect(fischer_run.result.violation,
              "bare Fischer yields a mutual-exclusion violation");
   rec.expect(!tfr_run.result.violation && tfr_run.result.stats.complete,
              "Algorithm 3 n=2 verifies clean under the same failure budget");
+  rec.expect(rt_fischer_run.result.violation,
+             "real-thread Fischer violates through the interposition seam");
+  rec.expect(!rt_tfr_run.result.violation && rt_tfr_run.result.stats.complete,
+             "real-thread Algorithm 3 verifies clean through the seam");
+  rec.expect(!rt_lock_run.result.violation &&
+                 rt_lock_run.result.stats.complete,
+             "AtomicMutex wait/notify protocol verifies clean through the seam");
+  rec.expect(ec_torn_run.result.violation,
+             "the torn-epoch EventCount loses a wakeup");
+  rec.expect(!ec_fixed_run.result.violation &&
+                 ec_fixed_run.result.stats.complete,
+             "the documented EventCount publication order verifies clean");
   rec.expect(naive_jobs4.result.stats.executions ==
                      consensus_naive.result.stats.executions &&
                  naive_jobs4.result.stats.states ==

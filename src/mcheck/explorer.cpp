@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 #include <string_view>
+#include <unordered_map>
 
 #include "tfr/benchkit/forkmap.hpp"
 #include "tfr/common/contracts.hpp"
@@ -29,6 +30,18 @@ struct Node {
   /// A fresh node whose every option was asleep: the whole execution is
   /// redundant; advance() discards it without exploring children.
   bool blocked = false;
+  /// kSourceDpor, node at-or-below the gate depth: siblings are explored
+  /// only when a detected race demands them (see backtrack).
+  bool dpor_managed = false;
+  /// Escape hatch of the race-reversal rule: a race wanted a process that
+  /// has no enabled event here, so every sibling must be explored (the
+  /// conservative sound fallback for the timed model).
+  bool explore_all = false;
+  /// kSched + dpor_managed: pids whose subtree a race made mandatory.
+  std::vector<sim::Pid> backtrack;
+  /// kSched + dpor_managed: per-option "its subtree was entered" marks;
+  /// at pop time the unexplored remainder is what the reduction saved.
+  std::vector<char> explored;
 };
 
 bool in_sleep(const std::vector<sim::EnabledEvent>& sleep, sim::Pid pid) {
@@ -36,10 +49,34 @@ bool in_sleep(const std::vector<sim::EnabledEvent>& sleep, sim::Pid pid) {
                      [pid](const sim::EnabledEvent& e) { return e.pid == pid; });
 }
 
+bool event_order(const sim::EnabledEvent& a, const sim::EnabledEvent& b) {
+  if (a.pid != b.pid) return a.pid < b.pid;
+  if (a.kind != b.kind) return a.kind < b.kind;
+  return a.reg < b.reg;
+}
+
 /// Auto frontier depth: deep enough that even modest branching yields many
 /// more subtrees than workers (load balance), shallow enough that the
 /// enumeration probes stay a negligible fraction of the exploration.
 constexpr std::uint32_t kDefaultPrefixDepth = 6;
+
+/// Fixed activation depth of the kSourceDpor machinery: nodes shallower
+/// than this keep plain sleep-set semantics (explore every non-sleeping
+/// sibling); nodes at-or-below it carry race-driven backtrack sets, and
+/// the state-hash table prunes at exactly this depth.  It deliberately
+/// equals the work-sharing frontier default — parallel runs pin their
+/// frontier here so prefix nodes (owned by the enumerator, never advanced
+/// by workers) are exactly the explore-all ones and every counter stays
+/// byte-identical to the serial run.
+constexpr std::size_t kDporGate = kDefaultPrefixDepth;
+
+std::uint64_t fold64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
 
 class Explorer;
 
@@ -65,6 +102,9 @@ void add_counters(ExploreStats& into, const ExploreStats& from) {
   into.sleep_pruned += from.sleep_pruned;
   into.sleep_blocked += from.sleep_blocked;
   into.truncated += from.truncated;
+  into.races_detected += from.races_detected;
+  into.source_pruned += from.source_pruned;
+  into.state_pruned += from.state_pruned;
 }
 
 /// The DFS engine.  Doubles as the SchedulerStrategy of each explored
@@ -111,6 +151,9 @@ class Explorer final : public sim::SchedulerStrategy {
     TFR_REQUIRE(config.failure_cost > config.delta);
     TFR_REQUIRE(config.max_steps >= 1);
     if (mode_ == Mode::kEnumerate) TFR_REQUIRE(frontier_depth_ >= 1);
+    // Enumerate probes never detect races: their executions are re-run and
+    // race-detected by the owning worker (keeps counters serial-identical).
+    race_detect_ = dpor() && mode_ != Mode::kEnumerate;
   }
 
   CheckResult explore(const CheckScenario& scenario);
@@ -176,14 +219,22 @@ class Explorer final : public sim::SchedulerStrategy {
     bool frontier_hit = false;
   };
 
-  /// The execution was cut short: sleep-blocked, or (enumerate mode) it
-  /// reached the work-sharing frontier.  Every later decision defaults.
+  /// The execution was cut short: sleep-blocked, state-pruned, or
+  /// (enumerate mode) it reached the work-sharing frontier.  Every later
+  /// decision defaults.
   bool aborted() const { return blocked_ || frontier_hit_; }
 
+  bool dpor() const { return config_.reduction == Reduction::kSourceDpor; }
+  bool sleepy() const { return config_.reduction != Reduction::kNone; }
+
   void init_simulation() {
+    // Gate-state hashing is only performed by the owner of the gate nodes
+    // (serial / enumerate); workers skip the capture cost entirely.
+    const bool capture = dpor() && mode_ != Mode::kWorker;
     simulation_ = std::make_unique<sim::Simulation>(
         std::make_unique<ChoiceTiming>(this),
-        sim::SimulationOptions{.seed = config_.seed, .strategy = this});
+        sim::SimulationOptions{.seed = config_.seed, .strategy = this,
+                               .capture_state = capture});
   }
 
   /// Claims the path slot at path_len_, recycling its heap buffers.  Nodes
@@ -198,6 +249,10 @@ class Explorer final : public sim::SchedulerStrategy {
     node.costs.clear();
     node.chosen = 0;
     node.blocked = false;
+    node.dpor_managed = false;
+    node.explore_all = false;
+    node.backtrack.clear();
+    node.explored.clear();
     return node;
   }
 
@@ -206,6 +261,151 @@ class Explorer final : public sim::SchedulerStrategy {
   std::size_t decide_cost(const sim::Duration* menu, std::size_t size);
   bool advance();
   obs::RecordedRun build_counterexample(const CheckScenario& scenario) const;
+
+  // --- source-set DPOR: race detection over the current execution --------
+  //
+  // Every linearized shared access is one step; vector clocks over step
+  // indices track happens-before (conflicting accesses are ordered by
+  // linearization, so each access joins the clocks of the conflicting
+  // accesses it observes).  A race is a pair of conflicting accesses by
+  // different processes not ordered by anything *else* — exactly the
+  // reversals whose other order a different tie-break could realize.
+
+  std::vector<std::uint32_t>& clock_for(sim::Pid pid) {
+    const auto index = static_cast<std::size_t>(pid);
+    if (clocks_.size() <= index) clocks_.resize(index + 1);
+    return clocks_[index];
+  }
+
+  static std::uint32_t clock_at(const std::vector<std::uint32_t>& clock,
+                                sim::Pid pid) {
+    const auto index = static_cast<std::size_t>(pid);
+    return index < clock.size() ? clock[index] : 0;
+  }
+
+  static void clock_set(std::vector<std::uint32_t>& clock, sim::Pid pid,
+                        std::uint32_t step) {
+    const auto index = static_cast<std::size_t>(pid);
+    if (clock.size() <= index) clock.resize(index + 1, 0);
+    clock[index] = step;
+  }
+
+  static void clock_join(std::vector<std::uint32_t>& into,
+                         const std::vector<std::uint32_t>& from) {
+    if (into.size() < from.size()) into.resize(from.size(), 0);
+    for (std::size_t i = 0; i < from.size(); ++i)
+      into[i] = std::max(into[i], from[i]);
+  }
+
+  /// Records one linearized access at path node `node_index` and reports
+  /// every race it closes against earlier conflicting accesses.
+  void note_step(const sim::EnabledEvent& event, std::size_t node_index) {
+    if (!race_detect_) return;
+    const bool is_write = event.kind == sim::AccessKind::kWrite;
+    if (!is_write && event.kind != sim::AccessKind::kRead) return;
+    steps_dpor_.push_back(
+        {event.pid, static_cast<std::uint32_t>(node_index)});
+    const auto step = static_cast<std::uint32_t>(steps_dpor_.size());
+    std::vector<std::uint32_t>& clock = clock_for(event.pid);
+    RegTrack& track = reg_track_[event.reg];
+    // Race candidates: the latest conflicting accesses this one is not
+    // already ordered after.  (Earlier writes are ordered before the
+    // latest write, so checking the latest of each kind suffices.)
+    if (track.last_write != 0 && track.last_write_pid != event.pid &&
+        clock_at(clock, track.last_write_pid) < track.last_write)
+      note_race(track.last_write, event.pid);
+    if (is_write) {
+      for (const auto& [reader_pid, reader_step] : track.readers) {
+        if (reader_pid != event.pid &&
+            clock_at(clock, reader_pid) < reader_step)
+          note_race(reader_step, event.pid);
+      }
+    }
+    // Happens-before update: this access linearizes after every
+    // conflicting access seen so far, raced or not.
+    clock_join(clock, track.write_clock);
+    if (is_write) clock_join(clock, track.read_clock);
+    clock_set(clock, event.pid, step);
+    if (is_write) {
+      track.write_clock = clock;
+      track.read_clock.clear();
+      track.readers.clear();
+      track.last_write = step;
+      track.last_write_pid = event.pid;
+    } else {
+      clock_join(track.read_clock, clock);
+      bool found = false;
+      for (auto& [reader_pid, reader_step] : track.readers) {
+        if (reader_pid == event.pid) {
+          reader_step = step;
+          found = true;
+          break;
+        }
+      }
+      if (!found) track.readers.emplace_back(event.pid, step);
+    }
+  }
+
+  /// A race between step `earlier_step` and the current access of
+  /// `racer_pid`: request the reversed order at the scheduling node that
+  /// committed the earlier access.
+  void note_race(std::uint32_t earlier_step, sim::Pid racer_pid) {
+    const std::size_t node_index = steps_dpor_[earlier_step - 1].node;
+    if (node_index < kDporGate) return;  // shallow region explores all
+    ++stats_.races_detected;
+    Node& node = path_[node_index];
+    TFR_INVARIANT(node.kind == Node::Kind::kSched);
+    TFR_INVARIANT(node.dpor_managed);
+    if (node.explore_all) return;
+    for (const sim::EnabledEvent& option : node.options) {
+      if (option.pid != racer_pid) continue;
+      // The racer was co-enabled with the earlier access: exploring its
+      // subtree at that node realizes the reversal.
+      if (!in_sleep(node.sleep, racer_pid) &&
+          std::find(node.backtrack.begin(), node.backtrack.end(),
+                    racer_pid) == node.backtrack.end())
+        node.backtrack.push_back(racer_pid);
+      return;
+    }
+    // The racer was not enabled at that instant (it raced from a later
+    // one): the timed model offers no single node realizing the reversal,
+    // so fall back to exploring every sibling — sound, never unsound.
+    node.explore_all = true;
+  }
+
+  /// Frontier state-hash check, performed exactly when the gate node is
+  /// about to be created (serial) or the probe is cut (enumerate).  Prunes
+  /// the subtree iff an identical gate state was already explored under a
+  /// subset sleep set; otherwise records this visit.  Returns true when
+  /// pruned (the execution is then cut like a sleep-blocked one).
+  bool gate_prune() {
+    if (!simulation_->state_hashable()) return false;
+    std::uint64_t signature = simulation_->state_fingerprint();
+    // Explorer-side budgets shape future cost menus and verdicts: two
+    // gate states are only interchangeable if these match too.
+    signature = fold64(signature, steps_);
+    signature = fold64(signature, slow_used_);
+    signature = fold64(signature, failures_used_);
+    signature =
+        fold64(signature, static_cast<std::uint64_t>(last_failure_completion_));
+    std::vector<sim::EnabledEvent> sleep = live_sleep_;
+    std::sort(sleep.begin(), sleep.end(), event_order);
+    std::vector<std::vector<sim::EnabledEvent>>& visits =
+        gate_seen_[signature];
+    for (const std::vector<sim::EnabledEvent>& prior : visits) {
+      if (std::includes(sleep.begin(), sleep.end(), prior.begin(),
+                        prior.end(), event_order)) {
+        // Everything this subtree may explore (executions avoiding the
+        // current sleep set) was already explored from the equal state
+        // under the smaller sleep set.
+        ++stats_.state_pruned;
+        blocked_ = true;
+        return true;
+      }
+    }
+    visits.push_back(std::move(sleep));
+    return false;
+  }
 
   /// Keeps only the sleeping events independent of what just ran; the
   /// survivors seed the sleep set of the next fresh node.
@@ -246,6 +446,32 @@ class Explorer final : public sim::SchedulerStrategy {
   sim::Time last_failure_completion_ = -1;
   std::vector<std::pair<sim::Pid, sim::Duration>> cost_draws_;
   std::vector<sim::Pid> sched_picks_;
+
+  // Per-execution race-detection state (kSourceDpor, serial/worker).
+  /// One record per linearized shared access: who, and at which path node.
+  struct StepRec {
+    sim::Pid pid;
+    std::uint32_t node;
+  };
+  /// Last-conflicting-access tracking per register uid.
+  struct RegTrack {
+    std::uint32_t last_write = 0;  ///< 1-based step index; 0 = none yet
+    sim::Pid last_write_pid = -1;
+    std::vector<std::uint32_t> write_clock;
+    std::vector<std::uint32_t> read_clock;
+    /// Per-pid latest read since the last write (the reads a new write
+    /// conflicts with individually).
+    std::vector<std::pair<sim::Pid, std::uint32_t>> readers;
+  };
+  bool race_detect_ = false;
+  std::vector<StepRec> steps_dpor_;
+  std::vector<std::vector<std::uint32_t>> clocks_;  ///< per-pid clocks
+  std::unordered_map<std::uint64_t, RegTrack> reg_track_;
+
+  /// Gate-state table (kSourceDpor, serial/enumerate): signature -> the
+  /// sorted sleep sets under which that gate state was already explored.
+  std::unordered_map<std::uint64_t, std::vector<std::vector<sim::EnabledEvent>>>
+      gate_seen_;
 };
 
 sim::Duration ChoiceTiming::access_cost(sim::Pid pid, sim::Time now,
@@ -266,26 +492,35 @@ std::size_t Explorer::decide_sched(
     TFR_INVARIANT(node.options.size() == options.size());
     TFR_INVARIANT(node.chosen < options.size());
     TFR_INVARIANT(node.options[node.chosen].pid == options[node.chosen].pid);
+    const std::size_t node_index = cursor_;
     ++cursor_;
     filter_sleep(node.sleep, options[node.chosen]);
+    note_step(options[node.chosen], node_index);
     return node.chosen;
   }
 
   if (mode_ == Mode::kEnumerate && path_len_ >= frontier_depth_) {
     // The execution is about to leave the shared prefix region: everything
-    // below is one worker's subtree.  Stop probing here.
+    // below is one worker's subtree.  Under kSourceDpor the frontier is
+    // the reduction gate: consult the state table before emitting — a
+    // pruned probe is cut exactly like a sleep-blocked one.
+    if (dpor() && gate_prune()) return 0;
     frontier_hit_ = true;
     return 0;
   }
+
+  if (dpor() && mode_ == Mode::kSerial && path_len_ == kDporGate &&
+      gate_prune())
+    return 0;
 
   // Divergence point: create a fresh node whose sleep set is inherited
   // from the path so far.
   Node& node = fresh_node();
   node.kind = Node::Kind::kSched;
   node.options = options;
-  if (config_.por) node.sleep = live_sleep_;
+  if (sleepy()) node.sleep = live_sleep_;
   std::size_t chosen = 0;
-  if (config_.por) {
+  if (sleepy()) {
     chosen = options.size();
     for (std::size_t i = 0; i < options.size(); ++i) {
       if (!in_sleep(node.sleep, options[i].pid)) {
@@ -304,10 +539,20 @@ std::size_t Explorer::decide_sched(
     }
   }
   node.chosen = chosen;
+  const std::size_t node_index = path_len_ - 1;
+  if (dpor() && node_index >= kDporGate) {
+    // Source-set discipline: only the first branch plus race-demanded
+    // siblings get explored (advance() consumes backtrack/explored).
+    node.dpor_managed = true;
+    node.backtrack.push_back(options[chosen].pid);
+    node.explored.assign(options.size(), 0);
+    node.explored[chosen] = 1;
+  }
   ++stats_.states;
   if (options.size() > 1) ++stats_.sched_choice_points;
   ++cursor_;
   filter_sleep(node.sleep, options[chosen]);
+  note_step(options[chosen], node_index);
   return chosen;
 }
 
@@ -321,9 +566,13 @@ std::size_t Explorer::decide_cost(const sim::Duration* menu,
     return node.chosen;
   }
   if (mode_ == Mode::kEnumerate && path_len_ >= frontier_depth_) {
+    if (dpor() && gate_prune()) return 0;
     frontier_hit_ = true;
     return 0;
   }
+  if (dpor() && mode_ == Mode::kSerial && path_len_ == kDporGate &&
+      gate_prune())
+    return 0;
   Node& node = fresh_node();
   node.kind = Node::Kind::kCost;
   node.costs.assign(menu, menu + size);
@@ -344,6 +593,20 @@ Explorer::RunVerdict Explorer::run_one(const CheckScenario& scenario) {
   last_failure_completion_ = -1;
   cost_draws_.clear();
   sched_picks_.clear();
+  if (race_detect_) {
+    steps_dpor_.clear();
+    for (std::vector<std::uint32_t>& clock : clocks_) clock.clear();
+    // Register uids are identical across runs (allocation-order keys), so
+    // entries are reset in place — the map stops allocating after run one.
+    for (auto& [uid, track] : reg_track_) {
+      (void)uid;
+      track.last_write = 0;
+      track.last_write_pid = -1;
+      track.write_clock.clear();
+      track.read_clock.clear();
+      track.readers.clear();
+    }
+  }
 
   simulation_->reset(config_.seed);
   RunHarness harness = scenario(*simulation_);
@@ -387,7 +650,37 @@ bool Explorer::advance() {
       continue;
     }
     if (node.kind == Node::Kind::kSched) {
-      if (config_.por) {
+      if (node.dpor_managed) {
+        // Source-set discipline: a sibling is entered only if some race in
+        // an explored subtree demanded it (backtrack) — or every sibling,
+        // once the conservative fallback fired.  The scan restarts from 0
+        // because races may demand siblings at lower indices than chosen.
+        node.sleep.push_back(node.options[node.chosen]);
+        std::size_t next = node.options.size();
+        for (std::size_t i = 0; i < node.options.size(); ++i) {
+          if (node.explored[i]) continue;
+          if (in_sleep(node.sleep, node.options[i].pid)) continue;
+          if (!node.explore_all &&
+              std::find(node.backtrack.begin(), node.backtrack.end(),
+                        node.options[i].pid) == node.backtrack.end())
+            continue;
+          next = i;
+          break;
+        }
+        if (next < node.options.size()) {
+          node.chosen = next;
+          node.explored[next] = 1;
+          return true;
+        }
+        // Pop: attribute every never-entered sibling to its pruning cause.
+        for (std::size_t i = 0; i < node.options.size(); ++i) {
+          if (node.explored[i]) continue;
+          if (in_sleep(node.sleep, node.options[i].pid))
+            ++stats_.sleep_pruned;
+          else
+            ++stats_.source_pruned;
+        }
+      } else if (sleepy()) {
         // The subtree under `chosen` is fully explored; any sibling that
         // commutes with it would reach the same states — put it to sleep.
         node.sleep.push_back(node.options[node.chosen]);
@@ -548,6 +841,9 @@ std::string encode_result(const CheckResult& result) {
   put_u64(out, result.stats.sleep_pruned);
   put_u64(out, result.stats.sleep_blocked);
   put_u64(out, result.stats.truncated);
+  put_u64(out, result.stats.races_detected);
+  put_u64(out, result.stats.source_pruned);
+  put_u64(out, result.stats.state_pruned);
   put_blob(out, result.what);
   put_blob(out,
            result.violation ? result.counterexample.to_bytes() : std::string());
@@ -567,6 +863,9 @@ CheckResult decode_result(std::string_view bytes) {
   result.stats.sleep_pruned = reader.u64();
   result.stats.sleep_blocked = reader.u64();
   result.stats.truncated = reader.u64();
+  result.stats.races_detected = reader.u64();
+  result.stats.source_pruned = reader.u64();
+  result.stats.state_pruned = reader.u64();
   result.what = reader.blob();
   const std::string cex = reader.blob();
   if (result.violation) {
@@ -587,8 +886,15 @@ bool payload_has_violation(const std::string& payload) {
 
 CheckResult check_parallel(const CheckScenario& scenario,
                            const ExploreConfig& config) {
+  // Under kSourceDpor the frontier must coincide with the reduction gate:
+  // backtrack sets and state hashing operate only at-or-below the gate, so
+  // prefix nodes are exactly the explore-all ones and every counter stays
+  // byte-identical to the serial run (see kDporGate).
   const std::uint32_t depth =
-      config.prefix_depth != 0 ? config.prefix_depth : kDefaultPrefixDepth;
+      config.reduction == Reduction::kSourceDpor
+          ? static_cast<std::uint32_t>(kDporGate)
+          : (config.prefix_depth != 0 ? config.prefix_depth
+                                      : kDefaultPrefixDepth);
 
   // Phase 1 (in-process): partition the tree at the frontier.
   Explorer enumerator(config, Explorer::Mode::kEnumerate, depth);

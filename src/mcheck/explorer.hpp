@@ -7,9 +7,12 @@
 // failure).  The Explorer drives both seams from a DFS over the resulting
 // decision tree, re-executing the scenario from scratch along each branch
 // — the CHESS/Verisoft style of systematic exploration, with a
-// sleep-set partial-order reduction (Godefroid) keyed on the
-// register-conflict independence relation: two enabled events are
-// dependent iff they access the same register and at least one writes it.
+// partial-order reduction keyed on the register-conflict independence
+// relation: two enabled events are dependent iff they access the same
+// register and at least one writes it.  The default reduction layers
+// source-set-style dynamic POR (race-driven backtrack sets, in the
+// Flanagan–Godefroid / Abdulla et al. lineage) and a frontier state-hash
+// table over the original sleep sets (Godefroid); see Reduction.
 //
 // Exploration is exhaustive *within declared bounds*: per-access cost
 // menus {1, Δ}, a budget on slow (cost Δ) accesses, a budget on injected
@@ -67,6 +70,25 @@ struct RunHarness {
 /// randomness).
 using CheckScenario = std::function<RunHarness(sim::Simulation&)>;
 
+/// Which partial-order reduction prunes the DFS.
+enum class Reduction : std::uint8_t {
+  /// Naive DFS: every sibling of every decision node (pruning baseline).
+  kNone = 0,
+  /// Sleep sets (Godefroid) keyed on the register-conflict independence
+  /// relation — the PR 2 baseline semantics.
+  kSleepSets = 1,
+  /// Sleep sets plus source-set-style dynamic POR: race-driven backtrack
+  /// sets decide which siblings of a scheduling node need exploring at
+  /// all, and a frontier state-hash table prunes subtrees whose gate
+  /// state (registers + pending events + budgets) was already explored
+  /// under a subset sleep set.  Both kick in below a fixed decision depth
+  /// (the work-sharing frontier), so parallel runs stay byte-identical to
+  /// serial ones.  Soundness caveat: the gate signature proxies each
+  /// process's control state by its op counters, not its true PC — see
+  /// MODEL.md "Systematic exploration".
+  kSourceDpor = 2,
+};
+
 struct ExploreConfig {
   /// The algorithm's assumed bound Δ.  The per-access menu is {1, delta};
   /// with delta == 2 the menu covers *every* legal integer cost, so the
@@ -87,9 +109,10 @@ struct ExploreConfig {
   sim::Time time_limit = sim::kTimeNever;
   /// Abort the whole exploration after this many executions.
   std::uint64_t max_executions = 4'000'000;
-  /// Sleep-set partial-order reduction; false = naive DFS (baseline for
-  /// the pruning regression test).
-  bool por = true;
+  /// Partial-order reduction mode.  kSourceDpor (default) layers dynamic
+  /// backtrack sets and frontier state hashing over kSleepSets; kNone is
+  /// the naive-DFS baseline for the pruning regression tests.
+  Reduction reduction = Reduction::kSourceDpor;
   /// Seed for the simulation Rng (unused by explored scenarios, but part
   /// of the replay artifact).
   std::uint64_t seed = 1;
@@ -104,7 +127,12 @@ struct ExploreConfig {
   int jobs = 1;
   /// Decision-tree depth of the work-sharing frontier (parallel mode
   /// only): executions are grouped by their first `prefix_depth` decisions
-  /// and each group becomes one worker's subtree.  0 = auto.
+  /// and each group becomes one worker's subtree.  0 = auto.  Under
+  /// kSourceDpor the frontier is pinned to the reduction's fixed gate
+  /// depth regardless of this value: backtrack sets and the state-hash
+  /// table only operate at-or-below the gate, so pinning the frontier
+  /// there is what keeps every parallel counter byte-identical to the
+  /// serial run.
   std::uint32_t prefix_depth = 0;
 };
 
@@ -117,6 +145,15 @@ struct ExploreStats {
   std::uint64_t sleep_pruned = 0;      ///< options skipped via sleep sets
   std::uint64_t sleep_blocked = 0;     ///< executions cut as redundant
   std::uint64_t truncated = 0;         ///< executions cut by a bound
+  /// kSourceDpor only: dependent-access reversals recorded against a
+  /// scheduling node (each may add one pid to that node's backtrack set).
+  std::uint64_t races_detected = 0;
+  /// kSourceDpor only: scheduling siblings never explored because no race
+  /// in any explored sibling subtree required them.
+  std::uint64_t source_pruned = 0;
+  /// kSourceDpor only: executions cut at the frontier gate because an
+  /// identical gate state was already explored under a subset sleep set.
+  std::uint64_t state_pruned = 0;
   bool complete = false;  ///< DFS exhausted (vs. max_executions abort)
 };
 

@@ -6,8 +6,10 @@
 //   $ tfr_mcheck --tfr-mutex      # Algorithm 3 (starvation-free A), n=2
 //   $ tfr_mcheck --fischer --save fischer.run   # save the counterexample
 //   $ tfr_mcheck --fischer --replay fischer.run # re-check a saved run
+//   $ tfr_mcheck --rt               # the real-thread code through the shim
 //
-// Options: --naive (disable the sleep-set reduction), --seed N,
+// Options: --naive (naive DFS, no reduction), --sleep-sets (sleep sets
+// only, no source-set DPOR / state hashing), --seed N,
 // --max-executions N, --jobs N (forked parallel exploration — verdicts,
 // stats and counterexamples are identical to --jobs 1), --prefix-depth N
 // (work-sharing frontier depth; 0 = auto).  Exit status 0 iff every
@@ -26,6 +28,7 @@
 
 #include "tfr/common/table.hpp"
 #include "tfr/mcheck/explorer.hpp"
+#include "tfr/mcheck/rt_scenarios.hpp"
 #include "tfr/mcheck/scenarios.hpp"
 #include "tfr/obs/replay.hpp"
 
@@ -104,6 +107,89 @@ NamedCheck tfr_mutex_check() {
   return check;
 }
 
+// ---------------------------------------------------------------------------
+// Real-thread checks: the production lock code (mutex_rt.hpp,
+// atomic_mutex.hpp) instantiated with ShimAtomics and driven through the
+// interposition seam — the checker explores the same source production
+// runs, not a transcription.
+
+NamedCheck fischer_rt_check() {
+  NamedCheck check;
+  check.name = "fischer-rt-n2";
+  check.description =
+      "real-thread Fischer through the shim: one timing failure breaks ME";
+  mcheck::RtMutexScenarioConfig scenario;
+  scenario.algorithm = mcheck::RtMutexScenarioConfig::Algorithm::kFischer;
+  check.scenario = mcheck::make_rt_mutex_scenario(scenario);
+  check.config = base_config();
+  check.expect_violation = true;
+  return check;
+}
+
+NamedCheck tfr_mutex_rt_check() {
+  NamedCheck check;
+  check.name = "tfr-mutex-rt-n2";
+  check.description =
+      "real-thread Algorithm 3 (starvation-free A) through the shim";
+  mcheck::RtMutexScenarioConfig scenario;
+  scenario.algorithm =
+      mcheck::RtMutexScenarioConfig::Algorithm::kTfrStarvationFree;
+  check.scenario = mcheck::make_rt_mutex_scenario(scenario);
+  check.config = base_config();
+  check.expect_violation = false;
+  return check;
+}
+
+NamedCheck atomic_lock_rt_check() {
+  NamedCheck check;
+  check.name = "atomic-lock-rt-n2";
+  check.description =
+      "futex-class AtomicMutex through the shim: wait/notify protocol";
+  mcheck::RtMutexScenarioConfig scenario;
+  scenario.algorithm = mcheck::RtMutexScenarioConfig::Algorithm::kAtomicLock;
+  check.scenario = mcheck::make_rt_mutex_scenario(scenario);
+  check.config = base_config();
+  check.expect_violation = false;
+  return check;
+}
+
+NamedCheck eventcount_torn_check() {
+  NamedCheck check;
+  check.name = "eventcount-torn-epoch";
+  check.description =
+      "EventCount with advance() before the state write: lost wakeup";
+  check.scenario = mcheck::make_rt_eventcount_scenario({.torn_epoch = true});
+  check.config = base_config();
+  // The bug is a pure ordering race; no timing failures needed to find it.
+  check.config.max_failures = 0;
+  check.config.slow_budget = 0;
+  check.expect_violation = true;
+  return check;
+}
+
+NamedCheck eventcount_correct_check() {
+  NamedCheck check;
+  check.name = "eventcount-write-then-advance";
+  check.description =
+      "EventCount with the documented publication order: no lost wakeup";
+  check.scenario = mcheck::make_rt_eventcount_scenario({.torn_epoch = false});
+  check.config = base_config();
+  check.config.max_failures = 0;
+  check.config.slow_budget = 0;
+  check.expect_violation = false;
+  return check;
+}
+
+std::vector<NamedCheck> rt_checks() {
+  std::vector<NamedCheck> checks;
+  checks.push_back(fischer_rt_check());
+  checks.push_back(tfr_mutex_rt_check());
+  checks.push_back(atomic_lock_rt_check());
+  checks.push_back(eventcount_torn_check());
+  checks.push_back(eventcount_correct_check());
+  return checks;
+}
+
 void print_stats(const mcheck::ExploreStats& stats) {
   std::printf(
       "  executions=%llu states=%llu transitions=%llu sched-points=%llu "
@@ -119,6 +205,11 @@ void print_stats(const mcheck::ExploreStats& stats) {
       static_cast<unsigned long long>(stats.sleep_blocked),
       static_cast<unsigned long long>(stats.truncated),
       stats.complete ? "yes" : "no");
+  std::printf(
+      "  races=%llu source-pruned=%llu state-pruned=%llu\n",
+      static_cast<unsigned long long>(stats.races_detected),
+      static_cast<unsigned long long>(stats.source_pruned),
+      static_cast<unsigned long long>(stats.state_pruned));
 }
 
 /// One executed check, as reported in the end-of-run summary table.
@@ -237,9 +328,9 @@ bool replay_saved(const NamedCheck& check, const std::string& path) {
 int usage() {
   std::printf(
       "usage: tfr_mcheck [--all] [--consensus] [--fischer] [--tfr-mutex]\n"
-      "                  [--abd]\n"
-      "                  [--naive] [--seed N] [--max-executions N]\n"
-      "                  [--jobs N] [--prefix-depth N]\n"
+      "                  [--abd] [--rt] [--fischer-rt] [--eventcount]\n"
+      "                  [--naive] [--sleep-sets] [--seed N]\n"
+      "                  [--max-executions N] [--jobs N] [--prefix-depth N]\n"
       "                  [--save FILE] [--replay FILE]\n");
   return 2;
 }
@@ -249,6 +340,7 @@ int usage() {
 int main(int argc, char** argv) {
   std::vector<NamedCheck> selected;
   bool naive = false;
+  bool sleep_sets = false;
   std::uint64_t seed = 1;
   std::uint64_t max_executions = 0;
   int jobs = 1;
@@ -271,8 +363,18 @@ int main(int argc, char** argv) {
       selected.push_back(tfr_mutex_check());
     } else if (arg == "--abd") {
       selected.push_back(abd_check());
+    } else if (arg == "--rt") {
+      for (NamedCheck& check : rt_checks())
+        selected.push_back(std::move(check));
+    } else if (arg == "--fischer-rt") {
+      selected.push_back(fischer_rt_check());
+    } else if (arg == "--eventcount") {
+      selected.push_back(eventcount_torn_check());
+      selected.push_back(eventcount_correct_check());
     } else if (arg == "--naive") {
       naive = true;
+    } else if (arg == "--sleep-sets") {
+      sleep_sets = true;
     } else if (arg == "--seed" && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--max-executions" && i + 1 < argc) {
@@ -301,7 +403,8 @@ int main(int argc, char** argv) {
   bool ok = true;
   std::vector<CheckReport> reports;
   for (NamedCheck& check : selected) {
-    if (naive) check.config.por = false;
+    if (naive) check.config.reduction = mcheck::Reduction::kNone;
+    else if (sleep_sets) check.config.reduction = mcheck::Reduction::kSleepSets;
     check.config.seed = seed;
     if (max_executions > 0) check.config.max_executions = max_executions;
     check.config.jobs = jobs;

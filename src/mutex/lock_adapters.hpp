@@ -10,6 +10,11 @@
 //     pre-blocking behaviour of every rt wait loop, kept as the
 //     core-burning reference the CPU-time/wall-time detector is
 //     calibrated against.
+//
+// AtomicMutexLock and SpinYieldLock are Atomics-policy templates like the
+// algorithms they adapt, so the model checker can drive the futex-class
+// lock through the interposition seam; StdMutexLock wraps the platform
+// mutex and exists only in the StdAtomics world.
 
 #pragma once
 
@@ -22,9 +27,10 @@
 
 namespace tfr::rt {
 
-class AtomicMutexLock final : public RtMutex {
+template <class Atomics>
+class BasicAtomicMutexLock final : public BasicRtMutex<Atomics> {
  public:
-  explicit AtomicMutexLock(unsigned spin_budget = kDefaultSpinBudget)
+  explicit BasicAtomicMutexLock(unsigned spin_budget = Atomics::kSpinBudget)
       : spin_budget_(spin_budget) {}
 
   void lock(int /*id*/) override { mutex_.spin_lock(spin_budget_); }
@@ -33,8 +39,10 @@ class AtomicMutexLock final : public RtMutex {
 
  private:
   unsigned spin_budget_;
-  AtomicMutex mutex_;
+  BasicAtomicMutex<Atomics> mutex_;
 };
+
+using AtomicMutexLock = BasicAtomicMutexLock<StdAtomics>;
 
 class StdMutexLock final : public RtMutex {
  public:
@@ -50,19 +58,24 @@ class StdMutexLock final : public RtMutex {
 /// "polite" unbounded spin the blocking substrate replaced.  Progresses
 /// even at threads >> cores (yield cedes the core), but every waiter
 /// stays runnable, so CPU time ≈ min(threads, cores) × wall time.
-class SpinYieldLock final : public RtMutex {
+template <class Atomics>
+class BasicSpinYieldLock final : public BasicRtMutex<Atomics> {
  public:
   void lock(int /*id*/) override {
+    // mo-ok: acquire on the winning exchange pairs with release unlock
     while (locked_.exchange(true, std::memory_order_acquire))
-      std::this_thread::yield();
+      Atomics::yield();
   }
   void unlock(int /*id*/) override {
+    // mo-ok: release publishes the critical section to the next acquirer
     locked_.store(false, std::memory_order_release);
   }
   std::string name() const override { return "spin-yield"; }
 
  private:
-  std::atomic<bool> locked_{false};
+  typename Atomics::template atomic<bool> locked_{false};
 };
+
+using SpinYieldLock = BasicSpinYieldLock<StdAtomics>;
 
 }  // namespace tfr::rt

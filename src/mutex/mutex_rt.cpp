@@ -10,13 +10,21 @@
 
 namespace tfr::rt {
 
-namespace {
+// The production codegen: every target linking tfr_mutex shares these
+// StdAtomics instantiations (the header's extern template declarations).
+template class BasicFischerRt<StdAtomics>;
+template class BasicLamportFastRt<StdAtomics>;
+template class BasicBakeryRt<StdAtomics>;
+template class BasicBlackWhiteBakeryRt<StdAtomics>;
+template class BasicStarvationFreeRt<StdAtomics>;
+template class BasicTfrMutexRt<StdAtomics>;
 
-std::unique_ptr<AtomicRegister<int>[]> make_int_registers(int n, int init) {
-  auto regs = std::make_unique<AtomicRegister<int>[]>(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) regs[static_cast<std::size_t>(i)].write(init);
-  return regs;
+std::unique_ptr<TfrMutexRt> make_tfr_mutex_rt(int n, Nanos delta,
+                                              FaultInjector* faults) {
+  return make_basic_tfr_mutex<StdAtomics>(n, delta, faults);
 }
+
+namespace {
 
 /// CPU time consumed by the whole process so far, in seconds.  Inside
 /// run_rt_mutex_workload only the workload's threads run, so the delta
@@ -31,244 +39,6 @@ double process_cpu_seconds() {
 }  // namespace
 
 // --------------------------------------------------------------------------
-// Fischer
-//
-// Wait/notify protocol (shared by every algorithm below): waiters park on
-// the lock's EventCount via wait_until_changed; every write that can turn
-// some waiter's predicate true is followed by events_.advance().  Writes
-// that only *falsify* predicates (x := me, flag := 1, choosing := 1, the
-// doorway's ticket grab) never need an advance — nobody waits for them.
-
-FischerRt::FischerRt(Nanos delta, FaultInjector* faults)
-    : delta_(delta), faults_(faults) {
-  TFR_REQUIRE(delta.count() >= 0);
-}
-
-void FischerRt::lock(int id) {
-  const int me = id + 1;
-  for (;;) {
-    wait_until_changed(events_, [&] { return x_.read() == 0; });  // await (x = 0)
-    // The gate's vulnerable window: a stall here longer than Δ is exactly
-    // the timing failure that breaks mutual exclusion (§3.1).
-    maybe_stall(faults_, "fischer.gate");
-    x_.write(me);
-    spin_for(delta_);
-    if (x_.read() == me) return;
-  }
-}
-
-void FischerRt::unlock(int /*id*/) {
-  x_.write(0);
-  events_.advance();
-}
-
-// --------------------------------------------------------------------------
-// Lamport's fast mutex
-
-LamportFastRt::LamportFastRt(int n) : n_(n), b_(make_int_registers(n, 0)) {
-  TFR_REQUIRE(n >= 1);
-}
-
-void LamportFastRt::lock(int id) {
-  TFR_REQUIRE(id >= 0 && id < n_);
-  const int me = id + 1;
-  for (;;) {  // start:
-    b_[static_cast<std::size_t>(id)].write(1);
-    x_.write(me);
-    if (y_.read() != 0) {
-      b_[static_cast<std::size_t>(id)].write(0);
-      events_.advance();
-      wait_until_changed(events_, [&] { return y_.read() == 0; });
-      continue;
-    }
-    y_.write(me);
-    if (x_.read() != me) {
-      b_[static_cast<std::size_t>(id)].write(0);
-      events_.advance();
-      for (int j = 0; j < n_; ++j) {
-        wait_until_changed(events_, [&, j] {
-          return b_[static_cast<std::size_t>(j)].read() == 0;
-        });
-      }
-      if (y_.read() != me) {
-        wait_until_changed(events_, [&] { return y_.read() == 0; });
-        continue;
-      }
-    }
-    return;
-  }
-}
-
-void LamportFastRt::unlock(int id) {
-  y_.write(0);
-  b_[static_cast<std::size_t>(id)].write(0);
-  events_.advance();
-}
-
-// --------------------------------------------------------------------------
-// Bakery
-
-BakeryRt::BakeryRt(int n)
-    : n_(n),
-      choosing_(make_int_registers(n, 0)),
-      number_(make_int_registers(n, 0)) {
-  TFR_REQUIRE(n >= 1);
-}
-
-void BakeryRt::lock(int id) {
-  TFR_REQUIRE(id >= 0 && id < n_);
-  choosing_[static_cast<std::size_t>(id)].write(1);
-  int max_seen = 0;
-  for (int j = 0; j < n_; ++j) {
-    if (j == id) continue;
-    max_seen = std::max(max_seen, number_[static_cast<std::size_t>(j)].read());
-  }
-  const int mine = max_seen + 1;
-  number_[static_cast<std::size_t>(id)].write(mine);
-  choosing_[static_cast<std::size_t>(id)].write(0);
-  events_.advance();
-  for (int j = 0; j < n_; ++j) {
-    if (j == id) continue;
-    wait_until_changed(events_, [&, j] {
-      return choosing_[static_cast<std::size_t>(j)].read() == 0;
-    });
-    wait_until_changed(events_, [&, j, mine] {
-      const int nj = number_[static_cast<std::size_t>(j)].read();
-      return nj == 0 || nj > mine || (nj == mine && j > id);
-    });
-  }
-}
-
-void BakeryRt::unlock(int id) {
-  number_[static_cast<std::size_t>(id)].write(0);
-  events_.advance();
-}
-
-// --------------------------------------------------------------------------
-// Black-white bakery
-
-BlackWhiteBakeryRt::BlackWhiteBakeryRt(int n)
-    : n_(n),
-      choosing_(make_int_registers(n, 0)),
-      ticket_(std::make_unique<AtomicRegister<Ticket>[]>(
-          static_cast<std::size_t>(n))),
-      mycolor_(static_cast<std::size_t>(n), 0) {
-  TFR_REQUIRE(n >= 1);
-  for (int i = 0; i < n; ++i)
-    ticket_[static_cast<std::size_t>(i)].write(Ticket{});
-}
-
-void BlackWhiteBakeryRt::lock(int id) {
-  TFR_REQUIRE(id >= 0 && id < n_);
-  choosing_[static_cast<std::size_t>(id)].write(1);
-  const int mycolor = color_.read();
-  mycolor_[static_cast<std::size_t>(id)] = mycolor;
-  int max_seen = 0;
-  for (int j = 0; j < n_; ++j) {
-    if (j == id) continue;
-    const Ticket t = ticket_[static_cast<std::size_t>(j)].read();
-    if (t.num != 0 && t.color == mycolor) max_seen = std::max(max_seen, t.num);
-  }
-  const int mine = max_seen + 1;
-  ticket_[static_cast<std::size_t>(id)].write(
-      Ticket{static_cast<std::int32_t>(mycolor),
-             static_cast<std::int32_t>(mine)});
-  choosing_[static_cast<std::size_t>(id)].write(0);
-  events_.advance();
-  for (int j = 0; j < n_; ++j) {
-    if (j == id) continue;
-    wait_until_changed(events_, [&, j] {
-      return choosing_[static_cast<std::size_t>(j)].read() == 0;
-    });
-    // Multi-register predicate (ticket_[j] AND color_): both unblocking
-    // transitions — j clearing its ticket, the generation color flipping —
-    // happen in some unlock(), which advances the shared eventcount.
-    wait_until_changed(events_, [&, j, mine, mycolor] {
-      const Ticket t = ticket_[static_cast<std::size_t>(j)].read();
-      if (t.num == 0) return true;
-      if (t.color == mycolor)
-        return t.num > mine || (t.num == mine && j > id);
-      return color_.read() != mycolor;  // we are the old generation
-    });
-  }
-}
-
-void BlackWhiteBakeryRt::unlock(int id) {
-  color_.write(1 - mycolor_[static_cast<std::size_t>(id)]);
-  ticket_[static_cast<std::size_t>(id)].write(Ticket{});
-  events_.advance();
-}
-
-// --------------------------------------------------------------------------
-// Starvation-free doorway
-
-StarvationFreeRt::StarvationFreeRt(int n, std::unique_ptr<RtMutex> inner)
-    : n_(n), inner_(std::move(inner)), flag_(make_int_registers(n, 0)) {
-  TFR_REQUIRE(n >= 1);
-  TFR_REQUIRE(inner_ != nullptr);
-}
-
-void StarvationFreeRt::lock(int id) {
-  TFR_REQUIRE(id >= 0 && id < n_);
-  flag_[static_cast<std::size_t>(id)].write(1);
-  wait_until_changed(events_, [&] {
-    const int t = turn_.read();
-    return t == id || flag_[static_cast<std::size_t>(t)].read() == 0;
-  });
-  inner_->lock(id);
-}
-
-void StarvationFreeRt::unlock(int id) {
-  flag_[static_cast<std::size_t>(id)].write(0);
-  const int t = turn_.read();
-  if (flag_[static_cast<std::size_t>(t)].read() == 0)
-    turn_.write((t + 1) % n_);
-  events_.advance();
-  inner_->unlock(id);
-}
-
-// --------------------------------------------------------------------------
-// Algorithm 3
-
-TfrMutexRt::TfrMutexRt(Nanos delta, std::unique_ptr<RtMutex> inner,
-                       FaultInjector* faults)
-    : delta_(delta), inner_(std::move(inner)), faults_(faults) {
-  TFR_REQUIRE(delta.count() >= 0);
-  TFR_REQUIRE(inner_ != nullptr);
-}
-
-void TfrMutexRt::lock(int id) {
-  const int me = id + 1;
-  bool first_attempt = true;
-  for (;;) {
-    wait_until_changed(events_, [&] { return x_.read() == 0; });
-    maybe_stall(faults_, "fischer.gate");
-    x_.write(me);
-    spin_for(delta_);  // delay(Δ) stays a precise busy-wait
-    if (x_.read() == me) break;
-    first_attempt = false;
-  }
-  (first_attempt ? first_try_ : retried_)
-      .fetch_add(1, std::memory_order_relaxed);
-  inner_->lock(id);
-}
-
-void TfrMutexRt::unlock(int id) {
-  inner_->unlock(id);
-  if (x_.read() == id + 1) {
-    x_.write(0);
-    events_.advance();
-  }
-}
-
-std::unique_ptr<TfrMutexRt> make_tfr_mutex_rt(int n, Nanos delta,
-                                              FaultInjector* faults) {
-  auto fast = std::make_unique<LamportFastRt>(n);
-  auto a = std::make_unique<StarvationFreeRt>(n, std::move(fast));
-  return std::make_unique<TfrMutexRt>(delta, std::move(a), faults);
-}
-
-// --------------------------------------------------------------------------
 // Harness
 
 RtWorkloadResult run_rt_mutex_workload(RtMutex& mutex,
@@ -276,10 +46,13 @@ RtWorkloadResult run_rt_mutex_workload(RtMutex& mutex,
   TFR_REQUIRE(config.threads >= 1);
   TFR_REQUIRE(config.sessions >= 1);
 
-  std::atomic<int> occupancy{0};
-  std::atomic<std::uint64_t> violations{0};
-  std::atomic<std::uint64_t> entries{0};
-  std::atomic<std::int64_t> max_wait_ns{0};
+  // raw-atomic-ok: harness instrumentation (occupancy probe and wait
+  // statistics), not algorithm state — the seam verifies the locks, the
+  // harness only measures them.
+  std::atomic<int> occupancy{0};           // raw-atomic-ok: harness probe
+  std::atomic<std::uint64_t> violations{0};  // raw-atomic-ok: harness probe
+  std::atomic<std::uint64_t> entries{0};     // raw-atomic-ok: harness probe
+  std::atomic<std::int64_t> max_wait_ns{0};  // raw-atomic-ok: harness probe
   std::vector<std::vector<std::int64_t>> waits(
       static_cast<std::size_t>(config.threads));
 
@@ -294,14 +67,14 @@ RtWorkloadResult run_rt_mutex_workload(RtMutex& mutex,
                               std::chrono::steady_clock::now() - wait_begin)
                               .count();
       my_waits.push_back(waited);
-      std::int64_t seen = max_wait_ns.load(std::memory_order_relaxed);
+      std::int64_t seen = max_wait_ns.load(std::memory_order_relaxed);  // mo-ok: statistic
       while (waited > seen &&
-             !max_wait_ns.compare_exchange_weak(seen, waited,
-                                                std::memory_order_relaxed)) {
+             !max_wait_ns.compare_exchange_weak(
+                 seen, waited, std::memory_order_relaxed)) {  // mo-ok: statistic
       }
       if (occupancy.fetch_add(1, std::memory_order_seq_cst) != 0)
-        violations.fetch_add(1, std::memory_order_relaxed);
-      entries.fetch_add(1, std::memory_order_relaxed);
+        violations.fetch_add(1, std::memory_order_relaxed);  // mo-ok: statistic
+      entries.fetch_add(1, std::memory_order_relaxed);  // mo-ok: statistic
       if (config.cs_time.count() > 0) sleep_spin_for(config.cs_time);
       occupancy.fetch_sub(1, std::memory_order_seq_cst);
       mutex.unlock(id);

@@ -7,6 +7,11 @@
 // assume a single total order of register operations, which is exactly the
 // guarantee of seq_cst — weakening individual accesses is an optimization
 // the paper does not license.
+//
+// The cell type comes from the Atomics policy (rt/atomics_policy.hpp):
+// AtomicRegister<T> (= BasicAtomicRegister<T, StdAtomics>) is a bare
+// std::atomic<T>; BasicAtomicRegister<T, ShimAtomics> routes the same
+// read()/write() calls through the mcheck interposition seam.
 
 #pragma once
 
@@ -14,19 +19,21 @@
 #include <cstdint>
 #include <type_traits>
 
+#include "tfr/rt/atomics_policy.hpp"
+
 namespace tfr::rt {
 
-template <class T>
-class AtomicRegister {
+template <class T, class Atomics = StdAtomics>
+class BasicAtomicRegister {
   static_assert(std::is_trivially_copyable_v<T>,
                 "registers hold plain values");
 
  public:
-  AtomicRegister() : cell_(T{}) {}
-  explicit AtomicRegister(T initial) : cell_(initial) {}
+  BasicAtomicRegister() : cell_(T{}) {}
+  explicit BasicAtomicRegister(T initial) : cell_(initial) {}
 
-  AtomicRegister(const AtomicRegister&) = delete;
-  AtomicRegister& operator=(const AtomicRegister&) = delete;
+  BasicAtomicRegister(const BasicAtomicRegister&) = delete;
+  BasicAtomicRegister& operator=(const BasicAtomicRegister&) = delete;
 
   T read() const { return cell_.load(std::memory_order_seq_cst); }
   void write(T value) { cell_.store(value, std::memory_order_seq_cst); }
@@ -35,7 +42,10 @@ class AtomicRegister {
   bool is_lock_free() const { return cell_.is_lock_free(); }
 
  private:
-  std::atomic<T> cell_;
+  typename Atomics::template atomic<T> cell_;
 };
+
+template <class T>
+using AtomicRegister = BasicAtomicRegister<T, StdAtomics>;
 
 }  // namespace tfr::rt

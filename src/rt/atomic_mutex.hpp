@@ -28,88 +28,83 @@
 // Algorithm 3's Δ reasoning is untouched — delay(Δ) is still the precise
 // busy-wait spin_for(); only *unbounded* waits (await x = 0, bakery
 // scans, turn waits) block.
+//
+// Both primitives are templates over the Atomics policy (atomics_policy.hpp):
+// BasicAtomicMutex<StdAtomics> is the production lock (the AtomicMutex
+// alias below — one futex word, identical codegen to the pre-seam class);
+// BasicAtomicMutex<ShimAtomics> is the same source code with every atomic
+// access routed through the mcheck interposition seam.
 
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 
-#if !defined(__x86_64__) && !defined(__i386__) && !defined(__aarch64__)
-#include <thread>
-#endif
+#include "tfr/rt/atomics_policy.hpp"
 
 namespace tfr::rt {
 
-/// One polite spin iteration: de-pipelines the loop without yielding the
-/// core (PAUSE/YIELD are ~dozens of cycles; a scheduler yield is ~µs).
-inline void cpu_relax() noexcept {
-#if defined(__x86_64__) || defined(__i386__)
-  __builtin_ia32_pause();
-#elif defined(__aarch64__)
-  asm volatile("yield" ::: "memory");
-#else
-  std::this_thread::yield();
-#endif
-}
-
-/// Default spin-then-wait budget, in cpu_relax() iterations.  Sized so an
-/// uncontended-to-lightly-contended handoff (a few hundred ns of critical
-/// section) resolves without a futex round trip, while a preempted or
-/// long-CS owner parks waiters well under a scheduler quantum.
-inline constexpr unsigned kDefaultSpinBudget = 256;
-
-/// A 4-byte mutex on std::atomic::wait/notify_one (the atomic_sync
-/// design).  States: kFree, kLocked (no waiter has ever blocked during
-/// this hold), kContended (a waiter may be parked: unlock must notify).
-/// Satisfies Lockable, so std::lock_guard / std::unique_lock work.
-class AtomicMutex {
+/// A 4-byte mutex on atomic wait/notify_one (the atomic_sync design).
+/// States: kFree, kLocked (no waiter has ever blocked during this hold),
+/// kContended (a waiter may be parked: unlock must notify).  Satisfies
+/// Lockable, so std::lock_guard / std::unique_lock work.
+template <class Atomics>
+class BasicAtomicMutex {
  public:
-  AtomicMutex() = default;
-  AtomicMutex(const AtomicMutex&) = delete;
-  AtomicMutex& operator=(const AtomicMutex&) = delete;
+  BasicAtomicMutex() = default;
+  BasicAtomicMutex(const BasicAtomicMutex&) = delete;
+  BasicAtomicMutex& operator=(const BasicAtomicMutex&) = delete;
 
-  void lock() noexcept { spin_lock(kDefaultSpinBudget); }
+  void lock() noexcept(Atomics::kNoexceptOps) {
+    spin_lock(Atomics::kSpinBudget);
+  }
 
   /// lock() with an explicit spin budget: try the fast path, spin up to
   /// `spin_budget` relax iterations, then park until notified.
-  void spin_lock(unsigned spin_budget) noexcept {
+  void spin_lock(unsigned spin_budget) noexcept(Atomics::kNoexceptOps) {
     std::uint32_t expected = kFree;
-    if (state_.compare_exchange_strong(expected, kLocked,
-                                       std::memory_order_acquire,
-                                       std::memory_order_relaxed))
+    if (state_.compare_exchange_strong(
+            expected, kLocked,
+            std::memory_order_acquire,   // mo-ok: pairs with unlock's release
+            std::memory_order_relaxed))  // mo-ok: failed CAS publishes nothing
       return;
     for (unsigned i = 0; i < spin_budget; ++i) {
-      cpu_relax();
+      Atomics::pause();
+      // mo-ok: advisory spin probe; the acquiring CAS below synchronizes
       if (state_.load(std::memory_order_relaxed) == kFree) {
         expected = kFree;
-        if (state_.compare_exchange_weak(expected, kLocked,
-                                         std::memory_order_acquire,
-                                         std::memory_order_relaxed))
+        if (state_.compare_exchange_weak(
+                expected, kLocked,
+                std::memory_order_acquire,   // mo-ok: pairs with release unlock
+                std::memory_order_relaxed))  // mo-ok: failure publishes nothing
           return;
       }
     }
     // Blocking phase.  Claim the lock and advertise contention in one
     // exchange; whoever finds kFree here owns the lock but must leave
     // kContended behind — another waiter may already be parked.
+    // mo-ok: acquire on the winning exchange pairs with release unlock
     while (state_.exchange(kContended, std::memory_order_acquire) != kFree)
-      state_.wait(kContended, std::memory_order_relaxed);
+      state_.wait(kContended, std::memory_order_relaxed);  // mo-ok: advisory futex check; the exchange above synchronizes
   }
 
-  bool try_lock() noexcept {
+  bool try_lock() noexcept(Atomics::kNoexceptOps) {
     std::uint32_t expected = kFree;
-    return state_.compare_exchange_strong(expected, kLocked,
-                                          std::memory_order_acquire,
-                                          std::memory_order_relaxed);
+    return state_.compare_exchange_strong(
+        expected, kLocked,
+        std::memory_order_acquire,    // mo-ok: pairs with unlock's release
+        std::memory_order_relaxed);
   }
 
-  void unlock() noexcept {
+  void unlock() noexcept(Atomics::kNoexceptOps) {
+    // mo-ok: release publishes the critical section to the next acquirer
     if (state_.exchange(kFree, std::memory_order_release) == kContended)
       state_.notify_one();
   }
 
   /// True while any thread holds the lock (diagnostic; racy by nature).
-  bool is_locked() const noexcept {
-    return state_.load(std::memory_order_relaxed) != kFree;
+  bool is_locked() const noexcept(Atomics::kNoexceptOps) {
+    return state_.load(std::memory_order_relaxed) != kFree;  // mo-ok: diagnostic
   }
 
  private:
@@ -117,8 +112,11 @@ class AtomicMutex {
   static constexpr std::uint32_t kLocked = 1;
   static constexpr std::uint32_t kContended = 2;
 
-  std::atomic<std::uint32_t> state_{kFree};
+  typename Atomics::template atomic<std::uint32_t> state_{kFree};
 };
+
+/// The production lock: one futex word, nothing else.
+using AtomicMutex = BasicAtomicMutex<StdAtomics>;
 
 static_assert(sizeof(AtomicMutex) == 4,
               "the whole point: one futex word, nothing else");
@@ -132,32 +130,35 @@ static_assert(sizeof(AtomicMutex) == 4,
 /// advance() uses notify_all because distinct waiters wait on distinct
 /// predicates (different bakery tickets, different turn values); a
 /// notify_one could wake only a waiter whose predicate is still false.
-class EventCount {
+template <class Atomics>
+class BasicEventCount {
  public:
-  EventCount() = default;
-  EventCount(const EventCount&) = delete;
-  EventCount& operator=(const EventCount&) = delete;
+  BasicEventCount() = default;
+  BasicEventCount(const BasicEventCount&) = delete;
+  BasicEventCount& operator=(const BasicEventCount&) = delete;
 
-  std::uint32_t epoch() const noexcept {
+  std::uint32_t epoch() const noexcept(Atomics::kNoexceptOps) {
     return epoch_.load(std::memory_order_seq_cst);
   }
 
   /// Publishes "state changed": epoch moves, parked waiters re-check.
   /// Call after the register write(s) the waiters' predicates read.
-  void advance() noexcept {
+  void advance() noexcept(Atomics::kNoexceptOps) {
     epoch_.fetch_add(1, std::memory_order_seq_cst);
     epoch_.notify_all();
   }
 
   /// Blocks until the epoch differs from `seen` (wraps are harmless: any
   /// change wakes).  Returns on spurious wakeups too — callers re-check.
-  void wait_changed(std::uint32_t seen) const noexcept {
+  void wait_changed(std::uint32_t seen) const noexcept(Atomics::kNoexceptOps) {
     epoch_.wait(seen, std::memory_order_seq_cst);
   }
 
  private:
-  std::atomic<std::uint32_t> epoch_{0};
+  typename Atomics::template atomic<std::uint32_t> epoch_{0};
 };
+
+using EventCount = BasicEventCount<StdAtomics>;
 
 static_assert(sizeof(EventCount) == 4, "one futex word, nothing else");
 
@@ -165,12 +166,13 @@ static_assert(sizeof(EventCount) == 4, "one futex word, nothing else");
 /// `pred`, then parks on `events` until an advance().  `pred` may read any
 /// number of registers; correctness only requires that every write that
 /// can flip it true is followed by events.advance().
-template <class Pred>
-inline void wait_until_changed(const EventCount& events, Pred&& pred,
-                               unsigned spin_budget = kDefaultSpinBudget) {
+template <class Atomics, class Pred>
+inline void wait_until_changed(const BasicEventCount<Atomics>& events,
+                               Pred&& pred,
+                               unsigned spin_budget = Atomics::kSpinBudget) {
   for (unsigned i = 0; i < spin_budget; ++i) {
     if (pred()) return;
-    cpu_relax();
+    Atomics::pause();
   }
   for (;;) {
     const std::uint32_t seen = events.epoch();

@@ -1,0 +1,293 @@
+#include "tfr/rt/shim/rt_exec.hpp"
+
+#include <unistd.h>
+
+#include <memory>
+#include <utility>
+
+#include "tfr/common/contracts.hpp"
+
+namespace tfr::rtshim {
+
+namespace detail {
+
+namespace {
+
+thread_local Slot* tls_slot = nullptr;
+
+/// The pool worker: parks until a job is started, runs it (the whole
+/// algorithm body of one logical thread for one execution), reports done,
+/// parks again.  One OS thread per slot, reused across executions — the
+/// explorer runs the same scenario hundreds of thousands of times and
+/// thread creation would dominate.
+void worker_main(Slot* slot) {
+  std::unique_lock<std::mutex> lk(slot->m);
+  for (;;) {
+    slot->cv.wait(lk, [&] {
+      return slot->phase == Slot::Phase::kRunning || slot->exit;
+    });
+    if (slot->exit) return;
+    std::function<void()> job = std::move(slot->job);
+    slot->job = nullptr;
+    lk.unlock();
+    tls_slot = slot;
+    try {
+      job();
+    } catch (const AbortExecution&) {
+      // Teardown unwind: not an error.
+    } catch (...) {
+      std::lock_guard<std::mutex> guard(slot->m);
+      slot->error = std::current_exception();
+    }
+    tls_slot = nullptr;
+    // Drop the closure before reporting done: it owns the scenario state
+    // (shared_ptr captures), which must die on the simulation side, not
+    // here — teardown returns only after kJobDone, so ordering this first
+    // guarantees the worker never holds the last reference.
+    job = nullptr;
+    lk.lock();
+    slot->phase = Slot::Phase::kJobDone;
+    slot->cv.notify_all();
+  }
+}
+
+/// Slots keyed by process id: after a fork() (mcheck's parallel workers)
+/// the child inherits the pool's memory but none of its threads, so the
+/// child abandons the stale object — leaking it deliberately; its mutexes
+/// may be mid-transition — and lazily builds its own.
+class ThreadPool {
+ public:
+  static ThreadPool& instance() {
+    static std::mutex g_mutex;
+    static ThreadPool* g_pool = nullptr;
+    static pid_t g_pid = -1;
+    std::lock_guard<std::mutex> lk(g_mutex);
+    const pid_t me = ::getpid();
+    if (g_pool == nullptr || g_pid != me) {
+      g_pool = new ThreadPool();  // intentionally leaked (threads park in it)
+      g_pid = me;
+    }
+    return *g_pool;
+  }
+
+  Slot* acquire() {
+    std::lock_guard<std::mutex> lk(m_);
+    if (!free_.empty()) {
+      Slot* slot = free_.back();
+      free_.pop_back();
+      return slot;
+    }
+    slots_.push_back(std::make_unique<Slot>());
+    Slot* slot = slots_.back().get();
+    slot->thread = std::thread(worker_main, slot);
+    slot->thread.detach();  // pool lives for the process; never joined
+    return slot;
+  }
+
+  void release(Slot* slot) {
+    std::lock_guard<std::mutex> lk(m_);
+    free_.push_back(slot);
+  }
+
+ private:
+  std::mutex m_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::vector<Slot*> free_;
+};
+
+/// Schedules the posted op into the simulation and applies it at its
+/// linearization instant.  The awaited value is "must the thread park".
+struct OpAwaiter {
+  sim::Simulation* sim;
+  sim::Pid pid;
+  Op* op;
+  sim::Time issued = 0;
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    issued = sim->now();
+    if (op->kind == Op::Kind::kDelay)
+      sim->schedule_delay(pid, op->delay, h);
+    else
+      sim->schedule_access(pid, h, op->reg_uid, op->is_write);
+  }
+  bool await_resume() { return op->apply(*sim, pid, issued); }
+};
+
+/// Parks the pump on the cell's wait list; resumed by a notify's wake
+/// callback (zero-duration, so the wake itself is not a scheduling
+/// decision — the re-check read it triggers is).
+struct ParkAwaiter {
+  WaitList* list;
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) { list->handles.push_back(h); }
+  void await_resume() const noexcept {}
+};
+
+/// The pump: the simulation-side half of one logical thread.
+sim::Process pump(sim::Env env, RtExecution* exec, detail::Slot* slot) {
+  slot->start_job();
+  for (;;) {
+    Op* op = slot->await_op();
+    if (op == nullptr) break;
+    if (!op->scheduled()) {
+      op->immediate(*exec, env.sim());
+      slot->reply(false);
+      continue;
+    }
+    bool park = co_await OpAwaiter{&env.sim(), env.pid(), op};
+    while (park) {
+      co_await ParkAwaiter{op->wait_list()};
+      park = co_await OpAwaiter{&env.sim(), env.pid(), op};
+    }
+    slot->reply(false);
+  }
+  // Propagate real algorithm failures (contract violations, logic bugs in
+  // the code under test) into the simulation's exception channel.
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lk(slot->m);
+    error = std::exchange(slot->error, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace
+
+void Slot::arm(std::function<void()> body) {
+  std::lock_guard<std::mutex> lk(m);
+  TFR_REQUIRE(phase == Phase::kIdle);
+  job = std::move(body);
+  op = nullptr;
+  abort = false;
+  error = nullptr;
+  phase = Phase::kArmed;
+}
+
+void Slot::start_job() {
+  std::lock_guard<std::mutex> lk(m);
+  TFR_INVARIANT(phase == Phase::kArmed);
+  phase = Phase::kRunning;
+  cv.notify_all();
+}
+
+detail::Op* Slot::await_op() {
+  std::unique_lock<std::mutex> lk(m);
+  cv.wait(lk, [&] {
+    return phase == Phase::kOpPosted || phase == Phase::kJobDone;
+  });
+  return phase == Phase::kOpPosted ? op : nullptr;
+}
+
+void Slot::reply(bool abort_run) {
+  std::lock_guard<std::mutex> lk(m);
+  TFR_INVARIANT(phase == Phase::kOpPosted);
+  abort = abort_run;
+  phase = Phase::kReplied;
+  cv.notify_all();
+}
+
+void Slot::finish_teardown() {
+  std::unique_lock<std::mutex> lk(m);
+  switch (phase) {
+    case Phase::kArmed:
+      // The pump's kStart never linearized; the thread never started.
+      job = nullptr;
+      break;
+    case Phase::kOpPosted:
+      // Strict alternation guarantees this is the only mid-run state at a
+      // simulation suspension point: unblock the thread with an abort
+      // reply and wait for the unwind to finish.
+      abort = true;
+      phase = Phase::kReplied;
+      cv.notify_all();
+      cv.wait(lk, [&] { return phase == Phase::kJobDone; });
+      break;
+    case Phase::kJobDone:
+      break;
+    case Phase::kIdle:
+    case Phase::kRunning:
+    case Phase::kReplied:
+      TFR_INVARIANT(false);  // impossible between pump resumptions
+      break;
+  }
+  abort = false;
+  error = nullptr;
+  phase = Phase::kIdle;
+}
+
+Slot* current_slot() { return tls_slot; }
+
+void post_op(Op& op) {
+  Slot* slot = tls_slot;
+  TFR_REQUIRE(slot != nullptr);
+  std::unique_lock<std::mutex> lk(slot->m);
+  TFR_INVARIANT(slot->phase == Slot::Phase::kRunning);
+  slot->op = &op;
+  slot->phase = Slot::Phase::kOpPosted;
+  slot->cv.notify_all();
+  slot->cv.wait(lk, [&] { return slot->phase == Slot::Phase::kReplied; });
+  slot->phase = Slot::Phase::kRunning;
+  slot->op = nullptr;
+  if (slot->abort) throw AbortExecution{};
+}
+
+}  // namespace detail
+
+namespace {
+
+RtExecution* g_current = nullptr;
+
+struct MarkOp final : detail::Op {
+  int delta;
+  explicit MarkOp(int d) : Op(Kind::kMark), delta(d) {}
+  void immediate(RtExecution& exec, sim::Simulation&) override {
+    exec.note_mark(delta);
+  }
+};
+
+}  // namespace
+
+RtExecution::RtExecution(sim::Simulation& sim) : sim_(&sim) {
+  TFR_REQUIRE(g_current == nullptr);
+  g_current = this;
+}
+
+RtExecution::~RtExecution() {
+  for (detail::Slot* slot : slots_) {
+    slot->finish_teardown();
+    detail::ThreadPool::instance().release(slot);
+  }
+  g_current = nullptr;
+}
+
+RtExecution* RtExecution::current() { return g_current; }
+
+void RtExecution::spawn_thread(std::function<void()> body) {
+  TFR_REQUIRE(body != nullptr);
+  detail::Slot* slot = detail::ThreadPool::instance().acquire();
+  slot->arm(std::move(body));
+  slots_.push_back(slot);
+  sim_->spawn([this, slot](sim::Env env) {
+    return detail::pump(env, this, slot);
+  });
+}
+
+void RtExecution::mark_enter() {
+  MarkOp op(+1);
+  detail::post_op(op);
+}
+
+void RtExecution::mark_exit() {
+  MarkOp op(-1);
+  detail::post_op(op);
+}
+
+void RtExecution::note_mark(int delta) {
+  occupancy_ += delta;
+  TFR_INVARIANT(occupancy_ >= 0);
+  if (occupancy_ > 1) ++violations_;
+}
+
+}  // namespace tfr::rtshim

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "tfr/mcheck/explorer.hpp"
+#include "tfr/mcheck/rt_scenarios.hpp"
 #include "tfr/mcheck/scenarios.hpp"
 #include "tfr/obs/replay.hpp"
 
@@ -44,7 +45,7 @@ TEST(McheckConsensus, SleepSetsPruneAgainstNaiveDfs) {
 
   const mcheck::CheckResult reduced =
       mcheck::check(mcheck::make_consensus_scenario({}), config);
-  config.por = false;
+  config.reduction = mcheck::Reduction::kNone;
   const mcheck::CheckResult naive =
       mcheck::check(mcheck::make_consensus_scenario({}), config);
 
@@ -55,6 +56,50 @@ TEST(McheckConsensus, SleepSetsPruneAgainstNaiveDfs) {
   EXPECT_LT(reduced.stats.executions, naive.stats.executions);
   EXPECT_LT(reduced.stats.states, naive.stats.states);
   EXPECT_EQ(naive.stats.sleep_blocked, 0u);
+}
+
+// Source-set DPOR must prune strictly beyond plain sleep sets — same
+// clean verdict, fewer executions, and nonzero dependent-access race and
+// source-pruning activity.
+TEST(McheckConsensus, SourceDporPrunesBeyondSleepSets) {
+  mcheck::ExploreConfig config = small_config();
+
+  const mcheck::CheckResult dpor =
+      mcheck::check(mcheck::make_consensus_scenario({}), config);
+  config.reduction = mcheck::Reduction::kSleepSets;
+  const mcheck::CheckResult sleep =
+      mcheck::check(mcheck::make_consensus_scenario({}), config);
+
+  EXPECT_FALSE(dpor.violation);
+  EXPECT_FALSE(sleep.violation);
+  EXPECT_TRUE(dpor.stats.complete);
+  EXPECT_TRUE(sleep.stats.complete);
+  EXPECT_LT(dpor.stats.executions, sleep.stats.executions);
+  EXPECT_GT(dpor.stats.races_detected, 0u);
+  EXPECT_GT(dpor.stats.source_pruned, 0u);
+  EXPECT_EQ(sleep.stats.races_detected, 0u);
+  EXPECT_EQ(sleep.stats.source_pruned, 0u);
+}
+
+// Same ablation on a mutex scenario: Algorithm 3's much larger tree is
+// where the reduction pays (33k -> 16k executions at n = 2).
+TEST(McheckTfrMutex, SourceDporPrunesBeyondSleepSets) {
+  mcheck::MutexScenarioConfig scenario;
+  scenario.algorithm =
+      mcheck::MutexScenarioConfig::Algorithm::kTfrStarvationFree;
+  mcheck::ExploreConfig config = small_config();
+
+  const mcheck::CheckResult dpor =
+      mcheck::check(mcheck::make_mutex_scenario(scenario), config);
+  config.reduction = mcheck::Reduction::kSleepSets;
+  const mcheck::CheckResult sleep =
+      mcheck::check(mcheck::make_mutex_scenario(scenario), config);
+
+  EXPECT_FALSE(dpor.violation);
+  EXPECT_FALSE(sleep.violation);
+  EXPECT_TRUE(dpor.stats.complete);
+  EXPECT_TRUE(sleep.stats.complete);
+  EXPECT_LT(dpor.stats.executions, sleep.stats.executions);
 }
 
 // Bare Fischer (Algorithm 2) under a single timing failure: the explorer
@@ -181,6 +226,9 @@ void expect_stats_equal(const mcheck::ExploreStats& parallel,
   EXPECT_EQ(parallel.cost_choice_points, serial.cost_choice_points);
   EXPECT_EQ(parallel.sleep_pruned, serial.sleep_pruned);
   EXPECT_EQ(parallel.sleep_blocked, serial.sleep_blocked);
+  EXPECT_EQ(parallel.races_detected, serial.races_detected);
+  EXPECT_EQ(parallel.source_pruned, serial.source_pruned);
+  EXPECT_EQ(parallel.state_pruned, serial.state_pruned);
   EXPECT_EQ(parallel.truncated, serial.truncated);
   EXPECT_EQ(parallel.complete, serial.complete);
 }
@@ -274,6 +322,156 @@ TEST(McheckParallel, MaxExecutionsReportsIncomplete) {
   const mcheck::CheckResult result =
       mcheck::check(mcheck::make_consensus_scenario({}), config);
   EXPECT_FALSE(result.stats.complete);
+}
+
+// --- real-thread scenarios through the atomic interposition seam --------
+//
+// Suite naming is deliberate: McheckRt* suites fork worker processes
+// (jobs > 1) and stay outside the TSan ctest regex; RtShim* suites run
+// everything in-process so the TSan job exercises the pool-thread/pump
+// handshake itself.
+
+mcheck::ExploreConfig rt_eventcount_config() {
+  mcheck::ExploreConfig config = small_config();
+  config.max_failures = 0;
+  config.slow_budget = 0;
+  return config;
+}
+
+// Real-thread Fischer (rt::BasicFischerRt over ShimAtomics, the same
+// source production instantiates with std::atomic) under one timing
+// failure: the §3.1 violation must surface through the seam, and the
+// counterexample must replay byte-identically.
+TEST(McheckRtFischer, FindsKnownViolationAndReplays) {
+  const mcheck::CheckScenario scenario = mcheck::make_rt_mutex_scenario({});
+  const mcheck::ExploreConfig config = small_config();
+
+  const mcheck::CheckResult result = mcheck::check(scenario, config);
+  ASSERT_TRUE(result.violation);
+  EXPECT_EQ(result.what, "mutual exclusion violated (CS occupancy overlap)");
+  EXPECT_FALSE(result.counterexample.timing.script.empty());
+  EXPECT_FALSE(result.counterexample.timing.schedule.empty());
+
+  const obs::ReplayResult replayed = obs::replay(
+      result.counterexample,
+      mcheck::counterexample_scenario(scenario, config));
+  EXPECT_TRUE(replayed.identical)
+      << "first divergence at event " << replayed.first_divergence;
+
+  const mcheck::CheckOutcome reproduced =
+      mcheck::run_recorded(result.counterexample, scenario, config);
+  EXPECT_FALSE(reproduced.ok);
+  EXPECT_EQ(reproduced.what, result.what);
+}
+
+// The futex-class AtomicMutex (wait/notify protocol) verifies clean and
+// exhaustively through the seam under the same failure budget.
+TEST(McheckRtAtomicLock, ExhaustiveNoViolation) {
+  mcheck::RtMutexScenarioConfig scenario;
+  scenario.algorithm = mcheck::RtMutexScenarioConfig::Algorithm::kAtomicLock;
+  const mcheck::CheckResult result =
+      mcheck::check(mcheck::make_rt_mutex_scenario(scenario), small_config());
+  EXPECT_FALSE(result.violation) << result.what;
+  EXPECT_TRUE(result.stats.complete);
+}
+
+// Algorithm 3 (tfr starvation-free mutex), real-thread flavour: clean and
+// complete, the rt twin of McheckTfrMutex.ExhaustiveNoViolation.
+TEST(McheckRtTfrMutex, ExhaustiveNoViolation) {
+  mcheck::RtMutexScenarioConfig scenario;
+  scenario.algorithm =
+      mcheck::RtMutexScenarioConfig::Algorithm::kTfrStarvationFree;
+  const mcheck::CheckResult result =
+      mcheck::check(mcheck::make_rt_mutex_scenario(scenario), small_config());
+  EXPECT_FALSE(result.violation) << result.what;
+  EXPECT_TRUE(result.stats.complete);
+}
+
+// EventCount with the epoch published before the state write: the seam
+// must find the lost-wakeup interleaving (both threads parked, simulation
+// idle); the documented publication order must verify clean.
+TEST(McheckRtEventCount, TornEpochLosesWakeupCorrectOrderDoesNot) {
+  const mcheck::CheckResult torn = mcheck::check(
+      mcheck::make_rt_eventcount_scenario({}), rt_eventcount_config());
+  ASSERT_TRUE(torn.violation);
+  EXPECT_EQ(torn.what, "lost wakeup: threads parked with the simulation idle");
+
+  mcheck::RtEventCountScenarioConfig fixed;
+  fixed.torn_epoch = false;
+  const mcheck::CheckResult clean = mcheck::check(
+      mcheck::make_rt_eventcount_scenario(fixed), rt_eventcount_config());
+  EXPECT_FALSE(clean.violation) << clean.what;
+  EXPECT_TRUE(clean.stats.complete);
+}
+
+// Forked-jobs parity for the rt scenarios: pooled shim threads must not
+// leak state across the fork (the pool is pid-keyed; children rebuild it
+// lazily), so jobs {2, 4} reproduce the serial verdict, stats and
+// counterexample bytes exactly.
+TEST(McheckRtParallel, FischerRtViolationMatchesSerial) {
+  expect_parallel_equivalent(mcheck::make_rt_mutex_scenario({}),
+                             small_config());
+}
+
+TEST(McheckRtParallel, AtomicLockMatchesSerial) {
+  mcheck::RtMutexScenarioConfig scenario;
+  scenario.algorithm = mcheck::RtMutexScenarioConfig::Algorithm::kAtomicLock;
+  expect_parallel_equivalent(mcheck::make_rt_mutex_scenario(scenario),
+                             small_config());
+}
+
+TEST(McheckRtParallel, EventCountTornMatchesSerial) {
+  expect_parallel_equivalent(mcheck::make_rt_eventcount_scenario({}),
+                             rt_eventcount_config());
+}
+
+// In-process determinism (TSan-covered): two serial explorations of the
+// same rt scenario are bit-for-bit the same — stats and counterexample —
+// proving the OS-thread/pump handshake injects no nondeterminism (and,
+// under TSan, no data races).
+TEST(RtShimDeterminism, RepeatedEventCountRunsAreIdentical) {
+  const mcheck::CheckScenario scenario = mcheck::make_rt_eventcount_scenario({});
+  const mcheck::ExploreConfig config = rt_eventcount_config();
+  const mcheck::CheckResult first = mcheck::check(scenario, config);
+  const mcheck::CheckResult second = mcheck::check(scenario, config);
+  ASSERT_TRUE(first.violation);
+  ASSERT_TRUE(second.violation);
+  EXPECT_EQ(first.what, second.what);
+  expect_stats_equal(first.stats, second.stats);
+  EXPECT_EQ(first.counterexample.to_bytes(), second.counterexample.to_bytes());
+}
+
+// In-process replay (TSan-covered): the recorded lost-wakeup run drives
+// the pooled threads down the identical path, byte-for-byte.
+TEST(RtShimReplay, EventCountCounterexampleReplaysByteIdentical) {
+  const mcheck::CheckScenario scenario = mcheck::make_rt_eventcount_scenario({});
+  const mcheck::ExploreConfig config = rt_eventcount_config();
+  const mcheck::CheckResult result = mcheck::check(scenario, config);
+  ASSERT_TRUE(result.violation);
+
+  const obs::ReplayResult replayed = obs::replay(
+      result.counterexample,
+      mcheck::counterexample_scenario(scenario, config));
+  EXPECT_TRUE(replayed.identical)
+      << "first divergence at event " << replayed.first_divergence;
+
+  const mcheck::CheckOutcome reproduced =
+      mcheck::run_recorded(result.counterexample, scenario, config);
+  EXPECT_FALSE(reproduced.ok);
+  EXPECT_EQ(reproduced.what, result.what);
+}
+
+// In-process wait/notify workout (TSan-covered): the AtomicMutex check
+// parks and wakes pump coroutines on every execution, so a clean complete
+// run here means the park-list handshake is race-free.
+TEST(RtShimWaitNotify, AtomicLockVerifiesCleanInProcess) {
+  mcheck::RtMutexScenarioConfig scenario;
+  scenario.algorithm = mcheck::RtMutexScenarioConfig::Algorithm::kAtomicLock;
+  const mcheck::CheckResult result =
+      mcheck::check(mcheck::make_rt_mutex_scenario(scenario), small_config());
+  EXPECT_FALSE(result.violation) << result.what;
+  EXPECT_TRUE(result.stats.complete);
+  EXPECT_GT(result.stats.executions, 10u);
 }
 
 }  // namespace
