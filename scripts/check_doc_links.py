@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Validate intra-repo references in the documentation.
+
+Two classes of reference are checked:
+
+  * markdown links `[text](target)` whose target is a relative path —
+    the file (and, for `path#anchor`, a matching heading) must exist.
+    External links (http/https/mailto) are skipped: CI must not depend
+    on the network;
+
+  * code references `path/to/file.ext:123` (a repo source path followed
+    by a line number) — the file must exist and have at least that many
+    lines, so docs cannot point into deleted or shrunken code.
+
+Usage:
+    python3 scripts/check_doc_links.py [--root REPO] [DOC.md ...]
+
+With no DOC arguments, checks the default documentation set (README,
+DESIGN, EXPERIMENTS, ROADMAP, CHANGES, PAPER(S) and everything under
+docs/).  Exits 1 listing every broken reference, 0 when clean — the lint
+CI job runs it on every push.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+# [text](target) — excludes images by allowing them (same syntax) and
+# skipping in-page anchors and external schemes below.
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# path/file.ext:123 — restricted to known source/doc extensions so prose
+# like "ratio 3:1" or timestamps never match.
+CODE_REF = re.compile(
+    r"(?<![\w/])((?:[A-Za-z0-9_.-]+/)+[A-Za-z0-9_.-]+"
+    r"\.(?:hpp|cpp|h|c|py|md|txt|json|yml|cmake)):(\d+)")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+DEFAULT_DOCS = [
+    "README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md",
+    "CHANGES.md", "PAPER.md", "PAPERS.md",
+]
+
+
+def heading_anchors(path):
+    """GitHub-style anchors for every markdown heading in `path`."""
+    anchors = set()
+    for line in path.read_text(encoding="utf-8").splitlines():
+        m = re.match(r"#{1,6}\s+(.*)", line)
+        if not m:
+            continue
+        text = m.group(1).strip()
+        text = re.sub(r"`([^`]*)`", r"\1", text)        # drop code ticks
+        text = re.sub(r"[^\w\s-]", "", text).strip().lower()
+        anchors.add(re.sub(r"[\s]+", "-", text))
+    return anchors
+
+
+def check_doc(doc, root, errors):
+    text = doc.read_text(encoding="utf-8")
+    for lineno, line in enumerate(text.splitlines(), 1):
+        for m in MD_LINK.finditer(line):
+            target = m.group(1)
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            path_part, _, anchor = target.partition("#")
+            target_path = (doc.parent / path_part).resolve()
+            if not target_path.exists():
+                errors.append(f"{doc.relative_to(root)}:{lineno}: "
+                              f"broken link target '{target}'")
+                continue
+            if anchor and target_path.suffix == ".md":
+                if anchor.lower() not in heading_anchors(target_path):
+                    errors.append(f"{doc.relative_to(root)}:{lineno}: "
+                                  f"missing anchor '#{anchor}' in "
+                                  f"'{path_part}'")
+        for m in CODE_REF.finditer(line):
+            ref_path, ref_line = m.group(1), int(m.group(2))
+            target_path = root / ref_path
+            if not target_path.exists():
+                errors.append(f"{doc.relative_to(root)}:{lineno}: "
+                              f"code reference to missing file "
+                              f"'{ref_path}'")
+                continue
+            lines = target_path.read_text(encoding="utf-8",
+                                          errors="replace").count("\n") + 1
+            if ref_line > lines:
+                errors.append(f"{doc.relative_to(root)}:{lineno}: "
+                              f"code reference '{ref_path}:{ref_line}' "
+                              f"past end of file ({lines} lines)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("docs", nargs="*",
+                        help="documents to check (default: standard set)")
+    args = parser.parse_args()
+
+    root = pathlib.Path(args.root).resolve()
+    if args.docs:
+        docs = [pathlib.Path(d).resolve() for d in args.docs]
+    else:
+        docs = [root / d for d in DEFAULT_DOCS if (root / d).exists()]
+        docs += sorted((root / "docs").glob("*.md"))
+
+    errors = []
+    for doc in docs:
+        check_doc(doc, root, errors)
+
+    if errors:
+        print(f"{len(errors)} broken reference(s):")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    print(f"checked {len(docs)} document(s): all references resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+#include "tfr/service/queue.hpp"
+
+#include <algorithm>
+
+namespace tfr::service {
+
+BoundedQueue::BoundedQueue(std::size_t capacity, sim::Duration drain_hint)
+    : capacity_(capacity), drain_hint_(drain_hint < 1 ? 1 : drain_hint) {}
+
+std::optional<Backpressure> BoundedQueue::try_push(Request request,
+                                                   sim::Time now) {
+  ++offered_;
+  if (items_.size() >= capacity_) {
+    ++rejected_;
+    // Full-drain estimate: the earliest a slot is *guaranteed* free is one
+    // serviced request away, but under sustained overload the honest hint
+    // is proportional to the backlog the client would queue behind.
+    const auto depth = static_cast<sim::Duration>(items_.size());
+    return Backpressure{drain_hint_ * depth};
+  }
+  ++admitted_;
+  request.admitted = now;
+  items_.push_back(request);
+  max_depth_ = std::max(max_depth_, items_.size());
+  return std::nullopt;
+}
+
+std::size_t BoundedQueue::pop_into(std::vector<Request>& out,
+                                   std::size_t max) {
+  const std::size_t take = std::min(max, items_.size());
+  for (std::size_t i = 0; i < take; ++i) {
+    out.push_back(items_.front());
+    items_.pop_front();
+  }
+  return take;
+}
+
+}  // namespace tfr::service

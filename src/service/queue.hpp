@@ -1,0 +1,96 @@
+// Bounded admission queue with explicit backpressure — the front door of
+// one service shard.
+//
+// The shard-scale scenario (docs/MODEL.md "Service scenario") models a
+// production frontend: client sessions arrive open-loop (the world does
+// not slow down because the server is busy), so an unbounded queue would
+// hide overload as unbounded latency.  The BoundedQueue instead *rejects*
+// when full and tells the client when to come back — the reject/retry-after
+// discipline — turning overload into a measurable, bounded retry storm
+// instead of memory growth.
+//
+// The retry-after hint is the queue's own drain estimate: `drain_hint`
+// ticks per queued request (the shard's steady-state service cost per
+// admitted request), times the current depth.  It is deliberately
+// conservative — a client that comes back too early is just rejected
+// again — and purely deterministic, so service runs replay byte-identically.
+//
+// The queue is host-local state of the shard frontend (like the network's
+// read cursors): pushes and pops happen inside simulated processes, but
+// the container itself is not a shared register — only one frontend
+// coroutine ever pops, and the generator pushes between its own timed
+// steps.  Contention for the *service* is modelled by the queue filling,
+// not by memory contention on the queue cells.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "tfr/sim/types.hpp"
+
+namespace tfr::service {
+
+/// One client session's request, as it travels queue -> batch -> replica
+/// write.  `first_offered` anchors the session's end-to-end latency: it is
+/// set on the very first try_push and survives rejections, so a session
+/// that was bounced and retried pays its full waiting time in the reported
+/// percentiles.
+struct Request {
+  std::uint64_t session = 0;
+  sim::Time first_offered = 0;  ///< first arrival instant (latency anchor)
+  sim::Time admitted = 0;       ///< instant the queue accepted it
+  int attempts = 0;             ///< offers so far (1 = admitted first try)
+};
+
+/// The rejection verdict: try again no earlier than `retry_after` ticks
+/// from now.
+struct Backpressure {
+  sim::Duration retry_after = 0;
+};
+
+class BoundedQueue {
+ public:
+  /// `capacity` requests may wait; `drain_hint` is the expected service
+  /// cost per queued request in ticks (feeds the retry-after hint).
+  BoundedQueue(std::size_t capacity, sim::Duration drain_hint);
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Admits `request` (stamping `admitted = now`) or rejects it with a
+  /// retry-after hint.  Every call counts toward offered(); the verdict
+  /// feeds admitted()/rejected().
+  std::optional<Backpressure> try_push(Request request, sim::Time now);
+
+  /// Pops up to `max` requests in FIFO order into `out` (appending).
+  /// Returns how many were moved.
+  std::size_t pop_into(std::vector<Request>& out, std::size_t max);
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Admission instant of the oldest waiting request; -1 when empty.
+  sim::Time oldest_admitted() const {
+    return items_.empty() ? -1 : items_.front().admitted;
+  }
+
+  std::uint64_t offered() const { return offered_; }
+  std::uint64_t admitted() const { return admitted_; }
+  std::uint64_t rejected() const { return rejected_; }
+  std::size_t max_depth() const { return max_depth_; }
+
+ private:
+  std::size_t capacity_;
+  sim::Duration drain_hint_;
+  std::deque<Request> items_;
+  std::uint64_t offered_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::size_t max_depth_ = 0;
+};
+
+}  // namespace tfr::service
