@@ -21,8 +21,8 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "tfr/adapt/controller.hpp"
 #include "tfr/core/consensus_sim.hpp"
-#include "tfr/core/delta.hpp"
 #include "tfr/mutex/mutex_sim.hpp"
 #include "tfr/mutex/workload_sim.hpp"
 #include "tfr/sim/timing.hpp"
@@ -122,12 +122,12 @@ TFR_BENCH_EXPERIMENT(E10, "section 1.2/3.3", bench::Tier::kSmoke,
   Table trace("AIMD estimator trace (one consensus instance per step)");
   trace.header({"instance", "estimate before", "retried rounds",
                 "estimate after"});
-  core::OptimisticDelta estimator({.initial = 1,
-                                   .min = 1,
-                                   .max = kTrueDelta,
-                                   .grow_factor = 2.0,
-                                   .shrink_step = 1,
-                                   .stable_threshold = 4});
+  adapt::Aimd estimator({.initial = 1,
+                         .floor = 1,
+                         .ceiling = kTrueDelta,
+                         .grow_factor = 2.0,
+                         .decay_step = 1,
+                         .clean_threshold = 4});
   sim::Duration final_estimate = estimator.current();
   for (int instance = 0; instance < 40; ++instance) {
     const sim::Duration before = estimator.current();
@@ -138,9 +138,9 @@ TFR_BENCH_EXPERIMENT(E10, "section 1.2/3.3", bench::Tier::kSmoke,
     // retry signal (a suspected timing failure w.r.t. the estimate).
     const auto retried = out.max_round > 1 ? out.max_round - 1 : 0;
     if (retried > 0) {
-      for (std::size_t i = 0; i < retried; ++i) estimator.on_retry();
+      for (std::size_t i = 0; i < retried; ++i) estimator.on_failure();
     } else {
-      estimator.on_progress();
+      estimator.on_clean();
     }
     if (instance < 12 || instance % 8 == 0) {
       trace.row({Table::fmt(instance),

@@ -13,8 +13,8 @@
 #include <cstdio>
 #include <memory>
 
+#include "tfr/adapt/controller.hpp"
 #include "tfr/core/consensus_sim.hpp"
-#include "tfr/core/delta.hpp"
 #include "tfr/sim/timing.hpp"
 
 namespace {
@@ -55,12 +55,12 @@ int main() {
   std::printf("  delta = %4lld (hand-tuned):  mean decide time %8.0f\n\n",
               static_cast<long long>(kCommon), mean_decide_time(kCommon));
 
-  tfr::core::OptimisticDelta estimator({.initial = 1,
-                                        .min = 1,
-                                        .max = kPessimistic,
-                                        .grow_factor = 2.0,
-                                        .shrink_step = 2,
-                                        .stable_threshold = 4});
+  tfr::adapt::Aimd estimator({.initial = 1,
+                              .floor = 1,
+                              .ceiling = kPessimistic,
+                              .grow_factor = 2.0,
+                              .decay_step = 2,
+                              .clean_threshold = 4});
   std::printf("adaptive run (one consensus instance per line):\n");
   std::printf("instance  estimate  rounds  decide-time  signal\n");
   for (int instance = 0; instance < 24; ++instance) {
@@ -74,10 +74,10 @@ int main() {
                 static_cast<long long>(out.last_decision),
                 clean ? "progress (maybe shrink)" : "retry (grow)");
     if (clean) {
-      estimator.on_progress();
+      estimator.on_clean();
     } else {
-      for (std::size_t r = 1; r < out.max_round; ++r) estimator.on_retry();
-      estimator.on_retry();
+      for (std::size_t r = 1; r < out.max_round; ++r) estimator.on_failure();
+      estimator.on_failure();
     }
   }
   std::printf("\nfinal estimate: %lld (pessimistic bound was %lld)\n",

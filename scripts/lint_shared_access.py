@@ -14,7 +14,8 @@ layering bug.  Deliberate uses (monitor peeks after the run, memory-
 failure injection between events) carry an `untimed-ok:` annotation.
 
 Real-thread scope (src/rt, src/mutex/mutex_rt.*, src/mutex/
-lock_adapters.hpp, src/registers/atomic_register.hpp): rt algorithm code
+lock_adapters.hpp, src/registers/atomic_register.hpp, plus the adaptive
+controllers in src/adapt/ that rt threads may share): rt algorithm code
 is templated over the Atomics policy (src/rt/atomics_policy.hpp) so the
 same source runs on std::atomic in production and through the mcheck
 interposition seam (src/rt/shim/) under verification.  Two rules:
@@ -51,6 +52,11 @@ RT_FILES = (
     "src/mutex/mutex_rt.cpp",
     "src/mutex/lock_adapters.hpp",
     "src/registers/atomic_register.hpp",
+    # Adaptive controllers may be shared by rt threads (AtomicAimd), so
+    # their atomics carry the same annotation discipline.
+    "src/adapt/controller.hpp",
+    "src/adapt/aimd.cpp",
+    "src/adapt/timeliness.cpp",
 )
 RT_EXEMPT = ("src/rt/shim", "src/rt/atomics_policy.hpp")
 RAW_ATOMIC_PATTERN = re.compile(r"std::atomic\s*<|std::atomic_flag")

@@ -1,0 +1,54 @@
+// ObservingTiming: the bridge from the simulator's timing model to a
+// TimelinessEstimator.
+//
+// In a deployment the timeliness samples come from instrumented code
+// (cycle counters around shared accesses, RTT clocks around quorum
+// phases).  In the simulator the access costs ARE the ground truth, so the
+// cheapest faithful instrumentation is a TimingModel decorator: every
+// access cost the base model charges is also reported to the controller as
+// an observation on the issuing process's channel — exactly the per-edge
+// samples a timeliness graph accumulates.  The decorator never alters the
+// cost, so wrapping a model leaves the execution byte-identical.
+
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "tfr/adapt/controller.hpp"
+#include "tfr/sim/timing.hpp"
+
+namespace tfr::adapt {
+
+class ObservingTiming final : public sim::TimingModel {
+ public:
+  /// Reports every access cost of `base` to `controller` (channel = pid).
+  /// The controller must outlive the simulation using this model.
+  /// `channels` > 0 folds pids into that many channels (pid % channels):
+  /// a workload that keeps spawning short-lived processes would otherwise
+  /// grow one window per dead pid, and a stale window never sees fresh
+  /// samples — so a past slow regime would pin the estimator's max
+  /// forever.  Folding keeps every window live, the way a deployment
+  /// would key samples by CPU or thread-pool lane rather than by task.
+  ObservingTiming(std::unique_ptr<sim::TimingModel> base,
+                  DeltaController* controller, int channels = 0)
+      : base_(std::move(base)), controller_(controller), channels_(channels) {}
+
+  sim::Duration access_cost(sim::Pid pid, sim::Time now,
+                            Rng& rng) override {
+    const sim::Duration cost = base_->access_cost(pid, now, rng);
+    if (controller_ != nullptr) {
+      const int channel =
+          channels_ > 0 ? static_cast<int>(pid % channels_) : pid;
+      controller_->observe(channel, cost);
+    }
+    return cost;
+  }
+
+ private:
+  std::unique_ptr<sim::TimingModel> base_;
+  DeltaController* controller_;
+  int channels_;
+};
+
+}  // namespace tfr::adapt

@@ -31,12 +31,18 @@ sim::Task<int> SimConsensus::propose(sim::Env env, int input) {
   TFR_REQUIRE(input == 0 || input == 1);
   int v = input;
   std::size_t r = 0;
+  std::uint64_t delays = 0;
   for (;;) {
     // Line 1: while decide = ⊥.  (Also the step that completes the fast
     // path: after line 4 wrote `decide`, this read observes it.)
     const int decided = co_await env.read(decide_);
     if (decided != sim::kBot) {
       decision_rounds_.emplace_back(env.pid(), r);
+      // Adaptive signal: a failure-free instance costs at most one delay
+      // per process (round 0 resolves mixed inputs, round 1 decides), so
+      // staying within that budget is a clean instance under the current
+      // estimate.  Extra delays already reported on_failure() below.
+      if (controller_ != nullptr && delays <= 1) controller_->on_clean();
       co_return decided;  // line 9: decide(decide)
     }
     // Bounded-register mode: the environment promised failures shorter
@@ -58,7 +64,16 @@ sim::Task<int> SimConsensus::propose(sim::Env env, int input) {
       // the contention-free path, no delay executed).
     } else {
       // Lines 5-7: wait out the bound, adopt the round's proposal, retry.
-      co_await env.delay(delta_);
+      // With a controller the bound is the live estimate; a delay beyond
+      // round 0 means the previous round's adoption failed to converge —
+      // the instance-level symptom of a timing failure.
+      ++delays;
+      if (controller_ != nullptr) {
+        if (r >= 1) controller_->on_failure();
+        co_await env.delay(controller_->current());
+      } else {
+        co_await env.delay(delta_);
+      }
       v = co_await env.read(y_.at(r));
       // y[r] ≠ ⊥ here: we reached line 5 because x[r, v̄] = 1, and every
       // process writes y[r] (or saw it written) at line 3 before flagging

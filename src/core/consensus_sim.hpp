@@ -28,6 +28,7 @@
 #include <memory>
 #include <vector>
 
+#include "tfr/adapt/controller.hpp"
 #include "tfr/sim/monitor.hpp"
 #include "tfr/sim/register.hpp"
 #include "tfr/sim/simulation.hpp"
@@ -69,6 +70,17 @@ class SimConsensus {
   sim::DecisionMonitor& monitor() { return monitor_; }
   sim::Duration delta() const { return delta_; }
 
+  /// Attaches an adaptive optimistic(Δ) controller (null = the static
+  /// `delta` from construction).  Line 5's delay then waits for
+  /// controller->current(), a delay in round >= 1 is reported as a
+  /// timing-failure signal (failure-free mixed-input instances need at
+  /// most the round-0 delay), and an instance that decided with at most
+  /// one delay reports clean.  Purely advisory: agreement and validity
+  /// hold for ANY estimate (Theorem 2.1's proof never uses the bound).
+  void set_delta_controller(adapt::DeltaController* controller) {
+    controller_ = controller;
+  }
+
   /// Highest round index any process has entered so far (0-based).
   std::size_t max_round() const { return max_round_; }
   /// Round in which `pid` decided; requires that it decided.
@@ -98,6 +110,7 @@ class SimConsensus {
   sim::Register<int>& flag(int value, std::size_t round);
 
   sim::Duration delta_;
+  adapt::DeltaController* controller_ = nullptr;
   std::size_t max_rounds_;      ///< 0 = unbounded (the paper's default)
   sim::RegisterArray<int> x0_;  ///< x[·, 0]
   sim::RegisterArray<int> x1_;  ///< x[·, 1]

@@ -107,6 +107,22 @@ NamedCheck tfr_mutex_check() {
   return check;
 }
 
+NamedCheck mistuned_controller_check() {
+  NamedCheck check;
+  check.name = "tfr-mutex-mistuned-n2";
+  check.description =
+      "Algorithm 3 with the adaptive Δ estimate pinned at the floor: "
+      "safety must not depend on the estimate";
+  mcheck::MutexScenarioConfig scenario;
+  scenario.algorithm =
+      mcheck::MutexScenarioConfig::Algorithm::kTfrStarvationFree;
+  scenario.mistuned_controller = true;
+  check.scenario = mcheck::make_mutex_scenario(scenario);
+  check.config = base_config();
+  check.expect_violation = false;
+  return check;
+}
+
 // ---------------------------------------------------------------------------
 // Real-thread checks: the production lock code (mutex_rt.hpp,
 // atomic_mutex.hpp) instantiated with ShimAtomics and driven through the
@@ -328,7 +344,8 @@ bool replay_saved(const NamedCheck& check, const std::string& path) {
 int usage() {
   std::printf(
       "usage: tfr_mcheck [--all] [--consensus] [--fischer] [--tfr-mutex]\n"
-      "                  [--abd] [--rt] [--fischer-rt] [--eventcount]\n"
+      "                  [--mistuned] [--abd] [--rt] [--fischer-rt]\n"
+      "                  [--eventcount]\n"
       "                  [--naive] [--sleep-sets] [--seed N]\n"
       "                  [--max-executions N] [--jobs N] [--prefix-depth N]\n"
       "                  [--save FILE] [--replay FILE]\n");
@@ -354,6 +371,7 @@ int main(int argc, char** argv) {
       selected.push_back(consensus_check());
       selected.push_back(fischer_check());
       selected.push_back(tfr_mutex_check());
+      selected.push_back(mistuned_controller_check());
       selected.push_back(abd_check());
     } else if (arg == "--consensus") {
       selected.push_back(consensus_check());
@@ -361,6 +379,8 @@ int main(int argc, char** argv) {
       selected.push_back(fischer_check());
     } else if (arg == "--tfr-mutex") {
       selected.push_back(tfr_mutex_check());
+    } else if (arg == "--mistuned") {
+      selected.push_back(mistuned_controller_check());
     } else if (arg == "--abd") {
       selected.push_back(abd_check());
     } else if (arg == "--rt") {

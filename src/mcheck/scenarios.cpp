@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "tfr/adapt/controller.hpp"
 #include "tfr/core/consensus_sim.hpp"
 #include "tfr/msg/abd.hpp"
 #include "tfr/msg/convergence.hpp"
@@ -50,21 +51,36 @@ CheckScenario make_mutex_scenario(MutexScenarioConfig config) {
     struct State {
       std::unique_ptr<mutex::SimMutex> algorithm;
       sim::MutexMonitor monitor;
+      // The mistuned adaptive controller: pinned at the floor, so every
+      // explored delay(Δ) waits 1 tick while the explorer injects costs
+      // far beyond it.  Per-execution, like the algorithm itself.
+      adapt::ManualDelta pinned{1};
     };
     auto state = std::make_shared<State>();
+    adapt::DeltaController* controller =
+        config.mistuned_controller ? &state->pinned : nullptr;
     switch (config.algorithm) {
-      case MutexScenarioConfig::Algorithm::kFischer:
-        state->algorithm = std::make_unique<mutex::FischerMutex>(
+      case MutexScenarioConfig::Algorithm::kFischer: {
+        auto fischer = std::make_unique<mutex::FischerMutex>(
             simulation.space(), config.delta);
+        fischer->set_delta_controller(controller);
+        state->algorithm = std::move(fischer);
         break;
-      case MutexScenarioConfig::Algorithm::kTfrStarvationFree:
-        state->algorithm = mutex::make_tfr_mutex_starvation_free(
+      }
+      case MutexScenarioConfig::Algorithm::kTfrStarvationFree: {
+        auto tfr = mutex::make_tfr_mutex_starvation_free(
             simulation.space(), config.processes, config.delta);
+        tfr->set_delta_controller(controller);
+        state->algorithm = std::move(tfr);
         break;
-      case MutexScenarioConfig::Algorithm::kTfrDeadlockFreeOnly:
-        state->algorithm = mutex::make_tfr_mutex_deadlock_free_only(
+      }
+      case MutexScenarioConfig::Algorithm::kTfrDeadlockFreeOnly: {
+        auto tfr = mutex::make_tfr_mutex_deadlock_free_only(
             simulation.space(), config.processes, config.delta);
+        tfr->set_delta_controller(controller);
+        state->algorithm = std::move(tfr);
         break;
+      }
     }
     state->monitor.throw_on_violation(false);
 

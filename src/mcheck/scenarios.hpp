@@ -50,6 +50,15 @@ struct MutexScenarioConfig {
   sim::Duration cs_time = 6;  ///< long enough that a late Fischer write
                               ///< overlaps a critical section in progress
   int sessions = 1;
+
+  /// Attach an adversarially mistuned adaptive controller: the Δ estimate
+  /// is pinned at 1 tick (the floor) no matter what failure costs the
+  /// explorer injects, so every explored delay(Δ) is maximally optimistic.
+  /// With kTfrStarvationFree this machine-verifies the tentpole claim that
+  /// Algorithm 3's safety is estimate-independent — the filter admits more
+  /// processes, but the inner A still excludes them.  With kFischer it
+  /// widens the known unsafety (expect violations).
+  bool mistuned_controller = false;
 };
 
 CheckScenario make_mutex_scenario(MutexScenarioConfig config = {});

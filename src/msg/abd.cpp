@@ -1,12 +1,27 @@
 #include "tfr/msg/abd.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "tfr/common/contracts.hpp"
 #include "tfr/common/rng.hpp"
 #include "tfr/msg/convergence.hpp"
 
 namespace tfr::msg {
+
+sim::Duration grow_saturating(sim::Duration value, double growth,
+                              sim::Duration cap) {
+  TFR_REQUIRE(value >= 0);
+  // The saturation point when no cap is configured: far below the
+  // Duration overflow the double -> int64 cast would hit (that cast is
+  // UB out of range), yet far above any meaningful wait.
+  constexpr auto kSaturated = static_cast<sim::Duration>(1) << 62;
+  const sim::Duration limit = cap > 0 ? cap : kSaturated;
+  const double grown = static_cast<double>(value) * growth;
+  // The negated comparison also routes a NaN (growth abuse) to the limit.
+  if (!(grown < static_cast<double>(limit))) return limit;
+  return static_cast<sim::Duration>(grown);
+}
 
 sim::Process abd_server(sim::Env env, Network& net, int node, int n) {
   TFR_REQUIRE(node >= 0 && node < n);
@@ -108,16 +123,34 @@ sim::Task<AbdClient::Quorum> AbdClient::majority(sim::Env env,
     }
   };
 
+  // Adaptive window: derive the first ack-collection window from the
+  // attached controller's current Δ estimate; otherwise the static policy
+  // value.  Either way the per-retry growth/caps below still apply.
+  sim::Duration window = policy_.timeout;
+  if (controller_ != nullptr && policy_.timeout_per_delta > 0) {
+    window = std::max<sim::Duration>(
+        1, static_cast<sim::Duration>(
+               std::ceil(static_cast<double>(controller_->current()) *
+                         policy_.timeout_per_delta)));
+    // max_timeout stays the hard cap no matter what the estimate says.
+    if (policy_.max_timeout > 0 && window > policy_.max_timeout)
+      window = policy_.max_timeout;
+  }
+
+  const sim::Time phase_start = env.now();
   co_await net_->multicast(env, node_, n_, 2 * n_, request);
 
-  if (policy_.timeout == 0) {
+  if (window == 0) {
     // Legacy discipline: the network is reliable, block until a majority
     // answers.  Byte-identical to the pre-hardening client.
     while (acks < needed) absorb(co_await net_->recv(env, node_));
+    if (controller_ != nullptr) {
+      controller_->observe(node_, env.now() - phase_start);
+      controller_->on_clean();
+    }
     co_return quorum;
   }
 
-  sim::Duration window = policy_.timeout;
   sim::Duration pause = policy_.backoff;
   int attempt = 1;
   const bool tracing = env.sim().trace_sink() != nullptr;
@@ -131,9 +164,21 @@ sim::Task<AbdClient::Quorum> AbdClient::majority(sim::Env env,
       if (!m.has_value()) break;  // window expired
       absorb(*m);
     }
-    if (acks >= needed) co_return quorum;
+    if (acks >= needed) {
+      if (controller_ != nullptr && attempt == 1) {
+        // Multicast-to-quorum RTT on this client's channel; a quorum
+        // inside the first window is a clean (timely) phase.  Retried
+        // phases are NOT observed: their "RTT" includes the expired
+        // windows and backoff pauses themselves, so feeding them back
+        // would let the window estimate ratchet itself upward.
+        controller_->observe(node_, env.now() - phase_start);
+        controller_->on_clean();
+      }
+      co_return quorum;
+    }
 
     ++timeouts_;
+    if (controller_ != nullptr) controller_->on_failure();
     if (tracing)
       env.sim().emit({env.now(), env.pid(), obs::EventKind::kTimeout, window,
                       rid, label});
@@ -153,12 +198,10 @@ sim::Task<AbdClient::Quorum> AbdClient::majority(sim::Env env,
     // everyone (including servers that already answered) is always safe.
     co_await net_->multicast(env, node_, n_, 2 * n_, request);
 
-    window = static_cast<sim::Duration>(
-        static_cast<double>(window) * policy_.timeout_growth);
-    if (policy_.max_timeout > 0) window = std::min(window, policy_.max_timeout);
-    pause = static_cast<sim::Duration>(
-        static_cast<double>(pause) * policy_.backoff_growth);
-    if (policy_.max_backoff > 0) pause = std::min(pause, policy_.max_backoff);
+    window = grow_saturating(window, policy_.timeout_growth,
+                             policy_.max_timeout);
+    pause = grow_saturating(pause, policy_.backoff_growth,
+                            policy_.max_backoff);
   }
 }
 

@@ -37,6 +37,7 @@
 #include <map>
 #include <vector>
 
+#include "tfr/adapt/controller.hpp"
 #include "tfr/msg/network.hpp"
 
 namespace tfr::msg {
@@ -65,7 +66,23 @@ struct RetryPolicy {
   sim::Duration max_backoff = 0;  ///< pause cap (0 = uncapped)
   sim::Duration jitter = 0;       ///< max deterministic jitter added to pause
   sim::Duration poll_every = 1;   ///< poll period while waiting for acks
+
+  /// Adaptive timeouts: with a DeltaController attached to the client and
+  /// this factor > 0, each phase's first ack window is
+  /// ceil(controller->current() * timeout_per_delta) instead of `timeout`
+  /// (per-retry growth and the caps still apply on top).  0 keeps the
+  /// static window even when a controller is attached.
+  double timeout_per_delta = 0.0;
 };
+
+/// Exponential growth with a saturation guard: value * growth clamped to
+/// `cap` (0 = no configured cap) and, before the double -> Duration cast,
+/// to a far-below-overflow limit — at high attempt counts the uncapped
+/// legacy arithmetic overflowed sim::Duration, which is UB on the cast and
+/// turned the pause negative.  Monotone: never returns less than a
+/// growth >= 1 input.
+sim::Duration grow_saturating(sim::Duration value, double growth,
+                              sim::Duration cap);
 
 /// The replica role of node `node`: answers ABD requests forever.  Spawn
 /// with endpoint id server(node) = n + node.  Crash it to fault the node.
@@ -89,6 +106,17 @@ class AbdClient {
   /// Attaches a monitor; every subsequent read/write is recorded as an
   /// invoke/response pair for linearizability + convergence checking.
   void set_monitor(ConvergenceMonitor* monitor) { monitor_ = monitor; }
+
+  /// Attaches an adaptive optimistic(Δ) controller: ack windows derive
+  /// from controller->current() (see RetryPolicy::timeout_per_delta),
+  /// every window expiry reports on_failure(), a quorum inside the first
+  /// window reports on_clean(), and each phase's multicast-to-quorum RTT
+  /// is fed to observe() on this client's node channel.  Advisory only —
+  /// ABD linearizability needs no timing assumption at all, so a mistuned
+  /// estimate costs retries, never atomicity.
+  void set_delta_controller(adapt::DeltaController* controller) {
+    controller_ = controller;
+  }
 
   const RetryPolicy& policy() const { return policy_; }
 
@@ -127,6 +155,7 @@ class AbdClient {
   int n_;
   RetryPolicy policy_;
   ConvergenceMonitor* monitor_ = nullptr;
+  adapt::DeltaController* controller_ = nullptr;
   std::int64_t next_rid_ = 1;
   std::uint64_t operations_ = 0;
   std::uint64_t retries_ = 0;

@@ -22,15 +22,22 @@ FischerMutex::FischerMutex(sim::RegisterSpace& space, sim::Duration delta)
 
 sim::Task<void> FischerMutex::enter(sim::Env env, int id) {
   const int me = id + 1;
+  bool first_attempt = true;
   for (;;) {
     for (;;) {  // await (x = 0)
       const int x = co_await env.read(x_);
       if (x == 0) break;
     }
     co_await env.write(x_, me);
-    co_await env.delay(delta_);
+    co_await env.delay(controller_ != nullptr ? controller_->current()
+                                              : delta_);
     const int check = co_await env.read(x_);
-    if (check == me) co_return;
+    if (check == me) {
+      if (controller_ != nullptr && first_attempt) controller_->on_clean();
+      co_return;
+    }
+    first_attempt = false;
+    if (controller_ != nullptr) controller_->on_failure();
   }
 }
 

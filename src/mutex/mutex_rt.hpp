@@ -36,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "tfr/adapt/controller.hpp"
 #include "tfr/common/contracts.hpp"
 #include "tfr/registers/atomic_register.hpp"
 #include "tfr/registers/fault_injector.hpp"
@@ -91,14 +92,20 @@ class BasicFischerRt final : public BasicRtMutex<Atomics> {
 
   void lock(int id) override {
     const int me = id + 1;
+    bool first_attempt = true;
     for (;;) {
       wait_until_changed(events_, [&] { return x_.read() == 0; });  // await (x = 0)
       // The gate's vulnerable window: a stall here longer than Δ is exactly
       // the timing failure that breaks mutual exclusion (§3.1).
       maybe_stall(faults_, "fischer.gate");
       x_.write(me);
-      Atomics::delay(delta_);
-      if (x_.read() == me) return;
+      Atomics::delay(current_delta());
+      if (x_.read() == me) {
+        if (controller_ != nullptr && first_attempt) controller_->on_clean();
+        return;
+      }
+      first_attempt = false;
+      if (controller_ != nullptr) controller_->on_failure();
     }
   }
 
@@ -109,9 +116,25 @@ class BasicFischerRt final : public BasicRtMutex<Atomics> {
 
   std::string name() const override { return "fischer"; }
 
+  /// Attaches an adaptive Δ controller: delay(Δ) waits the controller's
+  /// current estimate, losing the Fischer check reports on_failure() and a
+  /// first-try admission reports on_clean().  Share one controller across
+  /// threads only if it is thread-safe (adapt::AtomicAimd).  NOT advisory
+  /// here: Fischer's ME genuinely depends on the bound, so an optimistic
+  /// estimate makes violations more likely — exactly the exposure
+  /// Algorithm 3 (BasicTfrMutexRt) exists to remove.
+  void set_delta_controller(adapt::DeltaController* controller) {
+    controller_ = controller;
+  }
+
  private:
+  Duration current_delta() const {
+    return controller_ != nullptr ? Duration(controller_->current()) : delta_;
+  }
+
   Duration delta_;
   FaultInjector* faults_;
+  adapt::DeltaController* controller_ = nullptr;
   BasicAtomicRegister<int, Atomics> x_{0};
   BasicEventCount<Atomics> events_;
 };
@@ -385,12 +408,17 @@ class BasicTfrMutexRt final : public BasicRtMutex<Atomics> {
       wait_until_changed(events_, [&] { return x_.read() == 0; });
       maybe_stall(faults_, "fischer.gate");
       x_.write(me);
-      Atomics::delay(delta_);  // delay(Δ) stays a precise busy-wait
+      // delay(Δ) stays a precise busy-wait; with a controller attached the
+      // wait is its current estimate instead of the static bound.
+      Atomics::delay(controller_ != nullptr ? Duration(controller_->current())
+                                            : delta_);
       if (x_.read() == me) break;
       first_attempt = false;
+      if (controller_ != nullptr) controller_->on_failure();
     }
     (first_attempt ? first_try_ : retried_)
         .fetch_add(1, std::memory_order_relaxed);  // mo-ok: statistics counter
+    if (controller_ != nullptr && first_attempt) controller_->on_clean();
     inner_->lock(id);
   }
 
@@ -411,10 +439,22 @@ class BasicTfrMutexRt final : public BasicRtMutex<Atomics> {
     return retried_.load(std::memory_order_relaxed);  // mo-ok: statistic
   }
 
+  /// Attaches an adaptive Δ controller: the Fischer filter's delay waits
+  /// the controller's current estimate, a failed filter check reports
+  /// on_failure() and a first-try admission reports on_clean().  Share one
+  /// controller across threads only if it is thread-safe
+  /// (adapt::AtomicAimd).  Advisory: the inner algorithm A provides mutual
+  /// exclusion under ANY timing, so a mistuned estimate costs retries,
+  /// never safety — the mcheck mistuned-controller scenario verifies this.
+  void set_delta_controller(adapt::DeltaController* controller) {
+    controller_ = controller;
+  }
+
  private:
   Duration delta_;
   std::unique_ptr<BasicRtMutex<Atomics>> inner_;
   FaultInjector* faults_;
+  adapt::DeltaController* controller_ = nullptr;
   BasicAtomicRegister<int, Atomics> x_{0};
   BasicEventCount<Atomics> events_;
   typename Atomics::template counter<std::uint64_t> first_try_{0};

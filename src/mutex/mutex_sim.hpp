@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "tfr/adapt/controller.hpp"
 #include "tfr/sim/register.hpp"
 #include "tfr/sim/simulation.hpp"
 #include "tfr/sim/task.hpp"
@@ -66,8 +67,19 @@ class FischerMutex final : public SimMutex {
 
   sim::Duration delta() const { return delta_; }
 
+  /// Adaptive optimistic(Δ): the gate's delay waits for
+  /// controller->current(); a failed check reports on_failure(), a
+  /// first-try admission on_clean().  NOTE Fischer's mutual exclusion
+  /// genuinely depends on the bound holding — an optimistic estimate makes
+  /// violations *more* likely, which is exactly why the paper wraps the
+  /// filter in Algorithm 3.  Null restores the static delta.
+  void set_delta_controller(adapt::DeltaController* controller) {
+    controller_ = controller;
+  }
+
  private:
   sim::Duration delta_;
+  adapt::DeltaController* controller_ = nullptr;
   sim::Register<int> x_;  ///< 0 = free, else owner id + 1
 };
 
@@ -186,8 +198,19 @@ class TfrMutex final : public SimMutex {
   std::uint64_t first_try_admissions() const { return first_try_; }
   std::uint64_t retried_admissions() const { return retried_; }
 
+  /// Adaptive optimistic(Δ): the filter's delay waits for
+  /// controller->current(); each failed check reports on_failure(), each
+  /// first-try admission on_clean().  Purely advisory — mutual exclusion
+  /// is provided by the inner algorithm A under ANY timing behaviour
+  /// (Theorem 3.1), so a mistuned estimate costs admission retries, never
+  /// safety.  The tfr_mcheck mistuned-controller scenario verifies this.
+  void set_delta_controller(adapt::DeltaController* controller) {
+    controller_ = controller;
+  }
+
  private:
   sim::Duration delta_;
+  adapt::DeltaController* controller_ = nullptr;
   std::unique_ptr<SimMutex> inner_;
   sim::Register<int> x_;  ///< Fischer's register: 0 = free, else id + 1
   std::uint64_t first_try_ = 0;

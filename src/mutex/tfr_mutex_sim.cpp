@@ -38,12 +38,19 @@ sim::Task<void> TfrMutex::enter(sim::Env env, int id) {
       if (x == 0) break;
     }
     co_await env.write(x_, me);
-    co_await env.delay(delta_);
+    co_await env.delay(controller_ != nullptr ? controller_->current()
+                                              : delta_);
     const int check = co_await env.read(x_);
     if (check == me) break;
     first_attempt = false;
+    // A failed check is the filter's timing-failure symptom: someone
+    // overwrote x inside our delay window, so the estimate was too small
+    // (or contention raced us — indistinguishable here, and growing on
+    // contention is what TCP does too).
+    if (controller_ != nullptr) controller_->on_failure();
   }
   (first_attempt ? first_try_ : retried_) += 1;
+  if (controller_ != nullptr && first_attempt) controller_->on_clean();
   co_await inner_->enter(env, id);
 }
 

@@ -68,6 +68,12 @@ class Reader {
     return true;
   }
 
+  bool byte(unsigned char& v) {
+    if (pos_ >= bytes_.size()) return false;
+    v = static_cast<unsigned char>(bytes_[pos_++]);
+    return true;
+  }
+
  private:
   std::string_view bytes_;
   std::size_t pos_ = 0;
@@ -106,6 +112,9 @@ std::unique_ptr<sim::TimingModel> make_timing(const TimingSpec& spec,
       base = std::move(scripted);
       break;
     }
+    case TimingSpec::Kind::kPhased:
+      base = sim::make_phased_timing(spec.phases);
+      break;
   }
   TFR_REQUIRE(base != nullptr);
   if (!spec.has_injector()) return base;
@@ -150,6 +159,17 @@ std::string RecordedRun::to_bytes() const {
     for (sim::Pid pid : timing.schedule)
       put_u32(out, static_cast<std::uint32_t>(pid));
   }
+  if (timing.kind == TimingSpec::Kind::kPhased) {
+    // Drifting distributions carry their regime list; like the scripted
+    // extension, the section is conditional so older layouts parse as-is.
+    put_u32(out, static_cast<std::uint32_t>(timing.phases.size()));
+    for (const sim::TimingPhase& phase : timing.phases) {
+      put_i64(out, phase.start);
+      put_i64(out, phase.lo);
+      put_i64(out, phase.hi);
+      out += static_cast<char>(phase.ramp ? 1 : 0);
+    }
+  }
   put_u64(out, trace.size());
   out += trace;
   return out;
@@ -162,14 +182,14 @@ std::optional<RecordedRun> RecordedRun::from_bytes(std::string_view bytes) {
   }
   Reader reader(bytes.substr(sizeof kRunMagic));
   RecordedRun run;
-  std::string kind_byte;
+  unsigned char kind_byte = 0;
   std::uint32_t window_count = 0;
-  if (!reader.u64(run.seed) || !reader.str(kind_byte, 1) ||
+  if (!reader.u64(run.seed) || !reader.byte(kind_byte) ||
       !reader.i64(run.timing.lo) || !reader.i64(run.timing.hi) ||
       !reader.i64(run.timing.delta) || !reader.u32(window_count)) {
     return std::nullopt;
   }
-  run.timing.kind = static_cast<TimingSpec::Kind>(kind_byte[0]);
+  run.timing.kind = static_cast<TimingSpec::Kind>(kind_byte);
   for (std::uint32_t i = 0; i < window_count; ++i) {
     sim::FailureWindow w;
     std::uint32_t victim_count = 0;
@@ -204,6 +224,20 @@ std::optional<RecordedRun> RecordedRun::from_bytes(std::string_view bytes) {
       std::uint32_t pid = 0;
       if (!reader.u32(pid)) return std::nullopt;
       run.timing.schedule.push_back(static_cast<sim::Pid>(pid));
+    }
+  }
+  if (run.timing.kind == TimingSpec::Kind::kPhased) {
+    std::uint32_t phase_count = 0;
+    if (!reader.u32(phase_count)) return std::nullopt;
+    for (std::uint32_t i = 0; i < phase_count; ++i) {
+      sim::TimingPhase phase;
+      unsigned char ramp_byte = 0;
+      if (!reader.i64(phase.start) || !reader.i64(phase.lo) ||
+          !reader.i64(phase.hi) || !reader.byte(ramp_byte)) {
+        return std::nullopt;
+      }
+      phase.ramp = ramp_byte != 0;
+      run.timing.phases.push_back(phase);
     }
   }
   std::uint64_t trace_len = 0;

@@ -26,16 +26,24 @@
 namespace tfr::obs {
 
 /// Serializable description of a timing model: a base distribution
-/// (fixed or uniform access cost) optionally wrapped in a FailureInjector
-/// with windowed and/or random timing failures — or, for mcheck
-/// counterexamples, a fully scripted execution: per-access costs plus the
-/// tie-break schedule the explorer chose.
+/// (fixed, uniform, or phased/drifting access cost) optionally wrapped in
+/// a FailureInjector with windowed and/or random timing failures — or,
+/// for mcheck counterexamples, a fully scripted execution: per-access
+/// costs plus the tie-break schedule the explorer chose.
 struct TimingSpec {
-  enum class Kind : std::uint8_t { kFixed = 0, kUniform = 1, kScripted = 2 };
+  enum class Kind : std::uint8_t {
+    kFixed = 0,
+    kUniform = 1,
+    kScripted = 2,
+    kPhased = 3,  ///< drifting distribution: regime switches and ramps
+  };
 
   Kind kind = Kind::kFixed;
   sim::Duration lo = 1;  ///< fixed cost, or uniform lower bound
   sim::Duration hi = 1;  ///< uniform upper bound (ignored for kFixed)
+
+  /// kPhased: the drifting step-time regimes (sim::PhasedTiming).
+  std::vector<sim::TimingPhase> phases;
 
   /// Δ of the FailureInjector wrapper; 0 = no wrapper (failure-free).
   sim::Duration delta = 0;

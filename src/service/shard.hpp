@@ -52,6 +52,15 @@ struct ShardConfig {
   sim::Duration drain_hint = 8;    ///< ticks per queued request (retry-after)
   sim::Duration poll_every = 50;   ///< frontend idle poll period
   int data_reg = 1 << 18;          ///< logical register id (above election's)
+
+  /// Adaptive optimistic(Δ): when set, the shard's AbdClients report
+  /// window expiries / clean quorums / phase RTTs to this controller (see
+  /// msg::AbdClient::set_delta_controller), and — with batch_wait_deltas
+  /// > 0 — the frontend retunes the batch deadline each iteration to
+  /// ceil(controller->current() * batch_wait_deltas), so batch latency
+  /// tracks the currently observed step time instead of a static guess.
+  adapt::DeltaController* controller = nullptr;
+  double batch_wait_deltas = 0.0;
 };
 
 class Shard {

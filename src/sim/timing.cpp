@@ -63,6 +63,41 @@ Duration ScriptedTiming::access_cost(Pid pid, Time now, Rng& rng) {
   return base_->access_cost(pid, now, rng);
 }
 
+PhasedTiming::PhasedTiming(std::vector<TimingPhase> phases)
+    : phases_(std::move(phases)) {
+  TFR_REQUIRE(!phases_.empty());
+  TFR_REQUIRE(phases_.front().start == 0);
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    TFR_REQUIRE(phases_[i].lo >= 1);
+    TFR_REQUIRE(phases_[i].hi >= phases_[i].lo);
+    if (i > 0) TFR_REQUIRE(phases_[i].start > phases_[i - 1].start);
+  }
+}
+
+TimingPhase PhasedTiming::phase_at(Time now) const {
+  TFR_REQUIRE(now >= 0);
+  // Last phase whose start is <= now.
+  std::size_t i = phases_.size() - 1;
+  while (phases_[i].start > now) --i;
+  TimingPhase phase = phases_[i];
+  if (phase.ramp && i + 1 < phases_.size()) {
+    // Linear interpolation toward the next phase's bounds over this
+    // phase's span (integer arithmetic keeps replay exact).
+    const TimingPhase& next = phases_[i + 1];
+    const Time span = next.start - phase.start;
+    const Time into = now - phase.start;
+    phase.lo += (next.lo - phase.lo) * into / span;
+    phase.hi += (next.hi - phase.hi) * into / span;
+    if (phase.hi < phase.lo) phase.hi = phase.lo;
+  }
+  return phase;
+}
+
+Duration PhasedTiming::access_cost(Pid, Time now, Rng& rng) {
+  const TimingPhase phase = phase_at(now);
+  return rng.uniform(phase.lo, phase.hi);
+}
+
 bool FailureWindow::applies(Pid pid, Time now) const {
   if (now < begin || now >= end) return false;
   if (victims.empty()) return true;
@@ -173,6 +208,11 @@ std::unique_ptr<TimingModel> make_fixed_timing(Duration cost) {
 
 std::unique_ptr<TimingModel> make_uniform_timing(Duration lo, Duration hi) {
   return std::make_unique<UniformTiming>(lo, hi);
+}
+
+std::unique_ptr<TimingModel> make_phased_timing(
+    std::vector<TimingPhase> phases) {
+  return std::make_unique<PhasedTiming>(std::move(phases));
 }
 
 }  // namespace tfr::sim

@@ -89,6 +89,38 @@ class ScriptedTiming final : public TimingModel {
   std::vector<std::deque<Duration>> scripts_;
 };
 
+/// One regime of a drifting step-time distribution: from `start` on,
+/// access cost is uniform in [lo, hi].  With `ramp` set, lo/hi instead
+/// interpolate linearly across the phase toward the next phase's bounds —
+/// a gradual drift rather than a step change.
+struct TimingPhase {
+  Time start = 0;    ///< regime applies from this instant (inclusive)
+  Duration lo = 1;
+  Duration hi = 1;
+  bool ramp = false; ///< ramp toward the next phase (ignored on the last)
+};
+
+/// Drifting step-time distribution: the environment's speed changes over
+/// virtual time through regime switches and ramps.  The true (pessimistic)
+/// Δ of such an environment is max over phases of hi; the adaptive
+/// optimistic(Δ) controllers (src/adapt/) are benchmarked against exactly
+/// this model — converge after each switch, decay back after recovery.
+class PhasedTiming final : public TimingModel {
+ public:
+  /// Phases must be sorted by start, begin at 0, and each have
+  /// 1 <= lo <= hi.
+  explicit PhasedTiming(std::vector<TimingPhase> phases);
+
+  Duration access_cost(Pid, Time now, Rng& rng) override;
+
+  /// The phase governing instant `now` (bounds already interpolated when
+  /// the phase ramps) — the oracle δ an experiment gates estimates against.
+  TimingPhase phase_at(Time now) const;
+
+ private:
+  std::vector<TimingPhase> phases_;
+};
+
 /// A window of real (virtual) time during which selected processes suffer
 /// timing failures: their accesses cost `stretched` (> Δ) ticks.
 struct FailureWindow {
@@ -196,5 +228,7 @@ class QuantumTiming final : public TimingModel {
 /// Convenience factories for the common models.
 std::unique_ptr<TimingModel> make_fixed_timing(Duration cost);
 std::unique_ptr<TimingModel> make_uniform_timing(Duration lo, Duration hi);
+std::unique_ptr<TimingModel> make_phased_timing(
+    std::vector<TimingPhase> phases);
 
 }  // namespace tfr::sim

@@ -17,7 +17,6 @@
 
 #include "tfr/common/contracts.hpp"
 #include "tfr/core/consensus_rt.hpp"
-#include "tfr/core/delta.hpp"
 #include "tfr/derived/derived_rt.hpp"
 #include "tfr/mutex/lock_adapters.hpp"
 #include "tfr/mutex/mutex_rt.hpp"
@@ -502,58 +501,6 @@ TEST(RtDerived, UniversalQueueSemantics) {
   producer.join();
   consumer.join();
   EXPECT_EQ(dequeued, (std::vector<std::int64_t>{1, 2, 3, 4, 5}));
-}
-
-// --- OptimisticDelta --------------------------------------------------------------------
-
-TEST(OptimisticDeltaTest, GrowsOnRetryShrinksOnStableProgress) {
-  core::OptimisticDelta est({.initial = 8,
-                             .min = 1,
-                             .max = 1024,
-                             .grow_factor = 2.0,
-                             .shrink_step = 1,
-                             .stable_threshold = 3});
-  EXPECT_EQ(est.current(), 8);
-  est.on_retry();
-  EXPECT_EQ(est.current(), 16);
-  est.on_retry();
-  EXPECT_EQ(est.current(), 32);
-  for (int i = 0; i < 3; ++i) est.on_progress();
-  EXPECT_EQ(est.current(), 31);
-  for (int i = 0; i < 2; ++i) est.on_progress();
-  EXPECT_EQ(est.current(), 31);  // threshold not yet reached again
-  est.on_progress();
-  EXPECT_EQ(est.current(), 30);
-}
-
-TEST(OptimisticDeltaTest, RespectsBounds) {
-  core::OptimisticDelta est({.initial = 2,
-                             .min = 2,
-                             .max = 4,
-                             .grow_factor = 10.0,
-                             .shrink_step = 5,
-                             .stable_threshold = 1});
-  est.on_retry();
-  EXPECT_EQ(est.current(), 4);  // capped
-  est.on_retry();
-  EXPECT_EQ(est.current(), 4);
-  est.on_progress();
-  EXPECT_EQ(est.current(), 4);  // shrink below min rejected
-}
-
-TEST(OptimisticDeltaTest, RetryResetsStableRun) {
-  core::OptimisticDelta est({.initial = 10,
-                             .min = 1,
-                             .max = 100,
-                             .grow_factor = 2.0,
-                             .shrink_step = 1,
-                             .stable_threshold = 2});
-  est.on_progress();
-  est.on_retry();       // stable run resets, estimate 20
-  est.on_progress();
-  EXPECT_EQ(est.current(), 20);  // one progress after reset: no shrink yet
-  est.on_progress();
-  EXPECT_EQ(est.current(), 19);
 }
 
 }  // namespace
