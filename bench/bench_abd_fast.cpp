@@ -1,0 +1,485 @@
+// E22 — per-peer timeliness graphs + fast-quorum/fast-read ABD: the
+// TimelinessEstimator's per-channel windows stop collapsing into one
+// global estimate (Delporte-Gallet et al., timeliness graphs), so each
+// server's ack window derives from its own channel and a phase waits only
+// for the timely majority; on top, the Mostéfaoui–Raynal fast read skips
+// the write-back round whenever every quorum ack carries the same tag.
+// Claims under test:
+//   * under a heterogeneous replica mix (one slow box, one lossy box) the
+//     per-peer variants strictly dominate the stock global-window client
+//     on steps/op and p99 — the straggler inflates the global estimate,
+//     so when the lossy replica drops an ack the stock client sits out a
+//     straggler-sized window while the per-peer client retries through
+//     the loss at timely-majority speed;
+//   * the fast read rides the clean path: > 80% of reads skip the
+//     write-back in the clean cell, halving read phases;
+//   * the timeliness graph classifies the slow box as the one straggler
+//     and keeps the timely majority timely;
+//   * none of it costs safety: linearizability holds and violations are
+//     exactly zero in every cell — tfr_mcheck's abd-fast scenario proves
+//     the skip-write-back read exhaustively, and this experiment pins the
+//     exploration counters;
+//   * the Shard seam serves the same heterogeneous mix with the fast
+//     variant at no p99 cost relative to stock (service latency is
+//     batch-dominated; the win is the client-level round count).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "tfr/adapt/controller.hpp"
+#include "tfr/adapt/graph.hpp"
+#include "tfr/mcheck/explorer.hpp"
+#include "tfr/mcheck/scenarios.hpp"
+#include "tfr/msg/abd.hpp"
+#include "tfr/msg/adversary.hpp"
+#include "tfr/msg/convergence.hpp"
+#include "tfr/service/service.hpp"
+
+using namespace tfr;
+
+namespace {
+
+constexpr sim::Duration kStep = 50;  // per-channel access cost bound
+
+/// The E21 adaptive retry discipline: first window = 2.0 x the estimate
+/// (global for stock, per-peer for the graph variants), small backoff.
+msg::RetryPolicy adaptive_policy() {
+  msg::RetryPolicy policy;
+  policy.timeout = 40 * kStep;
+  policy.timeout_growth = 2.0;
+  policy.max_timeout = 320 * kStep;
+  policy.backoff = 2 * kStep;
+  policy.backoff_growth = 2.0;
+  policy.max_backoff = 40 * kStep;
+  policy.jitter = kStep;
+  policy.poll_every = 5;
+  policy.timeout_per_delta = 2.0;
+  return policy;
+}
+
+adapt::TimelinessEstimator::Config estimator_config() {
+  return {.initial = 2 * kStep,
+          .floor = kStep,
+          .ceiling = 320 * kStep,
+          .window = 32,
+          .quantile = 0.9,
+          .headroom = 2.0,
+          .grow_factor = 2.0,
+          .decay_step = kStep,
+          .clean_threshold = 2,
+          .boost_cap = 2.0};
+}
+
+/// The slow box: every message touching the replica is held an extra
+/// [40, 60] steps each way — a straggler, not a crash.  The delay must
+/// dwarf the timely round-trip (~10 steps): the per-peer window (sized
+/// by the majority-th timely estimate, ~40 steps) then expires and
+/// retries through the lossy replica instead of waiting ~100 steps for
+/// the straggler's ack, and the straggler's estimate clears the 4x
+/// classification threshold.
+msg::ChannelFaults slow_faults() {
+  msg::ChannelFaults faults;
+  faults.delay = 1.0;
+  faults.delay_min = 40 * kStep;
+  faults.delay_max = 60 * kStep;
+  return faults;
+}
+
+/// The lossy box: 30% of messages touching the replica vanish.
+msg::ChannelFaults lossy_faults() {
+  msg::ChannelFaults faults;
+  faults.drop = 0.30;
+  return faults;
+}
+
+constexpr int kSlowReplica = 1;
+constexpr int kLossyReplica = 2;
+
+/// Applies `faults` to every channel touching `endpoint`, both directions.
+void fault_endpoint(msg::NetAdversary& adversary, int endpoint, int total,
+                    const msg::ChannelFaults& faults) {
+  for (int other = 0; other < total; ++other) {
+    if (other == endpoint) continue;
+    adversary.set_channel_faults(endpoint, other, faults);
+    adversary.set_channel_faults(other, endpoint, faults);
+  }
+}
+
+// ---------------------------------------------------------- client cell --
+
+struct ClientRun {
+  bool all_done = false;
+  bool linearizable = false;
+  std::uint64_t safety_violations = 0;
+  std::uint64_t operations = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t fast_reads = 0;
+  std::uint64_t fast_read_misses = 0;
+  std::size_t stragglers = 0;   ///< graph classification after the run
+  bool slow_is_straggler = false;
+  Samples op_latency;           ///< per completed op, ticks
+};
+
+sim::Process rw_loop(sim::Env env, msg::AbdClient& client, int reg, int ops,
+                     std::int64_t base, int* finished, Samples* latency) {
+  for (int i = 0; i < ops; ++i) {
+    sim::Time t0 = env.now();
+    co_await client.write(env, reg, base + i);
+    latency->add(static_cast<double>(env.now() - t0));
+    t0 = env.now();
+    co_await client.read(env, reg);
+    latency->add(static_cast<double>(env.now() - t0));
+  }
+  ++*finished;
+}
+
+/// One n=3 run: two clients issuing `ops` write+read pairs each (the
+/// second client is the concurrent writer that can force mixed-tag
+/// quorums), all clients sharing one estimator so per-server channels
+/// pool observations.  `heterogeneous` arms the slow + lossy boxes on the
+/// two non-clean replicas' server endpoints.
+ClientRun run_client(msg::RegisterVariant variant, bool heterogeneous,
+                     int ops, std::uint64_t seed) {
+  adapt::TimelinessEstimator estimator(estimator_config());
+  sim::Simulation s(sim::make_uniform_timing(1, kStep), {.seed = seed});
+  const int n = 3;
+  msg::Network net(s.space(), 2 * n);
+  msg::NetAdversary adversary(0xabdfa57ULL + seed);
+  if (heterogeneous) {
+    fault_endpoint(adversary, n + kSlowReplica, 2 * n, slow_faults());
+    fault_endpoint(adversary, n + kLossyReplica, 2 * n, lossy_faults());
+  }
+  adversary.arm(s);
+  net.set_adversary(&adversary);
+  msg::ConvergenceMonitor monitor;
+  monitor.set_adversary(&adversary);
+
+  ClientRun out;
+  int finished = 0;
+  std::vector<std::unique_ptr<msg::AbdClient>> clients;
+  for (int i = 0; i < 2; ++i) {
+    clients.push_back(
+        std::make_unique<msg::AbdClient>(net, i, n, adaptive_policy()));
+    clients.back()->set_monitor(&monitor);
+    clients.back()->set_delta_controller(&estimator);
+    clients.back()->set_variant(variant);
+  }
+  for (int i = 0; i < 2; ++i) {
+    s.spawn([&clients, &out, &finished, i, ops](sim::Env env) {
+      return rw_loop(env, *clients[static_cast<std::size_t>(i)], 1, ops,
+                     100 * (i + 1), &finished, &out.op_latency);
+    });
+  }
+  for (int i = 0; i < n; ++i) {
+    s.spawn(
+        [&net, i, n](sim::Env env) { return msg::abd_server(env, net, i, n); });
+  }
+  s.run(8'000'000'000, [&] { return finished == 2; });
+
+  out.all_done = finished == 2;
+  out.linearizable = monitor.check().linearizable;
+  out.safety_violations = monitor.safety_violations();
+  for (const auto& c : clients) {
+    out.operations += c->operations();
+    out.retries += c->retries();
+    out.fast_reads += c->fast_reads();
+    out.fast_read_misses += c->fast_read_misses();
+  }
+  const adapt::TimelinessGraph graph(estimator);
+  out.stragglers = graph.stragglers();
+  out.slow_is_straggler =
+      graph.classify(kSlowReplica) == adapt::PeerClass::kStraggler;
+  return out;
+}
+
+const char* variant_label(msg::RegisterVariant variant) {
+  return msg::register_variant_name(variant);
+}
+
+double hit_rate(const ClientRun& run) {
+  const double total =
+      static_cast<double>(run.fast_reads + run.fast_read_misses);
+  return total > 0 ? static_cast<double>(run.fast_reads) / total : 0.0;
+}
+
+// --------------------------------------------------------- service cell --
+
+service::ServiceConfig service_config(msg::RegisterVariant variant,
+                                      adapt::DeltaController* controller) {
+  service::ServiceConfig config;
+  config.shards = 1;
+  config.step = kStep;
+  config.sim_seed = 1;
+  config.shard.replicas = 3;
+  config.shard.delta = kStep;
+  config.shard.abd_retry = adaptive_policy();
+  config.shard.batch.max_batch = 256;
+  config.shard.batch.max_wait = 4 * kStep;
+  config.shard.queue_capacity = 4096;
+  config.shard.drain_hint = 8;
+  config.shard.poll_every = kStep;
+  config.shard.controller = controller;
+  config.shard.batch_wait_deltas = 2.0;
+  config.shard.register_variant = variant;
+  // The heterogeneous mix as replica boxes behind the Shard seam: the
+  // slow and lossy replicas' *server* endpoints only, so the elected
+  // frontend (replica 0) stays clean and the comparison isolates the
+  // register variant.
+  config.shard.replica_faults.push_back(
+      {.replica = kSlowReplica, .faults = slow_faults()});
+  config.shard.replica_faults.push_back(
+      {.replica = kLossyReplica, .faults = lossy_faults()});
+  config.load.sessions = 8'000;
+  config.load.arrivals_per_tick = 0.15;
+  config.load.tick = kStep;
+  config.load.retry = adaptive_policy();
+  config.load.max_attempts = 6;
+  config.load.route_seed = 11;
+  return config;
+}
+
+// ---------------------------------------------------------- mcheck cell --
+
+mcheck::ExploreConfig mcheck_config() {
+  mcheck::ExploreConfig config;
+  config.delta = 2;
+  config.failure_cost = 5;
+  config.max_failures = 0;
+  config.slow_budget = 0;
+  config.max_steps = 600;
+  return config;
+}
+
+}  // namespace
+
+TFR_BENCH_EXPERIMENT(E22, "timeliness graphs + fast quorums (ABD variants)",
+                     bench::Tier::kSmoke,
+                     "per-peer ack windows from timeliness graphs and the "
+                     "Mostefaoui-Raynal fast read: stragglers stop sizing "
+                     "quorum waits, clean reads take one round; safety "
+                     "exhaustively checked") {
+  constexpr int kOps = 120;       // write+read pairs per client per run
+  constexpr std::uint64_t kSeeds = 3;
+  const msg::RegisterVariant kVariants[3] = {
+      msg::RegisterVariant::kStock, msg::RegisterVariant::kPerPeer,
+      msg::RegisterVariant::kPerPeerFastRead};
+
+  // (a) heterogeneous mix: one slow box, one lossy box, three variants.
+  Table het("ABD client, n=3, slow replica (+[40,60] steps each way) + "
+            "lossy replica (30% drop): register variants");
+  het.header({"variant", "completed", "linearizable", "steps/op (mean)",
+              "p99 /step", "p999 /step", "retries/op", "fast-read hit"});
+  ClientRun het_runs[3];
+  std::uint64_t violations_het = 0;
+  for (int v = 0; v < 3; ++v) {
+    ClientRun& agg = het_runs[v];
+    agg.all_done = agg.linearizable = true;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      ClientRun r = run_client(kVariants[v], /*heterogeneous=*/true, kOps,
+                               seed);
+      agg.all_done &= r.all_done;
+      agg.linearizable &= r.linearizable;
+      agg.safety_violations += r.safety_violations;
+      agg.operations += r.operations;
+      agg.retries += r.retries;
+      agg.fast_reads += r.fast_reads;
+      agg.fast_read_misses += r.fast_read_misses;
+      agg.stragglers = std::max(agg.stragglers, r.stragglers);
+      agg.slow_is_straggler |= r.slow_is_straggler;
+      for (double x : r.op_latency.values()) agg.op_latency.add(x);
+    }
+    violations_het += agg.safety_violations;
+    het.row({variant_label(kVariants[v]), agg.all_done ? "yes" : "NO",
+             agg.linearizable ? "yes" : "NO",
+             Table::fmt(agg.op_latency.mean() / static_cast<double>(kStep), 1),
+             Table::fmt(agg.op_latency.percentile(99) /
+                            static_cast<double>(kStep), 1),
+             Table::fmt(agg.op_latency.percentile(99.9) /
+                            static_cast<double>(kStep), 1),
+             Table::fmt(static_cast<double>(agg.retries) /
+                            static_cast<double>(agg.operations), 2),
+             kVariants[v] == msg::RegisterVariant::kPerPeerFastRead
+                 ? Table::fmt(hit_rate(agg), 2)
+                 : "-"});
+  }
+  het.print(rec.out());
+  const auto steps_per_op = [](const ClientRun& run) {
+    return run.op_latency.mean() / static_cast<double>(kStep);
+  };
+  const auto p99_steps = [](const ClientRun& run) {
+    return run.op_latency.percentile(99) / static_cast<double>(kStep);
+  };
+  const auto p999_steps = [](const ClientRun& run) {
+    return run.op_latency.percentile(99.9) / static_cast<double>(kStep);
+  };
+  rec.metric("het.stock.steps_per_op", steps_per_op(het_runs[0]));
+  rec.metric("het.stock.p99_steps", p99_steps(het_runs[0]));
+  rec.metric("het.stock.p999_steps", p999_steps(het_runs[0]));
+  rec.metric("het.per_peer.steps_per_op", steps_per_op(het_runs[1]));
+  rec.metric("het.per_peer.p99_steps", p99_steps(het_runs[1]));
+  rec.metric("het.fast.steps_per_op", steps_per_op(het_runs[2]));
+  rec.metric("het.fast.p99_steps", p99_steps(het_runs[2]));
+  rec.metric("het.fast.p999_steps", p999_steps(het_runs[2]));
+  rec.metric("het.fast.hit_rate", hit_rate(het_runs[2]));
+  rec.expect(het_runs[0].all_done && het_runs[1].all_done &&
+                 het_runs[2].all_done && het_runs[0].linearizable &&
+                 het_runs[1].linearizable && het_runs[2].linearizable,
+             "every variant completes linearizably under the "
+             "heterogeneous mix");
+  rec.expect(steps_per_op(het_runs[2]) < steps_per_op(het_runs[0]) &&
+                 p99_steps(het_runs[2]) < p99_steps(het_runs[0]),
+             "per-peer + fast read strictly dominates stock on steps/op "
+             "and p99 under the heterogeneous mix");
+  rec.expect(steps_per_op(het_runs[1]) < steps_per_op(het_runs[0]),
+             "per-peer windows alone already beat the global window (the "
+             "straggler stops sizing every phase's wait)");
+  rec.expect(het_runs[2].slow_is_straggler && het_runs[2].stragglers == 1,
+             "the timeliness graph classifies exactly the slow box as a "
+             "straggler");
+
+  // (b) clean network: the fast read's common path.
+  Table clean("ABD client, n=3, clean network: fast-read hit rate");
+  clean.header({"variant", "steps/op (mean)", "fast reads", "write-backs",
+                "hit rate"});
+  ClientRun clean_runs[3];
+  std::uint64_t violations_clean = 0;
+  for (int v = 0; v < 3; ++v) {
+    ClientRun& agg = clean_runs[v];
+    agg.all_done = agg.linearizable = true;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      ClientRun r = run_client(kVariants[v], /*heterogeneous=*/false, kOps,
+                               seed);
+      agg.all_done &= r.all_done;
+      agg.linearizable &= r.linearizable;
+      agg.safety_violations += r.safety_violations;
+      agg.operations += r.operations;
+      agg.fast_reads += r.fast_reads;
+      agg.fast_read_misses += r.fast_read_misses;
+      for (double x : r.op_latency.values()) agg.op_latency.add(x);
+    }
+    violations_clean += agg.safety_violations;
+    clean.row({variant_label(kVariants[v]),
+               Table::fmt(agg.op_latency.mean() / static_cast<double>(kStep),
+                          1),
+               Table::fmt(static_cast<unsigned long long>(agg.fast_reads)),
+               Table::fmt(
+                   static_cast<unsigned long long>(agg.fast_read_misses)),
+               kVariants[v] == msg::RegisterVariant::kPerPeerFastRead
+                   ? Table::fmt(hit_rate(agg), 2)
+                   : "-"});
+  }
+  clean.print(rec.out());
+  rec.metric("clean.stock.steps_per_op", steps_per_op(clean_runs[0]));
+  rec.metric("clean.fast.steps_per_op", steps_per_op(clean_runs[2]));
+  rec.metric("clean.fast.hit_rate", hit_rate(clean_runs[2]));
+  rec.expect(clean_runs[0].all_done && clean_runs[2].all_done &&
+                 clean_runs[0].linearizable && clean_runs[2].linearizable,
+             "clean cells complete linearizably");
+  rec.expect(hit_rate(clean_runs[2]) > 0.8,
+             "more than 80% of clean-path reads skip the write-back");
+  rec.expect(steps_per_op(clean_runs[2]) < steps_per_op(clean_runs[0]),
+             "the one-round read shows up as fewer steps/op on a clean "
+             "network");
+
+  // (c) the Shard seam: stock vs fast under the same heterogeneous boxes.
+  adapt::TimelinessEstimator svc_stock_est(estimator_config());
+  adapt::TimelinessEstimator svc_fast_est(estimator_config());
+  const service::ServiceReport svc_stock = service::run_service(
+      service_config(msg::RegisterVariant::kStock, &svc_stock_est));
+  const service::ServiceReport svc_fast = service::run_service(
+      service_config(msg::RegisterVariant::kPerPeerFastRead, &svc_fast_est));
+  Table svc("service: 1 shard x 8k sessions, slow + lossy replica boxes, "
+            "register variant behind the Shard seam");
+  svc.header({"variant", "served", "violations", "abd ops", "fast reads",
+              "p99 /step", "p999 /step"});
+  const service::ServiceReport* reports[2] = {&svc_stock, &svc_fast};
+  const char* names[2] = {"stock", "per_peer_fast"};
+  for (int i = 0; i < 2; ++i) {
+    const service::ServiceReport& r = *reports[i];
+    svc.row({names[i], Table::fmt(static_cast<unsigned long long>(r.served)),
+             Table::fmt(static_cast<unsigned long long>(
+                 r.safety_violations + r.readback_mismatches)),
+             Table::fmt(static_cast<unsigned long long>(r.abd_operations)),
+             Table::fmt(static_cast<unsigned long long>(r.abd_fast_reads)),
+             Table::fmt(r.latency.percentile(99) / static_cast<double>(kStep),
+                        1),
+             Table::fmt(
+                 r.latency.percentile(99.9) / static_cast<double>(kStep),
+                 1)});
+  }
+  svc.print(rec.out());
+  const std::uint64_t violations_svc =
+      svc_stock.safety_violations + svc_stock.readback_mismatches +
+      svc_fast.safety_violations + svc_fast.readback_mismatches;
+  rec.metric("svc.stock.p99_steps",
+             svc_stock.latency.percentile(99) / static_cast<double>(kStep));
+  rec.metric("svc.stock.p999_steps",
+             svc_stock.latency.percentile(99.9) / static_cast<double>(kStep));
+  rec.metric("svc.fast.p99_steps",
+             svc_fast.latency.percentile(99) / static_cast<double>(kStep));
+  rec.metric("svc.fast.p999_steps",
+             svc_fast.latency.percentile(99.9) / static_cast<double>(kStep));
+  rec.metric("svc.fast.fast_reads",
+             static_cast<double>(svc_fast.abd_fast_reads));
+  rec.expect(svc_stock.all_elected && svc_stock.complete() &&
+                 svc_fast.all_elected && svc_fast.complete(),
+             "both service rows serve every session through the "
+             "heterogeneous shard");
+  rec.expect(svc_stock.linearizable && svc_fast.linearizable,
+             "shard histories linearize for both register variants");
+  rec.expect(svc_fast.abd_fast_reads > 0 && svc_stock.abd_fast_reads == 0,
+             "the Shard seam actually switches the register variant");
+  rec.expect(svc_fast.latency.percentile(99) <=
+                 1.05 * svc_stock.latency.percentile(99),
+             "the fast variant costs no service p99 (batch-dominated "
+             "latency, fewer quorum rounds underneath)");
+
+  // (d) exhaustive safety: the mcheck scenario per variant, counters
+  // pinned exactly (deterministic DFS, jobs-parity checked in CI).
+  Table mc("mcheck abd scenario (n=3, one server crashed), per variant");
+  mc.header({"variant", "complete", "violation", "executions", "states"});
+  mcheck::CheckResult mc_results[3];
+  for (int v = 0; v < 3; ++v) {
+    mcheck::AbdScenarioConfig scenario;
+    scenario.variant = kVariants[v];
+    mc_results[v] =
+        mcheck::check(mcheck::make_abd_scenario(scenario), mcheck_config());
+    mc.row({variant_label(kVariants[v]),
+            mc_results[v].stats.complete ? "yes" : "NO",
+            mc_results[v].violation ? "YES" : "no",
+            Table::fmt(static_cast<unsigned long long>(
+                mc_results[v].stats.executions)),
+            Table::fmt(static_cast<unsigned long long>(
+                mc_results[v].stats.states))});
+  }
+  mc.print(rec.out());
+  rec.metric("mcheck.stock.executions",
+             static_cast<double>(mc_results[0].stats.executions));
+  rec.metric("mcheck.stock.states",
+             static_cast<double>(mc_results[0].stats.states));
+  rec.metric("mcheck.fast.executions",
+             static_cast<double>(mc_results[2].stats.executions));
+  rec.metric("mcheck.fast.states",
+             static_cast<double>(mc_results[2].stats.states));
+  rec.expect(mc_results[0].stats.complete && mc_results[1].stats.complete &&
+                 mc_results[2].stats.complete && !mc_results[0].violation &&
+                 !mc_results[1].violation && !mc_results[2].violation,
+             "every variant's schedule space is exhausted with no "
+             "linearizability violation");
+  rec.expect(mc_results[2].stats.executions < mc_results[0].stats.executions,
+             "the one-round read shrinks the fast variant's schedule "
+             "space below stock's");
+
+  // The number the baseline pins exactly: zero safety violations in every
+  // cell of the experiment.
+  rec.metric("violations.total",
+             static_cast<double>(violations_het + violations_clean +
+                                 violations_svc));
+  rec.expect(violations_het + violations_clean + violations_svc == 0,
+             "no safety violation anywhere: per-peer windows and fast "
+             "reads are performance-only");
+}

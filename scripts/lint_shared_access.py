@@ -53,10 +53,13 @@ RT_FILES = (
     "src/mutex/lock_adapters.hpp",
     "src/registers/atomic_register.hpp",
     # Adaptive controllers may be shared by rt threads (AtomicAimd), so
-    # their atomics carry the same annotation discipline.
-    "src/adapt/controller.hpp",
-    "src/adapt/aimd.cpp",
-    "src/adapt/timeliness.cpp",
+    # the whole directory — including the per-channel estimator and the
+    # timeliness graph — carries the same annotation discipline.
+    "src/adapt",
+    # The ABD client consumes a shared DeltaController; keep its use of
+    # the controller surface under the same scrutiny.
+    "src/msg/abd.hpp",
+    "src/msg/abd.cpp",
 )
 RT_EXEMPT = ("src/rt/shim", "src/rt/atomics_policy.hpp")
 RAW_ATOMIC_PATTERN = re.compile(r"std::atomic\s*<|std::atomic_flag")

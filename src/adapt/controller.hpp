@@ -68,6 +68,16 @@ class DeltaController {
   /// a batch deadline should be derived from.  Always >= 1.
   virtual Duration current() const = 0;
 
+  /// The per-channel optimistic(Δ) view: what a wait that only involves
+  /// `channel` (one replica's ack, one peer's step) should be derived
+  /// from.  Policies without per-channel state fall back to the global
+  /// estimate, so consumers may call this unconditionally.  Advisory like
+  /// current(): safety must never depend on it.
+  virtual Duration estimate_for(int channel) const {
+    (void)channel;
+    return current();
+  }
+
   /// Reports a suspected timing failure under the current estimate (a
   /// Fischer check failed, a consensus round retried, an ack window
   /// expired).  The signal means "we were too optimistic".
@@ -211,17 +221,37 @@ class TimelinessEstimator final : public DeltaController {
     /// expiries grow the boost multiplicatively into the ceiling while
     /// every *measured* round trip stays small.
     double boost_cap = 0.0;
+    /// Evicts a channel once it has seen no observation for more than
+    /// evict_after_windows * window observations overall (0 = never
+    /// evict).  Long service runs fold thousands of transient pids into
+    /// channels; without eviction the channel map grows without bound.
+    std::size_t evict_after_windows = 0;
   };
 
   explicit TimelinessEstimator(Config config);
 
   Duration current() const override { return estimate_; }
 
+  /// The per-channel view: headroom x the channel's own windowed quantile
+  /// (clamped to [floor, ceiling]).  A channel with no samples inherits
+  /// the global estimate — cold channels start from the shared picture
+  /// until they have a history of their own.  The failure boost stays
+  /// global on purpose: an expiry cannot name a culprit peer, and
+  /// stragglers teach their own channel through (late) observations.
+  Duration estimate_for(int channel) const override;
+
   /// The windowed quantile of one channel (0 when it has no samples) — the
   /// per-edge weight a timeliness graph would carry.
   Duration channel_quantile(int channel) const;
+
+  /// All (channel, windowed quantile) edges — the raw material a
+  /// TimelinessGraph classifies.  Channels with no samples yet are
+  /// skipped.
+  std::vector<std::pair<int, Duration>> channel_quantiles() const;
+
   std::size_t channels() const { return channels_.size(); }
   Duration boost() const { return boost_; }
+  std::uint64_t evictions() const { return evictions_; }
 
  protected:
   void handle_failure() override;
@@ -233,11 +263,13 @@ class TimelinessEstimator final : public DeltaController {
     std::vector<Duration> samples;  ///< ring buffer of the last N durations
     std::size_t next = 0;           ///< ring cursor
     Duration quantile = 0;          ///< cached windowed quantile
+    std::uint64_t last_seen = 0;    ///< observation count at last sample
   };
 
   Duration clamped(Duration value) const;
   Duration quantile_of(const Channel& ring) const;
   void recompute();
+  void evict_idle();
 
   Config config_;
   std::map<int, Channel> channels_;
@@ -247,6 +279,8 @@ class TimelinessEstimator final : public DeltaController {
   Duration boost_;      ///< failure-driven lower bound on the estimate
   Duration estimate_;   ///< cached: recomputed on every signal/observation
   int clean_run_ = 0;
+  std::uint64_t observed_ = 0;   ///< total observations (eviction clock)
+  std::uint64_t evictions_ = 0;
 };
 
 /// An externally pinned estimate: no adaptation, signals only counted.

@@ -1,0 +1,56 @@
+#include "tfr/adapt/graph.hpp"
+
+#include <algorithm>
+
+#include "tfr/common/contracts.hpp"
+
+namespace tfr::adapt {
+
+TimelinessGraph::TimelinessGraph(const TimelinessEstimator& estimator,
+                                 TimelinessGraphConfig config)
+    : config_(config) {
+  TFR_REQUIRE(config.straggler_factor >= 1.0);
+  for (const auto& [channel, quantile] : estimator.channel_quantiles()) {
+    (void)quantile;
+    edges_.emplace_back(channel, estimator.estimate_for(channel));
+  }
+  if (edges_.empty()) return;
+  // Lower median: with an even count the smaller middle element, so a
+  // straggly half cannot pull the reference to its own side (two peers,
+  // one slow: the fast one is the reference and the slow one classifies
+  // as the straggler, not vice versa).
+  std::vector<Duration> sorted;
+  sorted.reserve(edges_.size());
+  for (const auto& [channel, estimate] : edges_) {
+    (void)channel;
+    sorted.push_back(estimate);
+  }
+  std::sort(sorted.begin(), sorted.end());
+  reference_ = sorted[(sorted.size() - 1) / 2];
+}
+
+Duration TimelinessGraph::estimate(int channel) const {
+  for (const auto& [id, estimate] : edges_) {
+    if (id == channel) return estimate;
+  }
+  return 0;
+}
+
+PeerClass TimelinessGraph::classify(int channel) const {
+  const Duration est = estimate(channel);
+  if (est == 0) return PeerClass::kUnknown;
+  const auto cutoff = static_cast<double>(reference_) * config_.straggler_factor;
+  return static_cast<double>(est) > cutoff ? PeerClass::kStraggler
+                                           : PeerClass::kTimely;
+}
+
+std::size_t TimelinessGraph::stragglers() const {
+  std::size_t count = 0;
+  for (const auto& [channel, estimate] : edges_) {
+    (void)estimate;
+    if (classify(channel) == PeerClass::kStraggler) ++count;
+  }
+  return count;
+}
+
+}  // namespace tfr::adapt

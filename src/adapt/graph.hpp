@@ -1,0 +1,73 @@
+// Timeliness graphs (after Delporte-Gallet et al., "Algorithms For
+// Extracting Timeliness Graphs"): a classification view over the
+// per-channel estimates a TimelinessEstimator maintains.
+//
+// The estimator answers "how long should I wait on channel c?"
+// (estimate_for); the graph answers the qualitative question on top:
+// "which peers are currently timely, and which are stragglers?".  A peer
+// is a straggler when its margined estimate exceeds straggler_factor x
+// the lower median of all known peers' estimates — the median, not the
+// mean, so one extreme straggler cannot drag the reference up and
+// classify itself timely.  Peers with no samples yet are kUnknown and
+// treated as timely by consumers (optimism is safe: every use is
+// advisory, a misclassified peer costs a retry, never correctness).
+//
+// The graph is a cheap immutable snapshot: construct one when a
+// classification is needed (per phase, per report), query it, drop it.
+// Reclassification latency is therefore bounded by the estimator's
+// window: once a degrading peer's slow samples fill its ring, the next
+// snapshot sees the new quantile.
+
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "tfr/adapt/controller.hpp"
+
+namespace tfr::adapt {
+
+/// How far above the peer-group reference a margined estimate may sit
+/// before the peer counts as a straggler.
+struct TimelinessGraphConfig {
+  double straggler_factor = 4.0;
+};
+
+enum class PeerClass {
+  kUnknown,    ///< no samples on this channel yet
+  kTimely,     ///< within straggler_factor x the group reference
+  kStraggler,  ///< beyond it — do not let this peer size a quorum wait
+};
+
+class TimelinessGraph {
+ public:
+  /// Snapshots the estimator's per-channel margined estimates and
+  /// computes the group reference (lower median of the known estimates).
+  explicit TimelinessGraph(const TimelinessEstimator& estimator,
+                           TimelinessGraphConfig config = {});
+
+  PeerClass classify(int channel) const;
+
+  /// kTimely or kUnknown — unknown peers are optimistically timely.
+  bool timely(int channel) const {
+    return classify(channel) != PeerClass::kStraggler;
+  }
+
+  /// The group reference: lower median of the known margined estimates
+  /// (0 when no channel has samples).
+  Duration reference() const { return reference_; }
+
+  /// The margined estimate snapshotted for `channel` (0 when unknown).
+  Duration estimate(int channel) const;
+
+  std::size_t known() const { return edges_.size(); }
+  std::size_t stragglers() const;
+
+ private:
+  TimelinessGraphConfig config_;
+  std::vector<std::pair<int, Duration>> edges_;  ///< (channel, margined est)
+  Duration reference_ = 0;
+};
+
+}  // namespace tfr::adapt

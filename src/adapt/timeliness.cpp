@@ -32,6 +32,24 @@ Duration TimelinessEstimator::channel_quantile(int channel) const {
   return it->second.quantile;
 }
 
+Duration TimelinessEstimator::estimate_for(int channel) const {
+  const auto it = channels_.find(channel);
+  if (it == channels_.end() || it->second.samples.empty()) return estimate_;
+  const auto margined = static_cast<Duration>(std::ceil(
+      static_cast<double>(it->second.quantile) * config_.headroom));
+  return clamped(margined);
+}
+
+std::vector<std::pair<int, Duration>> TimelinessEstimator::channel_quantiles()
+    const {
+  std::vector<std::pair<int, Duration>> edges;
+  edges.reserve(channels_.size());
+  for (const auto& [id, ring] : channels_) {
+    if (!ring.samples.empty()) edges.emplace_back(id, ring.quantile);
+  }
+  return edges;
+}
+
 Duration TimelinessEstimator::quantile_of(const Channel& ring) const {
   if (ring.samples.empty()) return 0;
   std::vector<Duration> sorted = ring.samples;
@@ -56,9 +74,38 @@ void TimelinessEstimator::recompute() {
   estimate_ = clamped(std::max(margined, boost_));
 }
 
+void TimelinessEstimator::evict_idle() {
+  const std::uint64_t horizon =
+      static_cast<std::uint64_t>(config_.evict_after_windows) * config_.window;
+  bool lost_worst = false;
+  for (auto it = channels_.begin(); it != channels_.end();) {
+    if (observed_ - it->second.last_seen > horizon) {
+      lost_worst = lost_worst || it->second.quantile == worst_;
+      it = channels_.erase(it);
+      ++evictions_;
+    } else {
+      ++it;
+    }
+  }
+  if (lost_worst) {
+    worst_ = 0;
+    for (const auto& [id, other] : channels_) {
+      (void)id;
+      worst_ = std::max(worst_, other.quantile);
+    }
+    recompute();
+  }
+}
+
 void TimelinessEstimator::handle_observation(int channel, Duration observed) {
   TFR_REQUIRE(observed >= 0);
+  ++observed_;
+  // Amortised eviction sweep: once per window of observations, so the
+  // per-observation cost stays O(log channels) even with eviction on.
+  if (config_.evict_after_windows > 0 && observed_ % config_.window == 0)
+    evict_idle();
   Channel& ring = channels_[channel];
+  ring.last_seen = observed_;
   if (ring.samples.size() < config_.window) {
     ring.samples.push_back(observed);
   } else {

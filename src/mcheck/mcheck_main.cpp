@@ -93,6 +93,26 @@ NamedCheck abd_check() {
   return check;
 }
 
+NamedCheck abd_fast_check() {
+  NamedCheck check;
+  check.name = "abd-fast-n3-minority-down";
+  check.description =
+      "ABD fast-read register (write-back skipped on uniform tags), n=3, "
+      "one server crashed: reads/writes linearize";
+  mcheck::AbdScenarioConfig scenario;
+  scenario.variant = msg::RegisterVariant::kPerPeerFastRead;
+  check.scenario = mcheck::make_abd_scenario(scenario);
+  check.config = base_config();
+  // Same budget as the stock check: the crash is the fault under
+  // exploration; the fast read must stay linearizable in every schedule,
+  // including the mixed-tag quorums that force the write-back fallback.
+  check.config.max_failures = 0;
+  check.config.slow_budget = 0;
+  check.config.max_steps = 600;
+  check.expect_violation = false;
+  return check;
+}
+
 NamedCheck tfr_mutex_check() {
   NamedCheck check;
   check.name = "tfr-mutex-n2";
@@ -373,6 +393,7 @@ int main(int argc, char** argv) {
       selected.push_back(tfr_mutex_check());
       selected.push_back(mistuned_controller_check());
       selected.push_back(abd_check());
+      selected.push_back(abd_fast_check());
     } else if (arg == "--consensus") {
       selected.push_back(consensus_check());
     } else if (arg == "--fischer") {
@@ -383,6 +404,7 @@ int main(int argc, char** argv) {
       selected.push_back(mistuned_controller_check());
     } else if (arg == "--abd") {
       selected.push_back(abd_check());
+      selected.push_back(abd_fast_check());
     } else if (arg == "--rt") {
       for (NamedCheck& check : rt_checks())
         selected.push_back(std::move(check));
@@ -418,6 +440,7 @@ int main(int argc, char** argv) {
     selected.push_back(fischer_check());
     selected.push_back(tfr_mutex_check());
     selected.push_back(abd_check());
+    selected.push_back(abd_fast_check());
   }
 
   bool ok = true;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "tfr/mcheck/explorer.hpp"
+#include "tfr/msg/abd.hpp"
 #include "tfr/sim/types.hpp"
 
 namespace tfr::mcheck {
@@ -73,6 +74,11 @@ struct AbdScenarioConfig {
   int nodes = 3;
   int crashed_server = 2;  ///< this replica never runs (minority down)
   std::int64_t written = 7;
+  /// Register emulation under test.  kPerPeerFastRead explores the
+  /// skip-write-back read: interleavings where the read quorum sees
+  /// uniform tags take the one-round path, mixed-tag quorums fall back —
+  /// both must linearize in every explored schedule.
+  msg::RegisterVariant variant = msg::RegisterVariant::kStock;
 };
 
 CheckScenario make_abd_scenario(AbdScenarioConfig config = {});

@@ -2,12 +2,44 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "tfr/common/contracts.hpp"
 #include "tfr/common/rng.hpp"
 #include "tfr/msg/convergence.hpp"
 
 namespace tfr::msg {
+
+const char* register_variant_name(RegisterVariant variant) {
+  switch (variant) {
+    case RegisterVariant::kStock: return "stock";
+    case RegisterVariant::kPerPeer: return "per_peer";
+    case RegisterVariant::kPerPeerFastRead: return "per_peer_fast";
+  }
+  TFR_UNREACHABLE("unknown register variant");
+}
+
+sim::Duration per_peer_window(const adapt::DeltaController& controller, int n,
+                              double per_delta, sim::Duration max_timeout,
+                              std::vector<sim::Duration>& scratch) {
+  TFR_REQUIRE(n >= 1);
+  TFR_REQUIRE(per_delta > 0);
+  scratch.clear();
+  for (int s = 0; s < n; ++s) {
+    auto w = static_cast<sim::Duration>(std::ceil(
+        static_cast<double>(controller.estimate_for(s)) * per_delta));
+    w = std::max<sim::Duration>(1, w);
+    if (max_timeout > 0 && w > max_timeout) w = max_timeout;
+    scratch.push_back(w);
+  }
+  // The majority-th smallest (0-based index n/2): long enough for the
+  // fastest majority to answer, indifferent to every straggler above it.
+  const auto k = static_cast<std::size_t>(n / 2);
+  std::nth_element(scratch.begin(),
+                   scratch.begin() + static_cast<std::ptrdiff_t>(k),
+                   scratch.end());
+  return scratch[k];
+}
 
 sim::Duration grow_saturating(sim::Duration value, double growth,
                               sim::Duration cap) {
@@ -92,6 +124,42 @@ const char* AbdClient::phase_name(std::int32_t ack_type) const {
   }
 }
 
+void AbdClient::note_late_ack(const Message& m, sim::Time now) {
+  if (!per_peer_windows()) return;
+  const int server = m.from - n_;
+  if (server < 0 || server >= n_ || server >= 31) return;
+  const std::uint32_t bit = 1u << static_cast<unsigned>(server);
+  for (auto& phase : recent_) {
+    if (phase.rid != m.rid || phase.ack_type != m.type) continue;
+    if ((phase.observed & bit) != 0) return;  // already counted or observed
+    phase.observed |= bit;
+    // The ack answers that phase's first multicast (or a retry of it, in
+    // which case this overestimates — conservative for a straggler), so
+    // now - started is the server's effective round-trip time.  This is
+    // how a straggler's channel learns its true slowness even though it
+    // never makes a quorum.
+    controller_->observe(server, now - phase.started);
+    ++late_observations_;
+    return;
+  }
+}
+
+void AbdClient::emit_estimates(sim::Env& env) {
+  if (controller_ == nullptr) return;
+  if (est_labels_.empty()) {
+    est_labels_.reserve(static_cast<std::size_t>(n_));
+    for (int s = 0; s < n_; ++s) {
+      est_labels_.push_back(
+          env.sim().trace_label("abd.est." + std::to_string(s)));
+    }
+  }
+  for (int s = 0; s < n_; ++s) {
+    env.sim().emit({env.now(), env.pid(), obs::EventKind::kCounter,
+                    controller_->estimate_for(s), 0,
+                    est_labels_[static_cast<std::size_t>(s)]});
+  }
+}
+
 sim::Task<AbdClient::Quorum> AbdClient::majority(sim::Env env,
                                                  Message request,
                                                  std::int32_t ack_type) {
@@ -99,14 +167,20 @@ sim::Task<AbdClient::Quorum> AbdClient::majority(sim::Env env,
   request.rid = rid;
   Quorum quorum;
   int acks = 0;
+  int attempt = 1;
   const int needed = n_ / 2 + 1;
+  const bool per_peer = per_peer_windows();
+  const sim::Time phase_start = env.now();
   // acked[i]: server i already contributed to this quorum — a duplicated
-  // or re-sent ack must not be counted twice.
-  std::vector<char> acked(static_cast<std::size_t>(n_), 0);
+  // or re-sent ack must not be counted twice.  Reused client-owned
+  // scratch: the quorum loop allocates nothing per phase.
+  acked_scratch_.assign(static_cast<std::size_t>(n_), 0);
+  std::vector<char>& acked = acked_scratch_;
 
   auto absorb = [&](const Message& m) {
     if (m.rid != rid || m.type != ack_type) {
       ++stale_acks_;  // old rid, other phase, or foreign traffic
+      note_late_ack(m, env.now());
       return;
     }
     const int server = m.from - n_;
@@ -116,28 +190,55 @@ sim::Task<AbdClient::Quorum> AbdClient::majority(sim::Env env,
       return;
     }
     acked[static_cast<std::size_t>(server)] = 1;
+    if (acks > 0 && m.tag != quorum.max_tag) quorum.tags_uniform = false;
     ++acks;
     if (m.tag > quorum.max_tag) {
       quorum.max_tag = m.tag;
       quorum.value_of_max = m.value;
     }
+    // Per-peer modes learn each server's own first-window round trip;
+    // the global discipline keeps its one multicast-to-quorum sample at
+    // quorum time below.
+    if (per_peer && attempt == 1)
+      controller_->observe(server, env.now() - phase_start);
+  };
+
+  // Remembers this phase in the late-ack ring so a straggler answering
+  // after the quorum closed still teaches its channel (note_late_ack).
+  auto remember = [&] {
+    if (!per_peer || n_ > 31) return;
+    std::uint32_t observed = 0;
+    for (int s = 0; s < n_; ++s) {
+      if (acked[static_cast<std::size_t>(s)] != 0)
+        observed |= 1u << static_cast<unsigned>(s);
+    }
+    recent_[recent_next_] = {rid, ack_type, phase_start, observed};
+    recent_next_ = (recent_next_ + 1) % kRecentPhases;
   };
 
   // Adaptive window: derive the first ack-collection window from the
-  // attached controller's current Δ estimate; otherwise the static policy
-  // value.  Either way the per-retry growth/caps below still apply.
+  // attached controller's current Δ estimate — globally (stock) or from
+  // the per-server channel estimates (per-peer variants); otherwise the
+  // static policy value.  Either way the per-retry growth/caps below
+  // still apply.
   sim::Duration window = policy_.timeout;
   if (controller_ != nullptr && policy_.timeout_per_delta > 0) {
-    window = std::max<sim::Duration>(
-        1, static_cast<sim::Duration>(
-               std::ceil(static_cast<double>(controller_->current()) *
-                         policy_.timeout_per_delta)));
-    // max_timeout stays the hard cap no matter what the estimate says.
-    if (policy_.max_timeout > 0 && window > policy_.max_timeout)
-      window = policy_.max_timeout;
+    if (per_peer) {
+      window = per_peer_window(*controller_, n_, policy_.timeout_per_delta,
+                               policy_.max_timeout, window_scratch_);
+    } else {
+      window = std::max<sim::Duration>(
+          1, static_cast<sim::Duration>(
+                 std::ceil(static_cast<double>(controller_->current()) *
+                           policy_.timeout_per_delta)));
+      // max_timeout stays the hard cap no matter what the estimate says.
+      if (policy_.max_timeout > 0 && window > policy_.max_timeout)
+        window = policy_.max_timeout;
+    }
   }
 
-  const sim::Time phase_start = env.now();
+  const bool tracing = env.sim().trace_sink() != nullptr;
+  if (per_peer && tracing) emit_estimates(env);
   co_await net_->multicast(env, node_, n_, 2 * n_, request);
 
   if (window == 0) {
@@ -152,8 +253,6 @@ sim::Task<AbdClient::Quorum> AbdClient::majority(sim::Env env,
   }
 
   sim::Duration pause = policy_.backoff;
-  int attempt = 1;
-  const bool tracing = env.sim().trace_sink() != nullptr;
   const std::uint32_t label =
       tracing ? env.sim().trace_label(phase_name(ack_type)) : 0;
   for (;;) {
@@ -170,10 +269,12 @@ sim::Task<AbdClient::Quorum> AbdClient::majority(sim::Env env,
         // inside the first window is a clean (timely) phase.  Retried
         // phases are NOT observed: their "RTT" includes the expired
         // windows and backoff pauses themselves, so feeding them back
-        // would let the window estimate ratchet itself upward.
-        controller_->observe(node_, env.now() - phase_start);
+        // would let the window estimate ratchet itself upward.  (Per-peer
+        // modes observed each server in absorb instead.)
+        if (!per_peer) controller_->observe(node_, env.now() - phase_start);
         controller_->on_clean();
       }
+      remember();
       co_return quorum;
     }
 
@@ -235,14 +336,40 @@ sim::Task<std::int64_t> AbdClient::read(sim::Env env, int reg) {
   query.type = kReadReq;
   query.reg = reg;
   const Quorum seen = co_await majority(env, query, kReadAck);
-  // Phase 2 (write-back): install the adopted pair at a majority so every
-  // later read sees at least this tag — atomicity, not just regularity.
-  Message store;
-  store.type = kWriteReq;
-  store.reg = reg;
-  store.tag = seen.max_tag;
-  store.value = seen.value_of_max;
-  co_await majority(env, store, kWriteAck);
+  // Fast read (Mostéfaoui–Raynal): every ack of the quorum carried the
+  // same tag, so that tag is already stored at a majority (server tags
+  // are monotone) and any later quorum intersects it — the write-back
+  // round adds nothing and is skipped.  One disagreeing ack (a
+  // concurrent write landed at part of the quorum) and the two-round
+  // discipline below stays the linearizability-preserving default.
+  const bool fast =
+      variant_ == RegisterVariant::kPerPeerFastRead && seen.tags_uniform;
+  if (variant_ == RegisterVariant::kPerPeerFastRead) {
+    if (fast) {
+      ++fast_reads_;
+    } else {
+      ++fast_read_misses_;
+    }
+    if (env.sim().trace_sink() != nullptr) {
+      if (fast_label_ == 0)
+        fast_label_ = env.sim().trace_label("abd.fast_reads");
+      env.sim().emit({env.now(), env.pid(), obs::EventKind::kCounter,
+                      static_cast<std::int64_t>(fast_reads_),
+                      static_cast<std::int64_t>(fast_read_misses_),
+                      fast_label_});
+    }
+  }
+  if (!fast) {
+    // Phase 2 (write-back): install the adopted pair at a majority so
+    // every later read sees at least this tag — atomicity, not just
+    // regularity.
+    Message store;
+    store.type = kWriteReq;
+    store.reg = reg;
+    store.tag = seen.max_tag;
+    store.value = seen.value_of_max;
+    co_await majority(env, store, kWriteAck);
+  }
   ++operations_;
   if (monitor_ != nullptr)
     monitor_->on_response(token, seen.value_of_max, env.now());

@@ -54,6 +54,28 @@ enum AbdMessageType : std::int32_t {
   kReadAck = 6,  ///< <- server: my (tag, value)
 };
 
+/// Which register emulation an AbdClient runs.  All three are
+/// linearizable under arbitrary timing behaviour — the variants differ
+/// only in how long they wait and how many rounds a read takes, never in
+/// what they guarantee (tfr_mcheck --abd verifies both read disciplines
+/// exhaustively).
+enum class RegisterVariant : std::int32_t {
+  /// Global ack windows (controller->current()), two-round reads.
+  kStock = 0,
+  /// Per-peer ack windows: each server's window derives from its own
+  /// channel estimate (controller->estimate_for(server)); the phase's
+  /// first window is the majority-th smallest, so a straggler never
+  /// stretches the wait for a quorum the timely majority can fill.
+  kPerPeer = 1,
+  /// Per-peer windows + the Mostéfaoui–Raynal fast read: when every ack
+  /// of the read quorum carries the same tag, that tag is already stored
+  /// at a majority and the write-back round is skipped — a one-round
+  /// read on the common path.  Tags disagree -> the stock two-round read.
+  kPerPeerFastRead = 2,
+};
+
+const char* register_variant_name(RegisterVariant variant);
+
 /// Retry/backoff discipline for one majority phase.  The zero-initialised
 /// policy (timeout 0) reproduces the legacy behaviour exactly: multicast
 /// once and block until a majority answers.
@@ -83,6 +105,16 @@ struct RetryPolicy {
 /// growth >= 1 input.
 sim::Duration grow_saturating(sim::Duration value, double growth,
                               sim::Duration cap);
+
+/// The per-peer first ack window for one majority phase over `n` servers:
+/// server s would need w_s = ceil(estimate_for(s) * per_delta), and a
+/// quorum only needs the fastest majority of servers, so the phase waits
+/// the majority-th smallest w_s — stragglers never size the window.
+/// Clamped to [1, max_timeout] (max_timeout 0 = uncapped).  `scratch` is
+/// caller-owned storage so the hot path allocates nothing.
+sim::Duration per_peer_window(const adapt::DeltaController& controller, int n,
+                              double per_delta, sim::Duration max_timeout,
+                              std::vector<sim::Duration>& scratch);
 
 /// The replica role of node `node`: answers ABD requests forever.  Spawn
 /// with endpoint id server(node) = n + node.  Crash it to fault the node.
@@ -118,6 +150,11 @@ class AbdClient {
     controller_ = controller;
   }
 
+  /// Selects the register emulation (default kStock).  Safe to switch
+  /// between operations; switching mid-operation is not supported.
+  void set_variant(RegisterVariant variant) { variant_ = variant; }
+  RegisterVariant variant() const { return variant_; }
+
   const RetryPolicy& policy() const { return policy_; }
 
   std::uint64_t operations() const { return operations_; }
@@ -125,11 +162,30 @@ class AbdClient {
   std::uint64_t timeouts() const { return timeouts_; }
   std::uint64_t duplicate_acks() const { return duplicate_acks_; }
   std::uint64_t stale_acks() const { return stale_acks_; }
+  /// Reads that skipped the write-back round (kPerPeerFastRead only).
+  std::uint64_t fast_reads() const { return fast_reads_; }
+  /// Fast-variant reads that saw disagreeing tags and fell back to the
+  /// two-round discipline.
+  std::uint64_t fast_read_misses() const { return fast_read_misses_; }
+  /// Stale acks matched to a recently completed phase and fed back to the
+  /// controller as late per-peer RTT observations (per-peer modes only).
+  std::uint64_t late_observations() const { return late_observations_; }
 
  private:
   struct Quorum {
     std::int64_t max_tag = 0;
     std::int64_t value_of_max = 0;
+    bool tags_uniform = true;  ///< every counted ack carried the same tag
+  };
+
+  /// A recently completed majority phase, kept so a straggler's ack that
+  /// arrives after the quorum closed can still teach the controller that
+  /// server's true round-trip time (per-peer modes).
+  struct RecentPhase {
+    std::int64_t rid = 0;
+    std::int32_t ack_type = 0;
+    sim::Time started = 0;         ///< first multicast of the phase
+    std::uint32_t observed = ~0u;  ///< servers already counted/observed
   };
 
   /// Multicasts `request` to all servers and collects a majority of acks
@@ -150,18 +206,48 @@ class AbdClient {
 
   const char* phase_name(std::int32_t ack_type) const;
 
+  /// True when ack windows derive from per-server channel estimates.
+  bool per_peer_windows() const {
+    return variant_ != RegisterVariant::kStock && controller_ != nullptr &&
+           policy_.timeout_per_delta > 0;
+  }
+
+  /// Matches a stale ack against the recent-phase ring and feeds the
+  /// server's late RTT to the controller (per-peer modes only).
+  void note_late_ack(const Message& m, sim::Time now);
+
+  /// Emits the per-peer estimate counter tracks (`abd.est.<peer>`) when
+  /// tracing; label ids are interned once and cached.
+  void emit_estimates(sim::Env& env);
+
   Network* net_;
   int node_;
   int n_;
   RetryPolicy policy_;
   ConvergenceMonitor* monitor_ = nullptr;
   adapt::DeltaController* controller_ = nullptr;
+  RegisterVariant variant_ = RegisterVariant::kStock;
   std::int64_t next_rid_ = 1;
   std::uint64_t operations_ = 0;
   std::uint64_t retries_ = 0;
   std::uint64_t timeouts_ = 0;
   std::uint64_t duplicate_acks_ = 0;
   std::uint64_t stale_acks_ = 0;
+  std::uint64_t fast_reads_ = 0;
+  std::uint64_t fast_read_misses_ = 0;
+  std::uint64_t late_observations_ = 0;
+  /// Per-phase ack-dedup scratch, reused so the quorum loop allocates
+  /// nothing per phase (sized n_ once, reset with assign()).
+  std::vector<char> acked_scratch_;
+  /// Scratch for per_peer_window's order statistic, same reuse story.
+  std::vector<sim::Duration> window_scratch_;
+  /// Ring of recently completed phases for late-ack attribution.
+  static constexpr std::size_t kRecentPhases = 4;
+  RecentPhase recent_[kRecentPhases];
+  std::size_t recent_next_ = 0;
+  /// Cached interned labels for the abd.est.<peer> counter tracks.
+  std::vector<std::uint32_t> est_labels_;
+  std::uint32_t fast_label_ = 0;
 };
 
 }  // namespace tfr::msg

@@ -81,6 +81,8 @@ ServiceReport run_service(const ServiceConfig& config) {
     report.deadline_flushes += shard->deadline_flushes();
     report.abd_operations += shard->abd_operations();
     report.abd_retries += shard->abd_retries();
+    report.abd_fast_reads += shard->abd_fast_reads();
+    report.abd_fast_read_misses += shard->abd_fast_read_misses();
     report.readback_mismatches += shard->readback_mismatches();
     report.finished_at = std::max(report.finished_at, shard->last_served_at());
     const msg::ConvergenceMonitor::Report check = shard->monitor().check();

@@ -81,6 +81,8 @@ struct ServiceReport {
   std::uint64_t deadline_flushes = 0;
   std::uint64_t abd_operations = 0;
   std::uint64_t abd_retries = 0;
+  std::uint64_t abd_fast_reads = 0;
+  std::uint64_t abd_fast_read_misses = 0;
   std::uint64_t readback_mismatches = 0;
 
   // Safety / convergence (aggregated over every shard's monitor).

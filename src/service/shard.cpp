@@ -24,7 +24,25 @@ Shard::Shard(sim::Simulation& sim, ShardConfig config)
     clients_.back()->set_monitor(&monitor_);
     if (cfg_.controller != nullptr)
       clients_.back()->set_delta_controller(cfg_.controller);
+    clients_.back()->set_variant(cfg_.register_variant);
   }
+  // Heterogeneous replicas: the configured faults cover every channel
+  // touching the replica's client and server endpoints, both directions —
+  // the replica is slow/lossy as a box, not per edge.
+  for (const auto& rf : cfg_.replica_faults) {
+    for (const int endpoint : {rf.replica, n + rf.replica}) {
+      for (int other = 0; other < 2 * n; ++other) {
+        if (other == endpoint) continue;
+        adversary_.set_channel_faults(endpoint, other, rf.faults);
+        adversary_.set_channel_faults(other, endpoint, rf.faults);
+      }
+    }
+  }
+}
+
+void Shard::set_register_variant(msg::RegisterVariant variant) {
+  cfg_.register_variant = variant;
+  for (const auto& c : clients_) c->set_variant(variant);
 }
 
 void Shard::spawn(ServedFn on_served) {
@@ -117,6 +135,18 @@ std::uint64_t Shard::abd_retries() const {
 std::uint64_t Shard::abd_operations() const {
   std::uint64_t total = 0;
   for (const auto& c : clients_) total += c->operations();
+  return total;
+}
+
+std::uint64_t Shard::abd_fast_reads() const {
+  std::uint64_t total = 0;
+  for (const auto& c : clients_) total += c->fast_reads();
+  return total;
+}
+
+std::uint64_t Shard::abd_fast_read_misses() const {
+  std::uint64_t total = 0;
+  for (const auto& c : clients_) total += c->fast_read_misses();
   return total;
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "tfr/adapt/controller.hpp"
+#include "tfr/adapt/graph.hpp"
 #include "tfr/adapt/observe.hpp"
 #include "tfr/core/consensus_sim.hpp"
 #include "tfr/msg/abd.hpp"
@@ -212,6 +213,118 @@ TEST(TimelinessEstimatorTest, EstimateStaysInsideTheClamp) {
   EXPECT_EQ(est.current(), 50);  // 2 x 1000 clamped to the ceiling
   for (int i = 0; i < 20; ++i) est.on_failure();
   EXPECT_EQ(est.current(), 50);
+}
+
+TEST(TimelinessEstimatorTest, PerChannelViewIsolatesChannelsFromEachOther) {
+  adapt::TimelinessEstimator est(estimator_config());
+  EXPECT_EQ(est.estimate_for(0), 4);  // no samples anywhere: the initial
+  est.observe(0, 5);
+  est.observe(1, 30);
+  EXPECT_EQ(est.estimate_for(0), 10);  // headroom x its own quantile
+  EXPECT_EQ(est.estimate_for(1), 60);
+  EXPECT_EQ(est.current(), 60);        // the global view: the worst channel
+  EXPECT_EQ(est.estimate_for(7), 60);  // cold channel inherits the global
+}
+
+TEST(TimelinessEstimatorTest, FailureBoostStaysOutOfPerChannelViews) {
+  adapt::TimelinessEstimator est(estimator_config());
+  est.observe(0, 5);
+  est.observe(1, 30);
+  for (int i = 0; i < 4; ++i) est.on_failure();
+  EXPECT_GT(est.current(), 60);  // the boost floor raised the global view
+  // An expiry cannot name a culprit peer, so measured channels keep their
+  // observation-driven view; only cold channels see the boosted global.
+  EXPECT_EQ(est.estimate_for(0), 10);
+  EXPECT_EQ(est.estimate_for(1), 60);
+  EXPECT_EQ(est.estimate_for(7), est.current());
+}
+
+TEST(TimelinessEstimatorTest, IdleChannelsAreEvictedAndTheWorstRescanned) {
+  auto config = estimator_config();
+  config.evict_after_windows = 1;  // idle > one window of observations
+  adapt::TimelinessEstimator est(config);
+  est.observe(0, 50);  // the worst channel... which then goes silent
+  for (int i = 0; i < 6; ++i) est.observe(1, 5);
+  EXPECT_EQ(est.channels(), 2u);  // still within the idle horizon
+  EXPECT_EQ(est.current(), 100);  // the stale channel still sizes the max
+  est.observe(1, 5);              // the window-boundary sweep fires
+  EXPECT_EQ(est.channels(), 1u);
+  EXPECT_EQ(est.evictions(), 1u);
+  EXPECT_EQ(est.current(), 10);  // the worst was rescanned off the evictee
+  EXPECT_EQ(est.estimate_for(0), 10);  // evicted: back to the global view
+}
+
+TEST(TimelinessEstimatorTest, EvictionIsOffByDefault) {
+  adapt::TimelinessEstimator est(estimator_config());
+  est.observe(0, 50);
+  for (int i = 0; i < 100; ++i) est.observe(1, 5);
+  EXPECT_EQ(est.channels(), 2u);
+  EXPECT_EQ(est.evictions(), 0u);
+  EXPECT_EQ(est.current(), 100);
+}
+
+// --- TimelinessGraph --------------------------------------------------------
+
+TEST(TimelinessGraphTest, ClassifiesStragglersAgainstTheLowerMedian) {
+  adapt::TimelinessEstimator est(estimator_config());
+  est.observe(0, 5);    // margined estimate 10
+  est.observe(1, 6);    // 12
+  est.observe(2, 100);  // 200
+  const adapt::TimelinessGraph graph(est);
+  EXPECT_EQ(graph.known(), 3u);
+  EXPECT_EQ(graph.reference(), 12);  // lower median of {10, 12, 200}
+  EXPECT_EQ(graph.classify(0), adapt::PeerClass::kTimely);
+  EXPECT_EQ(graph.classify(1), adapt::PeerClass::kTimely);
+  EXPECT_EQ(graph.classify(2), adapt::PeerClass::kStraggler);  // > 4 x 12
+  EXPECT_EQ(graph.stragglers(), 1u);
+  EXPECT_EQ(graph.estimate(2), 200);
+}
+
+TEST(TimelinessGraphTest, UnknownPeersAreOptimisticallyTimely) {
+  adapt::TimelinessEstimator est(estimator_config());
+  const adapt::TimelinessGraph empty(est);
+  EXPECT_EQ(empty.known(), 0u);
+  EXPECT_EQ(empty.reference(), 0);
+  EXPECT_EQ(empty.classify(3), adapt::PeerClass::kUnknown);
+  EXPECT_TRUE(empty.timely(3));
+
+  est.observe(0, 5);
+  const adapt::TimelinessGraph one(est);
+  EXPECT_EQ(one.classify(9), adapt::PeerClass::kUnknown);  // never sampled
+  EXPECT_TRUE(one.timely(9));
+  EXPECT_EQ(one.estimate(9), 0);
+}
+
+TEST(TimelinessGraphTest, TwoPeersOneSlowTheSlowOneIsTheStraggler) {
+  // Even count: the lower median keeps the fast peer as the reference, so
+  // the slow half cannot drag the reference up and classify itself timely.
+  adapt::TimelinessEstimator est(estimator_config());
+  est.observe(0, 5);
+  est.observe(1, 100);
+  const adapt::TimelinessGraph graph(est);
+  EXPECT_EQ(graph.reference(), 10);
+  EXPECT_EQ(graph.classify(0), adapt::PeerClass::kTimely);
+  EXPECT_EQ(graph.classify(1), adapt::PeerClass::kStraggler);
+}
+
+TEST(TimelinessGraphTest, RecoveredStragglerReclassifiesWithinOneWindow) {
+  // The straggler-flip regression: a peer that was slow and turns fast
+  // must classify timely as soon as its ring rolls over — the very next
+  // snapshot, not some decayed average many windows later.
+  adapt::TimelinessEstimator est(estimator_config());  // window 4
+  est.observe(0, 5);
+  est.observe(1, 6);
+  for (int i = 0; i < 4; ++i) est.observe(2, 100);
+  EXPECT_EQ(adapt::TimelinessGraph(est).classify(2),
+            adapt::PeerClass::kStraggler);
+  for (int i = 0; i < 4; ++i) est.observe(2, 6);  // one full fast window
+  const adapt::TimelinessGraph after(est);
+  EXPECT_EQ(after.classify(2), adapt::PeerClass::kTimely);
+  EXPECT_EQ(after.stragglers(), 0u);
+  // And the flip the other way: a degrading peer is caught as fast.
+  for (int i = 0; i < 4; ++i) est.observe(0, 400);
+  EXPECT_EQ(adapt::TimelinessGraph(est).classify(0),
+            adapt::PeerClass::kStraggler);
 }
 
 // --- ManualDelta ------------------------------------------------------------

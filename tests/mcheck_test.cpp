@@ -292,6 +292,41 @@ TEST(McheckParallel, AbdMatchesSerial) {
   expect_parallel_equivalent(mcheck::make_abd_scenario({}), config);
 }
 
+// The fast-read ABD variant: the one-round read prunes the schedule tree
+// (no write-back round on uniform-tag quorums), and the pruned tree must
+// still partition deterministically across workers.
+TEST(McheckParallel, AbdFastReadMatchesSerial) {
+  mcheck::ExploreConfig config = small_config();
+  config.max_failures = 0;
+  config.slow_budget = 0;
+  config.max_steps = 600;
+  mcheck::AbdScenarioConfig scenario;
+  scenario.variant = msg::RegisterVariant::kPerPeerFastRead;
+  expect_parallel_equivalent(mcheck::make_abd_scenario(scenario), config);
+}
+
+// Every explored schedule of the fast-read variant linearizes, the space
+// is exhausted, and it is strictly smaller than stock's (the skipped
+// write-back removes interleavings, never adds verdicts).
+TEST(McheckParallel, AbdFastReadShrinksTheScheduleSpace) {
+  mcheck::ExploreConfig config = small_config();
+  config.max_failures = 0;
+  config.slow_budget = 0;
+  config.max_steps = 600;
+  config.jobs = 1;
+  const mcheck::CheckResult stock =
+      mcheck::check(mcheck::make_abd_scenario({}), config);
+  mcheck::AbdScenarioConfig fast_scenario;
+  fast_scenario.variant = msg::RegisterVariant::kPerPeerFastRead;
+  const mcheck::CheckResult fast =
+      mcheck::check(mcheck::make_abd_scenario(fast_scenario), config);
+  EXPECT_FALSE(stock.violation);
+  EXPECT_FALSE(fast.violation);
+  EXPECT_TRUE(stock.stats.complete);
+  EXPECT_TRUE(fast.stats.complete);
+  EXPECT_LT(fast.stats.executions, stock.stats.executions);
+}
+
 // The frontier depth only changes how work is partitioned, never what is
 // counted: extreme depths (1 = a handful of huge subtrees, 64 = every
 // probe ends as a short-leaf singleton item) must all reproduce the

@@ -696,6 +696,291 @@ TEST(NetAdversaryTest, MsgConsensusCompletesUnderAcceptanceFaultMix) {
   }
 }
 
+// --- Register variants: per-peer windows + the fast read ---------------------
+
+adapt::TimelinessEstimator::Config variant_estimator_config() {
+  return {.initial = 2 * kDelta,
+          .floor = kDelta,
+          .ceiling = 320 * kDelta,
+          .window = 32,
+          .quantile = 0.9,
+          .headroom = 2.0,
+          .grow_factor = 2.0,
+          .decay_step = kDelta,
+          .clean_threshold = 2,
+          .boost_cap = 2.0};
+}
+
+TEST(AbdVariants, PerPeerWindowIsTheMajorityThSmallest) {
+  adapt::TimelinessEstimator est({.initial = 4,
+                                  .floor = 1,
+                                  .ceiling = 1000,
+                                  .window = 4,
+                                  .quantile = 1.0,
+                                  .headroom = 2.0,
+                                  .grow_factor = 2.0,
+                                  .decay_step = 1,
+                                  .clean_threshold = 2});
+  est.observe(0, 5);    // margined estimate 10
+  est.observe(1, 8);    // 16
+  est.observe(2, 100);  // 200: the straggler
+  std::vector<Duration> scratch;
+  // n=3 needs 2 acks: wait the 2nd-smallest window, never the straggler's.
+  EXPECT_EQ(per_peer_window(est, 3, 1.0, 0, scratch), 16);
+  EXPECT_EQ(per_peer_window(est, 3, 2.0, 0, scratch), 32);  // scaled per w_s
+  EXPECT_EQ(per_peer_window(est, 3, 2.0, 20, scratch), 20);  // cap clamps
+  // A lone server: its own window, nothing to take a majority over.
+  EXPECT_EQ(per_peer_window(est, 1, 1.0, 0, scratch), 10);
+}
+
+sim::Process variant_write_then_reads(sim::Env env, AbdClient& client,
+                                      int reads,
+                                      std::vector<std::int64_t>& got,
+                                      int* done) {
+  co_await client.write(env, /*reg=*/3, 7);
+  for (int i = 0; i < reads; ++i) got.push_back(co_await client.read(env, 3));
+  ++*done;
+}
+
+TEST(AbdVariants, FastReadSkipsTheWriteBackOnACleanNetwork) {
+  sim::Simulation s(make_uniform_timing(1, kDelta), {.seed = 2});
+  const int n = 3;
+  Network net(s.space(), 2 * n);
+  ConvergenceMonitor monitor;
+  AbdClient client(net, 0, n);
+  client.set_monitor(&monitor);
+  client.set_variant(RegisterVariant::kPerPeerFastRead);
+  std::vector<std::int64_t> got;
+  int done = 0;
+  s.spawn([&client, &got, &done](sim::Env env) {
+    return variant_write_then_reads(env, client, 10, got, &done);
+  });
+  for (int i = 1; i < n; ++i) {
+    s.spawn([](sim::Env env) -> sim::Process { co_await env.delay(1); });
+  }
+  spawn_servers(s, net, n);
+  s.run(10'000'000, [&] { return done == 1; });
+  ASSERT_EQ(done, 1);
+  for (std::int64_t v : got) EXPECT_EQ(v, 7);
+  // Every fast-variant read is accounted one way or the other, and the
+  // clean network makes the one-round path the common case.
+  EXPECT_EQ(client.fast_reads() + client.fast_read_misses(), 10u);
+  EXPECT_GE(client.fast_reads(), 5u);
+  EXPECT_TRUE(monitor.check().linearizable);
+}
+
+TEST(AbdVariants, StockClientNeverCountsFastReads) {
+  sim::Simulation s(make_uniform_timing(1, kDelta), {.seed = 2});
+  const int n = 3;
+  Network net(s.space(), 2 * n);
+  AbdClient client(net, 0, n);  // default kStock
+  std::vector<std::int64_t> got;
+  int done = 0;
+  s.spawn([&client, &got, &done](sim::Env env) {
+    return variant_write_then_reads(env, client, 5, got, &done);
+  });
+  for (int i = 1; i < n; ++i) {
+    s.spawn([](sim::Env env) -> sim::Process { co_await env.delay(1); });
+  }
+  spawn_servers(s, net, n);
+  s.run(10'000'000, [&] { return done == 1; });
+  ASSERT_EQ(done, 1);
+  EXPECT_EQ(client.fast_reads(), 0u);
+  EXPECT_EQ(client.fast_read_misses(), 0u);
+}
+
+/// Plants a higher-tagged value at ONE replica — the footprint of a
+/// writer that crashed mid-store.  Tag layout per the header: counter
+/// << 16 | writer.
+sim::Process plant_partial_write(sim::Env env, Network& net, int from,
+                                 int server, int reg, std::int64_t tag,
+                                 std::int64_t value, const bool* wrote,
+                                 bool* planted) {
+  while (!*wrote) co_await env.delay(5);  // outrank the finished write
+  Message m;
+  m.type = kWriteReq;
+  m.reg = reg;
+  m.rid = 0;
+  m.tag = tag;
+  m.value = value;
+  co_await net.send(env, from, server, m);
+  *planted = true;
+}
+
+sim::Process disagreement_reads(sim::Env env, AbdClient& client, bool* wrote,
+                                const bool* planted,
+                                std::vector<std::int64_t>& got, int* done) {
+  co_await client.write(env, /*reg=*/4, 10);
+  *wrote = true;
+  while (!*planted) co_await env.delay(5);
+  co_await env.delay(20 * kDelta);  // let the planted store land
+  got.push_back(co_await client.read(env, 4));
+  got.push_back(co_await client.read(env, 4));
+  ++*done;
+}
+
+TEST(AbdVariants, DisagreeingTagsForceTheTwoRoundFallback) {
+  // The adversarial read path: server 0 holds a higher tag the rest of
+  // the quorum has never seen (a crashed writer's partial store).  The
+  // first read's quorum {0, 1} disagrees -> the fast path must NOT fire;
+  // its write-back installs the tag at the majority, so the second read
+  // sees uniform tags and takes the one-round path.  Server 2 is crashed
+  // to pin the quorum to {0, 1}.
+  sim::Simulation s(make_uniform_timing(1, kDelta), {.seed = 6});
+  const int n = 3;
+  Network net(s.space(), 2 * n);
+  AbdClient client(net, 0, n);
+  client.set_variant(RegisterVariant::kPerPeerFastRead);
+  std::vector<std::int64_t> got;
+  bool wrote = false;
+  bool planted = false;
+  int done = 0;
+  s.spawn([&client, &wrote, &planted, &got, &done](sim::Env env) {
+    return disagreement_reads(env, client, &wrote, &planted, got, &done);
+  });
+  s.spawn([&net, &wrote, &planted, n](sim::Env env) {
+    // Writer id 5, counter 2: beats the client's (1 << 16 | 0) tag.
+    return plant_partial_write(env, net, /*from=*/1, /*server=*/n + 0,
+                               /*reg=*/4, (std::int64_t{2} << 16) | 5, 99,
+                               &wrote, &planted);
+  });
+  s.spawn([](sim::Env env) -> sim::Process { co_await env.delay(1); });
+  spawn_servers(s, net, n);
+  s.crash_at(n + 2, 1);  // server 2 never answers: quorums are {0, 1}
+  s.run(100'000'000, [&] { return done == 1; });
+  ASSERT_EQ(done, 1);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], 99);  // the read adopted and propagated the high tag
+  EXPECT_EQ(got[1], 99);
+  EXPECT_EQ(client.fast_read_misses(), 1u);  // read 1: disagreement
+  EXPECT_EQ(client.fast_reads(), 1u);        // read 2: uniform again
+}
+
+sim::Process variant_rw_loop(sim::Env env, AbdClient& client, int ops,
+                             int* done) {
+  for (int i = 0; i < ops; ++i) {
+    co_await client.write(env, /*reg=*/2, i);
+    co_await client.read(env, 2);
+  }
+  ++*done;
+}
+
+TEST(AbdVariants, LateAcksTeachTheStragglersChannel) {
+  // The slow replica rarely makes a quorum, so its channel would starve
+  // without the late-ack ring: acks arriving after the phase closed must
+  // still feed observe() and give the straggler an honest (large)
+  // estimate, while the timely replicas keep small ones.
+  sim::Simulation s(make_uniform_timing(1, kDelta), {.seed = 9});
+  const int n = 3;
+  Network net(s.space(), 2 * n);
+  NetAdversary adversary(17);
+  ChannelFaults slow;
+  slow.delay = 1.0;
+  slow.delay_min = 40 * kDelta;
+  slow.delay_max = 60 * kDelta;
+  ChannelFaults lossy;
+  lossy.drop = 0.30;
+  // The lossy box stretches phases (expiry + retry), which is what keeps
+  // the straggler's acks within the late-ack ring's reach — with every
+  // phase quorum-on-first-try the ring would recycle before they land.
+  for (int other = 0; other < 2 * n; ++other) {
+    if (other != n + 1) {
+      adversary.set_channel_faults(n + 1, other, slow);
+      adversary.set_channel_faults(other, n + 1, slow);
+    }
+    if (other != n + 2) {
+      adversary.set_channel_faults(n + 2, other, lossy);
+      adversary.set_channel_faults(other, n + 2, lossy);
+    }
+  }
+  adversary.arm(s);
+  net.set_adversary(&adversary);
+  adapt::TimelinessEstimator est(variant_estimator_config());
+  RetryPolicy policy = test_policy();
+  policy.timeout_per_delta = 2.0;
+  AbdClient client(net, 0, n, policy);
+  client.set_delta_controller(&est);
+  client.set_variant(RegisterVariant::kPerPeer);
+  int done = 0;
+  s.spawn([&client, &done](sim::Env env) {
+    return variant_rw_loop(env, client, 20, &done);
+  });
+  for (int i = 1; i < n; ++i) {
+    s.spawn([](sim::Env env) -> sim::Process { co_await env.delay(1); });
+  }
+  spawn_servers(s, net, n);
+  s.run(4'000'000'000, [&] { return done == 1; });
+  ASSERT_EQ(done, 1);
+  EXPECT_GT(client.late_observations(), 0u);
+  // The straggler's channel carries a quantile an order beyond the timely
+  // replicas' — the raw material the timeliness graph classifies.
+  EXPECT_GT(est.channel_quantile(1), 4 * est.channel_quantile(0));
+  EXPECT_GT(est.channel_quantile(1), 4 * est.channel_quantile(2));
+  EXPECT_GT(est.estimate_for(1), est.estimate_for(0));
+}
+
+TEST(AbdVariants, EveryVariantReplaysByteIdentical) {
+  // Same-seed record/replay determinism, per variant, under the
+  // heterogeneous mix (slow box + lossy box) with a shared estimator —
+  // per-peer windows, late-ack observations and fast reads are all pure
+  // functions of the run.
+  for (const RegisterVariant variant :
+       {RegisterVariant::kStock, RegisterVariant::kPerPeer,
+        RegisterVariant::kPerPeerFastRead}) {
+    const obs::Scenario scenario = [variant](sim::Simulation& s) {
+      const int n = 3;
+      Network net(s.space(), 2 * n);
+      NetAdversary adversary(23);
+      ChannelFaults slow;
+      slow.delay = 1.0;
+      slow.delay_min = 40 * kDelta;
+      slow.delay_max = 60 * kDelta;
+      ChannelFaults lossy;
+      lossy.drop = 0.30;
+      for (int other = 0; other < 2 * n; ++other) {
+        if (other != n + 1) {
+          adversary.set_channel_faults(n + 1, other, slow);
+          adversary.set_channel_faults(other, n + 1, slow);
+        }
+        if (other != n + 2) {
+          adversary.set_channel_faults(n + 2, other, lossy);
+          adversary.set_channel_faults(other, n + 2, lossy);
+        }
+      }
+      adversary.arm(s);
+      net.set_adversary(&adversary);
+      adapt::TimelinessEstimator est(variant_estimator_config());
+      RetryPolicy policy = test_policy();
+      policy.timeout_per_delta = 2.0;
+      std::vector<std::unique_ptr<AbdClient>> clients;
+      int done = 0;
+      for (int i = 0; i < 2; ++i) {
+        clients.push_back(std::make_unique<AbdClient>(net, i, n, policy));
+        clients.back()->set_delta_controller(&est);
+        clients.back()->set_variant(variant);
+        s.spawn([&clients, &done, i](sim::Env env) {
+          return variant_rw_loop(env,
+                                 *clients[static_cast<std::size_t>(i)], 10,
+                                 &done);
+        });
+      }
+      s.spawn([](sim::Env env) -> sim::Process { co_await env.delay(1); });
+      spawn_servers(s, net, n);
+      s.run(4'000'000'000, [&done] { return done == 2; });
+    };
+    obs::TimingSpec spec;
+    spec.kind = obs::TimingSpec::Kind::kUniform;
+    spec.lo = 1;
+    spec.hi = kDelta;
+    const obs::RecordedRun run = obs::record(41, spec, scenario);
+    EXPECT_FALSE(run.trace.empty());
+    const obs::ReplayResult replayed = obs::replay(run, scenario);
+    EXPECT_TRUE(replayed.identical)
+        << register_variant_name(variant) << " diverged at event "
+        << replayed.first_divergence;
+  }
+}
+
 TEST(NetAdversaryTest, FaultEventsLandInTheTrace) {
   obs::TraceSink sink;
   sim::Simulation s(make_uniform_timing(1, kDelta), {.seed = 4, .sink = &sink});

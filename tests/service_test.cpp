@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "tfr/adapt/controller.hpp"
 #include "tfr/obs/trace.hpp"
 #include "tfr/service/batcher.hpp"
 #include "tfr/service/loadgen.hpp"
@@ -239,6 +240,55 @@ TEST(ServiceScenario, OutageBacksUpThenDrainsWithinBound) {
   EXPECT_EQ(report.unfinished, 0u);
   EXPECT_GE(report.heal_drain, 0);      // the backlog was worked off...
   EXPECT_LE(report.heal_drain, config.convergence_bound);  // ...in time
+}
+
+TEST(ServiceScenario, RegisterVariantSeamSwitchesTheEmulation) {
+  service::ServiceConfig config = small_config(2'000);
+  const service::ServiceReport stock = service::run_service(config);
+  EXPECT_TRUE(stock.complete());
+  EXPECT_EQ(stock.abd_fast_reads, 0u);  // stock never takes the fast path
+  EXPECT_EQ(stock.abd_fast_read_misses, 0u);
+
+  config.shard.register_variant = msg::RegisterVariant::kPerPeerFastRead;
+  const service::ServiceReport fast = service::run_service(config);
+  EXPECT_TRUE(fast.complete());
+  EXPECT_EQ(fast.served, 2'000u);
+  EXPECT_TRUE(fast.linearizable);
+  EXPECT_EQ(fast.safety_violations, 0u);
+  EXPECT_EQ(fast.readback_mismatches, 0u);
+  EXPECT_GT(fast.abd_fast_reads, 0u);  // the seam switched the emulation
+}
+
+TEST(ServiceScenario, ReplicaFaultsAndPerPeerWindowsBehindTheSeam) {
+  // One slow replica box behind shard 0 and 1; the shards share a
+  // timeliness estimator, so per-replica RTT observations (including the
+  // straggler's late acks) must flow through the Shard seam into it.
+  service::ServiceConfig config = small_config(2'000);
+  adapt::TimelinessEstimator estimator({.initial = 100,
+                                        .floor = 50,
+                                        .ceiling = 16'000,
+                                        .window = 32,
+                                        .quantile = 0.9,
+                                        .headroom = 2.0,
+                                        .grow_factor = 2.0,
+                                        .decay_step = 50,
+                                        .clean_threshold = 2,
+                                        .boost_cap = 2.0});
+  config.shard.controller = &estimator;
+  config.shard.abd_retry.timeout_per_delta = 2.0;
+  config.shard.register_variant = msg::RegisterVariant::kPerPeerFastRead;
+  msg::ChannelFaults slow;
+  slow.delay = 1.0;
+  slow.delay_min = 2'000;
+  slow.delay_max = 3'000;
+  config.shard.replica_faults.push_back({.replica = 1, .faults = slow});
+  const service::ServiceReport report = service::run_service(config);
+  EXPECT_TRUE(report.complete());
+  EXPECT_TRUE(report.linearizable);
+  EXPECT_EQ(report.safety_violations, 0u);
+  EXPECT_GT(report.abd_fast_reads, 0u);
+  EXPECT_GT(estimator.observations(), 0u);  // per-replica RTTs arrived
+  EXPECT_GT(estimator.channels(), 1u);      // ...keyed by replica index
 }
 
 // --- Determinism ------------------------------------------------------

@@ -10,12 +10,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <new>
 #include <vector>
 
+#include "tfr/adapt/controller.hpp"
+#include "tfr/msg/abd.hpp"
+#include "tfr/msg/network.hpp"
 #include "tfr/sim/simulation.hpp"
 #include "tfr/sim/timing.hpp"
 
@@ -113,6 +117,113 @@ TEST(SimAllocRegression, StrategyPathReachesSteadyState) {
     EXPECT_EQ(run_iteration(simulation), steady) << "iteration " << i;
   }
   EXPECT_LE(steady, 8u);
+}
+
+// --- ABD phase scratch: per-op allocations reach a steady state --------------
+
+/// Runs `ops` write+read pairs on one per-peer fast-read client, recording
+/// the operator-new call count after each op into `per_op` (pre-reserved:
+/// the measurement itself must not allocate inside the window).
+sim::Process abd_alloc_probe(sim::Env env, msg::AbdClient& client, int ops,
+                             std::vector<std::uint64_t>& per_op, int* done) {
+  for (int i = 0; i < ops; ++i) {
+    const std::uint64_t before =
+        g_alloc_calls.load(std::memory_order_relaxed);
+    co_await client.write(env, /*reg=*/1, i);
+    co_await client.read(env, 1);
+    per_op.push_back(g_alloc_calls.load(std::memory_order_relaxed) - before);
+  }
+  *done = 1;
+}
+
+// The quorum loop's ack-dedup array, the per-peer window order statistic
+// and the late-ack ring are all client-owned reusable scratch: after the
+// warm-up ops (which size the scratch, fill the estimator's channel rings
+// and grow the network queues) the per-op allocation count must be flat —
+// only the unavoidable coroutine frames — with zero cumulative growth.
+TEST(SimAllocRegression, AbdPhasesReachSteadyStatePerOperation) {
+  sim::Simulation simulation(std::make_unique<sim::FixedTiming>(1),
+                             sim::SimulationOptions{.seed = 5});
+  const int n = 3;
+  msg::Network net(simulation.space(), 2 * n);
+  adapt::TimelinessEstimator estimator({.initial = 8,
+                                        .floor = 1,
+                                        .ceiling = 4096,
+                                        .window = 8,
+                                        .quantile = 1.0,
+                                        .headroom = 2.0,
+                                        .grow_factor = 2.0,
+                                        .decay_step = 1,
+                                        .clean_threshold = 2});
+  msg::RetryPolicy policy;
+  policy.timeout = 64;
+  policy.max_timeout = 4096;
+  policy.poll_every = 4;
+  policy.timeout_per_delta = 2.0;
+  msg::AbdClient client(net, 0, n, policy);
+  client.set_delta_controller(&estimator);
+  client.set_variant(msg::RegisterVariant::kPerPeerFastRead);
+  constexpr int kOps = 16;
+  std::vector<std::uint64_t> per_op;
+  per_op.reserve(kOps);
+  int done = 0;
+  simulation.spawn([&](sim::Env env) {
+    return abd_alloc_probe(env, client, kOps, per_op, &done);
+  });
+  for (int i = 1; i < n; ++i) {
+    simulation.spawn([](sim::Env env) -> sim::Process { co_await env.delay(1); });
+  }
+  for (int i = 0; i < n; ++i) {
+    simulation.spawn(
+        [&net, i, n](sim::Env env) { return msg::abd_server(env, net, i, n); });
+  }
+  simulation.run(10'000'000, [&] { return done == 1; });
+  ASSERT_EQ(done, 1);
+  ASSERT_EQ(per_op.size(), static_cast<std::size_t>(kOps));
+  // After warm-up (op 0 sizes the scratch, fills channel rings and grows
+  // the network queues) the per-op count is coroutine frames only, in a
+  // band whose width is one protocol-shape difference: a read that misses
+  // the fast path adds its write-back round's frames, nothing else may
+  // vary.  Cumulative growth (per-phase vectors, unbounded maps) would
+  // widen the band or lift its floor across the run.
+  std::uint64_t lo = per_op[2], hi = per_op[2];
+  for (int i = 2; i < kOps; ++i) {
+    lo = std::min(lo, per_op[static_cast<std::size_t>(i)]);
+    hi = std::max(hi, per_op[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_LE(hi - lo, 8u) << "per-phase allocation crept back in";
+  EXPECT_LE(hi, per_op[0]) << "warm-up should dominate steady state";
+  // No drift: the last ops must still sit in the same band as the first
+  // steady ones (a growing structure would push the tail upward).
+  EXPECT_EQ(per_op[kOps - 1], per_op[kOps - 2]);
+  EXPECT_GE(per_op[kOps - 1], lo);
+  EXPECT_LE(per_op[kOps - 1], hi);
+}
+
+// Eviction bounds the estimator's channel map: a service folding
+// thousands of transient pids into channels must not grow it without
+// bound, and the recurring channel's history must survive the sweeps.
+TEST(SimAllocRegression, EstimatorEvictionBoundsTheChannelMap) {
+  adapt::TimelinessEstimator est({.initial = 4,
+                                  .floor = 1,
+                                  .ceiling = 1024,
+                                  .window = 8,
+                                  .quantile = 1.0,
+                                  .headroom = 2.0,
+                                  .grow_factor = 2.0,
+                                  .decay_step = 1,
+                                  .clean_threshold = 2,
+                                  .evict_after_windows = 1});
+  for (int pid = 0; pid < 10'000; ++pid) {
+    est.observe(/*channel=*/100 + pid, 5);  // transient: one sample, gone
+    est.observe(/*channel=*/0, 7);          // recurring: always fresh
+  }
+  // Horizon = 1 window = 8 observations; sweeps run every 8 observations,
+  // so at most ~2 windows of transient channels are resident at once.
+  EXPECT_LE(est.channels(), 18u);
+  EXPECT_GT(est.evictions(), 9'900u);
+  EXPECT_EQ(est.channel_quantile(0), 7);  // the recurring channel survived
+  EXPECT_EQ(est.current(), 14);
 }
 
 }  // namespace
